@@ -1,0 +1,38 @@
+// Ablation: Memory Channel adapter FIFO depth.
+//
+// The FIFO is the only overlap between transaction processing and the SAN:
+// deeper FIFOs hide more link time from the CPU. The paper's measured
+// behaviour (communication time adding almost linearly to execution time)
+// corresponds to a shallow FIFO; this sweep shows how sensitive the passive
+// results are to that assumption.
+#include "bench_common.hpp"
+
+using namespace vrep;
+using harness::ExperimentConfig;
+using harness::Mode;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::uint64_t txns = args.has("quick") ? 15'000 : 60'000;
+
+  Table table("Ablation: adapter FIFO depth (Debit-Credit, passive backup, TPS)");
+  table.set_header({"fifo depth", "V1 mirror-copy", "V3 inline-log", "V3 stall us/txn"});
+  for (const int depth : {1, 2, 3, 8, 32, 128}) {
+    ExperimentConfig config;
+    config.mode = Mode::kPassive;
+    config.workload = wl::WorkloadKind::kDebitCredit;
+    config.txns_per_stream = txns;
+    config.cost.fifo_depth = depth;
+    config.version = core::VersionKind::kV1MirrorCopy;
+    const auto v1 = run_experiment(config);
+    config.version = core::VersionKind::kV3InlineLog;
+    const auto v3 = run_experiment(config);
+    char stall[32];
+    std::snprintf(stall, sizeof stall, "%.2f",
+                  v3.mc_stall_seconds * 1e6 / static_cast<double>(v3.committed));
+    table.add_row({std::to_string(depth), bench::tps_cell(v1.tps), bench::tps_cell(v3.tps),
+                   stall});
+  }
+  table.print();
+  return 0;
+}

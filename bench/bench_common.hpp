@@ -1,0 +1,69 @@
+// Shared plumbing for the table/figure reproduction binaries. Each binary
+// reruns one experiment from the paper's evaluation and prints our measured
+// numbers next to the paper's, plus the ratio — the *shape* (ordering,
+// rough factors, crossovers) is what the reproduction claims; see
+// EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace vrep::bench {
+
+// Standard per-cell transaction counts; --quick on any bench shrinks them.
+struct Scale {
+  std::uint64_t dc_txns = 100'000;
+  std::uint64_t oe_txns = 60'000;
+
+  static Scale from_args(const CliArgs& args) {
+    Scale s;
+    if (args.has("quick")) {
+      s.dc_txns = 20'000;
+      s.oe_txns = 12'000;
+    }
+    s.dc_txns = static_cast<std::uint64_t>(args.get_int("txns", static_cast<long>(s.dc_txns)));
+    s.oe_txns = static_cast<std::uint64_t>(
+        args.get_int("txns", static_cast<long>(s.oe_txns)));
+    return s;
+  }
+
+  std::uint64_t txns(wl::WorkloadKind w) const {
+    return w == wl::WorkloadKind::kDebitCredit ? dc_txns : oe_txns;
+  }
+};
+
+inline std::string tps_cell(double measured) {
+  return Table::num(static_cast<std::uint64_t>(measured + 0.5));
+}
+
+inline std::string ratio_cell(double measured, double paper) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", paper == 0 ? 0.0 : measured / paper);
+  return buf;
+}
+
+inline std::string mb_cell(std::uint64_t bytes, std::uint64_t txns, std::uint64_t paper_txns) {
+  // The paper reports absolute MB for its (much longer) runs; normalise our
+  // per-transaction volumes to the paper's transaction count so the columns
+  // are directly comparable.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f",
+                static_cast<double>(bytes) / static_cast<double>(txns) *
+                    static_cast<double>(paper_txns) / 1e6);
+  return buf;
+}
+
+// The paper's runs executed this many transactions (derived from its
+// reported throughput x execution time); used to normalise data volumes.
+constexpr std::uint64_t kPaperTxnsDebitCredit = 4'984'000;
+constexpr std::uint64_t kPaperTxnsOrderEntry = 457'000;
+
+inline std::uint64_t paper_txns(wl::WorkloadKind w) {
+  return w == wl::WorkloadKind::kDebitCredit ? kPaperTxnsDebitCredit : kPaperTxnsOrderEntry;
+}
+
+}  // namespace vrep::bench

@@ -1,0 +1,21 @@
+// Figure 3: transaction throughput using an SMP as the primary,
+// Order-Entry benchmark (Section 8).
+#include "fig_smp_common.hpp"
+
+using namespace vrep;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::uint64_t txns = args.has("quick") ? 10'000 : 30'000;
+
+  // Paper Figure 3 series, eyeballed from the plot.
+  const double paper[4][4] = {
+      {74'000, 148'000, 220'000, 290'000},  // Active
+      {56'000, 90'000, 98'000, 100'000},    // Pass. Ver. 3
+      {51'000, 60'000, 62'000, 63'000},     // Pass. Ver. 2
+      {49'000, 58'000, 60'000, 61'000},     // Pass. Ver. 1
+  };
+  bench::run_smp_figure("Figure 3: SMP primary, Order-Entry",
+                        wl::WorkloadKind::kOrderEntry, paper, txns);
+  return 0;
+}

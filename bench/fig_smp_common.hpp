@@ -1,0 +1,59 @@
+// Shared implementation of Figures 2 and 3: aggregate throughput with an
+// SMP primary (Section 8). One independent transaction stream per CPU, each
+// with its own 10 MB database, all sharing the node's single Memory Channel
+// adapter — the experiment that exposes the SAN as the bottleneck for every
+// scheme except active logging.
+#pragma once
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/ascii_chart.hpp"
+
+namespace vrep::bench {
+
+struct SmpScheme {
+  const char* name;
+  harness::Mode mode;
+  core::VersionKind version;
+};
+
+inline void run_smp_figure(const char* title, wl::WorkloadKind workload,
+                           const double paper[4][4], std::uint64_t txns_per_stream) {
+  const SmpScheme schemes[] = {
+      {"Active", harness::Mode::kActive, core::VersionKind::kV3InlineLog},
+      {"Pass. Ver. 3", harness::Mode::kPassive, core::VersionKind::kV3InlineLog},
+      {"Pass. Ver. 2", harness::Mode::kPassive, core::VersionKind::kV2MirrorDiff},
+      {"Pass. Ver. 1", harness::Mode::kPassive, core::VersionKind::kV1MirrorCopy},
+  };
+
+  Table table(std::string(title) + " (aggregate TPS)");
+  table.set_header({"scheme", "cpus", "paper", "ours", "ratio", "link util"});
+  AsciiChart chart(title, "number of processors", "aggregate TPS");
+  chart.set_x({1, 2, 3, 4});
+
+  for (int s = 0; s < 4; ++s) {
+    std::vector<double> series;
+    for (int cpus = 1; cpus <= 4; ++cpus) {
+      harness::ExperimentConfig config;
+      config.mode = schemes[s].mode;
+      config.version = schemes[s].version;
+      config.workload = workload;
+      config.db_size = 10ull << 20;  // paper: 10 MB per transaction stream
+      config.streams = cpus;
+      config.txns_per_stream = txns_per_stream;
+      const auto r = run_experiment(config);
+      series.push_back(r.tps);
+      char util[16];
+      std::snprintf(util, sizeof util, "%.0f%%", r.link_utilization * 100);
+      table.add_row({schemes[s].name, std::to_string(cpus),
+                     Table::num(paper[s][cpus - 1], 0), tps_cell(r.tps),
+                     ratio_cell(r.tps, paper[s][cpus - 1]), util});
+    }
+    chart.add_series(schemes[s].name, series);
+  }
+  table.print();
+  chart.print();
+}
+
+}  // namespace vrep::bench

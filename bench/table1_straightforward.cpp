@@ -1,0 +1,78 @@
+// Tables 1 and 2: the straightforward cluster implementation (Section 3).
+//
+// Version 0 (Vista) with everything — database, undo log, heap — write
+// doubled onto the backup. Table 1 shows the throughput collapse relative
+// to the standalone server; Table 2 breaks the shipped bytes down and shows
+// that almost all of it is meta-data.
+#include "bench_common.hpp"
+
+using namespace vrep;
+using harness::ExperimentConfig;
+using harness::Mode;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const auto scale = bench::Scale::from_args(args);
+
+  struct PaperRow {
+    wl::WorkloadKind workload;
+    double single_paper, pb_paper;
+    double modified_paper, undo_paper, meta_paper, total_paper;  // MB, Table 2
+  };
+  const PaperRow rows[] = {
+      {wl::WorkloadKind::kDebitCredit, 218627, 38735, 140.8, 323.2, 6708.4, 7172.4},
+      {wl::WorkloadKind::kOrderEntry, 73748, 27035, 38.9, 433.6 - 0, 433.6, 672.3},
+  };
+
+  Table t1("Table 1: Transaction throughput for the straightforward implementation (TPS)");
+  t1.set_header({"benchmark", "config", "paper", "ours", "ratio"});
+  Table t2("Table 2: Data communicated to the backup, straightforward implementation (MB,"
+           " normalised to the paper's transaction counts)");
+  t2.set_header({"benchmark", "class", "paper", "ours", "ratio"});
+
+  for (const PaperRow& row : rows) {
+    ExperimentConfig config;
+    config.version = core::VersionKind::kV0Vista;
+    config.workload = row.workload;
+    config.txns_per_stream = scale.txns(row.workload);
+
+    config.mode = Mode::kStandalone;
+    const auto standalone = run_experiment(config);
+    config.mode = Mode::kPassive;
+    const auto pb = run_experiment(config);
+
+    const char* name = wl::workload_name(row.workload);
+    t1.add_row({name, "single machine", Table::num(row.single_paper, 0),
+                bench::tps_cell(standalone.tps),
+                bench::ratio_cell(standalone.tps, row.single_paper)});
+    t1.add_row({name, "primary-backup", Table::num(row.pb_paper, 0), bench::tps_cell(pb.tps),
+                bench::ratio_cell(pb.tps, row.pb_paper)});
+
+    const std::uint64_t n = pb.committed;
+    const std::uint64_t pn = bench::paper_txns(row.workload);
+    const double undo_paper =
+        row.workload == wl::WorkloadKind::kDebitCredit ? 323.2 : 199.8;
+    const double meta_paper =
+        row.workload == wl::WorkloadKind::kDebitCredit ? 6708.4 : 433.6;
+    t2.add_row({name, "modified data", Table::num(row.modified_paper, 1),
+                bench::mb_cell(pb.traffic.modified(), n, pn),
+                bench::ratio_cell(static_cast<double>(pb.traffic.modified()) / n * pn / 1e6,
+                                  row.modified_paper)});
+    t2.add_row({name, "undo log", Table::num(undo_paper, 1),
+                bench::mb_cell(pb.traffic.undo(), n, pn),
+                bench::ratio_cell(static_cast<double>(pb.traffic.undo()) / n * pn / 1e6,
+                                  undo_paper)});
+    t2.add_row({name, "meta-data", Table::num(meta_paper, 1),
+                bench::mb_cell(pb.traffic.meta(), n, pn),
+                bench::ratio_cell(static_cast<double>(pb.traffic.meta()) / n * pn / 1e6,
+                                  meta_paper)});
+    t2.add_row({name, "total", Table::num(row.total_paper, 1),
+                bench::mb_cell(pb.traffic.total(), n, pn),
+                bench::ratio_cell(static_cast<double>(pb.traffic.total()) / n * pn / 1e6,
+                                  row.total_paper)});
+  }
+  t1.print();
+  std::puts("");
+  t2.print();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table 3: standalone transaction throughput of the restructured versions
+// (Section 4.5). This table is also the calibration anchor of the cost
+// model: the constants in sim/alpha_cost_model.hpp were tuned so these
+// eight cells land near the paper; every other table/figure is predicted.
+#include "bench_common.hpp"
+
+using namespace vrep;
+using harness::ExperimentConfig;
+using harness::Mode;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const auto scale = bench::Scale::from_args(args);
+
+  const double paper[2][4] = {
+      {218627, 310077, 266922, 372692},  // Debit-Credit V0..V3
+      {73748, 81340, 74544, 95809},      // Order-Entry V0..V3
+  };
+  const core::VersionKind versions[] = {
+      core::VersionKind::kV0Vista,
+      core::VersionKind::kV1MirrorCopy,
+      core::VersionKind::kV2MirrorDiff,
+      core::VersionKind::kV3InlineLog,
+  };
+
+  Table table("Table 3: Standalone transaction throughput of the restructured versions (TPS)");
+  table.set_header({"version", "DC paper", "DC ours", "ratio", "OE paper", "OE ours", "ratio"});
+
+  for (int v = 0; v < 4; ++v) {
+    ExperimentConfig config;
+    config.version = versions[v];
+    config.mode = Mode::kStandalone;
+    config.workload = wl::WorkloadKind::kDebitCredit;
+    config.txns_per_stream = scale.dc_txns;
+    const auto dc = run_experiment(config);
+    config.workload = wl::WorkloadKind::kOrderEntry;
+    config.txns_per_stream = scale.oe_txns;
+    const auto oe = run_experiment(config);
+    table.add_row({core::version_name(versions[v]), Table::num(paper[0][v], 0),
+                   bench::tps_cell(dc.tps), bench::ratio_cell(dc.tps, paper[0][v]),
+                   Table::num(paper[1][v], 0), bench::tps_cell(oe.tps),
+                   bench::ratio_cell(oe.tps, paper[1][v])});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Tables 4 and 5: primary-backup with a passive backup (Section 5).
+// Table 4: throughput of Versions 0-3 under write-through replication.
+// Table 5: the shipped bytes broken down into modified / undo / meta.
+#include "bench_common.hpp"
+
+using namespace vrep;
+using harness::ExperimentConfig;
+using harness::Mode;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const auto scale = bench::Scale::from_args(args);
+
+  const double paper_tps[2][4] = {
+      {38735, 119494, 131574, 275512},  // Debit-Credit
+      {27035, 49072, 51219, 56248},     // Order-Entry
+  };
+  // Table 5 (MB): modified, undo, meta, per version.
+  const double paper_data[2][4][3] = {
+      {{140.8, 323.2, 6708.4}, {140.8, 323.2, 40.4}, {140.8, 140.8, 40.4},
+       {140.8, 323.2, 141.4}},
+      {{38.9, 199.8, 433.6}, {38.9, 199.8, 3.7}, {38.9, 38.9, 3.7}, {38.9, 199.8, 14.5}},
+  };
+  const core::VersionKind versions[] = {
+      core::VersionKind::kV0Vista,
+      core::VersionKind::kV1MirrorCopy,
+      core::VersionKind::kV2MirrorDiff,
+      core::VersionKind::kV3InlineLog,
+  };
+  const wl::WorkloadKind workloads[] = {wl::WorkloadKind::kDebitCredit,
+                                        wl::WorkloadKind::kOrderEntry};
+
+  Table t4("Table 4: Primary-backup throughput, passive backup (TPS)");
+  t4.set_header({"version", "DC paper", "DC ours", "ratio", "OE paper", "OE ours", "ratio"});
+  Table t5("Table 5: Data transferred to the passive backup (MB, normalised to the paper's"
+           " transaction counts)");
+  t5.set_header({"benchmark", "version", "modified p/o", "undo p/o", "meta p/o", "total p/o"});
+
+  harness::ExperimentResult results[2][4];
+  for (int w = 0; w < 2; ++w) {
+    for (int v = 0; v < 4; ++v) {
+      ExperimentConfig config;
+      config.version = versions[v];
+      config.mode = Mode::kPassive;
+      config.workload = workloads[w];
+      config.txns_per_stream = scale.txns(workloads[w]);
+      results[w][v] = run_experiment(config);
+    }
+  }
+
+  for (int v = 0; v < 4; ++v) {
+    t4.add_row({core::version_name(versions[v]), Table::num(paper_tps[0][v], 0),
+                bench::tps_cell(results[0][v].tps),
+                bench::ratio_cell(results[0][v].tps, paper_tps[0][v]),
+                Table::num(paper_tps[1][v], 0), bench::tps_cell(results[1][v].tps),
+                bench::ratio_cell(results[1][v].tps, paper_tps[1][v])});
+  }
+  for (int w = 0; w < 2; ++w) {
+    for (int v = 0; v < 4; ++v) {
+      const auto& r = results[w][v];
+      const std::uint64_t n = r.committed;
+      const std::uint64_t pn = bench::paper_txns(workloads[w]);
+      const double total_paper =
+          paper_data[w][v][0] + paper_data[w][v][1] + paper_data[w][v][2];
+      t5.add_row({wl::workload_name(workloads[w]), core::version_name(versions[v]),
+                  Table::num(paper_data[w][v][0], 1) + " / " +
+                      bench::mb_cell(r.traffic.modified(), n, pn),
+                  Table::num(paper_data[w][v][1], 1) + " / " +
+                      bench::mb_cell(r.traffic.undo(), n, pn),
+                  Table::num(paper_data[w][v][2], 1) + " / " +
+                      bench::mb_cell(r.traffic.meta(), n, pn),
+                  Table::num(total_paper, 1) + " / " +
+                      bench::mb_cell(r.traffic.total(), n, pn)});
+    }
+  }
+  t4.print();
+  std::puts("");
+  t5.print();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Tables 6 and 7: the active backup vs the best passive scheme (Section 6).
+// Table 6: throughput. Table 7: shipped bytes — the active scheme sends no
+// undo data at all, only modified data plus (more) meta-data.
+#include "bench_common.hpp"
+
+using namespace vrep;
+using harness::ExperimentConfig;
+using harness::Mode;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const auto scale = bench::Scale::from_args(args);
+
+  const double paper_tps[2][2] = {{275512, 314861}, {56248, 73940}};  // passive, active
+  const double paper_data[2][2][3] = {
+      {{140.8, 323.2, 141.4}, {140.8, 0, 141.4}},  // DC: passive V3, active
+      {{38.9, 199.8, 14.5}, {38.9, 0, 24.7}},      // OE
+  };
+  const wl::WorkloadKind workloads[] = {wl::WorkloadKind::kDebitCredit,
+                                        wl::WorkloadKind::kOrderEntry};
+
+  Table t6("Table 6: Passive (best, Version 3) vs Active backup throughput (TPS)");
+  t6.set_header({"benchmark", "config", "paper", "ours", "ratio"});
+  Table t7("Table 7: Data transferred, active vs best passive (MB, normalised)");
+  t7.set_header({"benchmark", "config", "modified p/o", "undo p/o", "meta p/o", "total p/o"});
+
+  for (int w = 0; w < 2; ++w) {
+    ExperimentConfig config;
+    config.workload = workloads[w];
+    config.txns_per_stream = scale.txns(workloads[w]);
+    config.version = core::VersionKind::kV3InlineLog;
+
+    config.mode = Mode::kPassive;
+    const auto passive = run_experiment(config);
+    config.mode = Mode::kActive;
+    const auto active = run_experiment(config);
+
+    const char* name = wl::workload_name(workloads[w]);
+    t6.add_row({name, "Best Passive (Version 3)", Table::num(paper_tps[w][0], 0),
+                bench::tps_cell(passive.tps), bench::ratio_cell(passive.tps, paper_tps[w][0])});
+    t6.add_row({name, "Active", Table::num(paper_tps[w][1], 0), bench::tps_cell(active.tps),
+                bench::ratio_cell(active.tps, paper_tps[w][1])});
+
+    const std::uint64_t pn = bench::paper_txns(workloads[w]);
+    const harness::ExperimentResult* rs[2] = {&passive, &active};
+    const char* labels[2] = {"Best Passive (Version 3)", "Active"};
+    for (int c = 0; c < 2; ++c) {
+      const auto& r = *rs[c];
+      const double total_paper =
+          paper_data[w][c][0] + paper_data[w][c][1] + paper_data[w][c][2];
+      t7.add_row({name, labels[c],
+                  Table::num(paper_data[w][c][0], 1) + " / " +
+                      bench::mb_cell(r.traffic.modified(), r.committed, pn),
+                  Table::num(paper_data[w][c][1], 1) + " / " +
+                      bench::mb_cell(r.traffic.undo(), r.committed, pn),
+                  Table::num(paper_data[w][c][2], 1) + " / " +
+                      bench::mb_cell(r.traffic.meta(), r.committed, pn),
+                  Table::num(total_paper, 1) + " / " +
+                      bench::mb_cell(r.traffic.total(), r.committed, pn)});
+    }
+  }
+  t6.print();
+  std::puts("");
+  t7.print();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Order-Entry on the simulated cluster: sweep every replication strategy
+// for one workload and print a compact decision report — the kind of
+// capacity-planning run a user of this library would actually do.
+//
+//   build/examples/order_entry_cluster [--db-mb 50] [--txns 40000]
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace vrep;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const auto db_mb = static_cast<std::size_t>(args.get_int("db-mb", 50));
+  const auto txns = static_cast<std::uint64_t>(args.get_int("txns", 40'000));
+
+  struct Row {
+    const char* name;
+    harness::Mode mode;
+    core::VersionKind version;
+  };
+  const Row rows[] = {
+      {"standalone V3 (no replica!)", harness::Mode::kStandalone,
+       core::VersionKind::kV3InlineLog},
+      {"passive V0 (straightforward)", harness::Mode::kPassive, core::VersionKind::kV0Vista},
+      {"passive V1 (mirror by copy)", harness::Mode::kPassive,
+       core::VersionKind::kV1MirrorCopy},
+      {"passive V2 (mirror by diff)", harness::Mode::kPassive,
+       core::VersionKind::kV2MirrorDiff},
+      {"passive V3 (inline log)", harness::Mode::kPassive, core::VersionKind::kV3InlineLog},
+      {"active (redo shipping)", harness::Mode::kActive, core::VersionKind::kV3InlineLog},
+  };
+
+  std::printf("Order-Entry, %zu MB database, %llu transactions per configuration\n\n",
+              db_mb, static_cast<unsigned long long>(txns));
+  Table table("Replication strategy comparison");
+  table.set_header(
+      {"strategy", "TPS", "slowdown vs standalone", "bytes/txn to backup", "avg packet"});
+
+  double standalone_tps = 0;
+  for (const Row& row : rows) {
+    harness::ExperimentConfig config;
+    config.mode = row.mode;
+    config.version = row.version;
+    config.workload = wl::WorkloadKind::kOrderEntry;
+    config.db_size = db_mb << 20;
+    config.txns_per_stream = txns;
+    const auto r = run_experiment(config);
+    if (row.mode == harness::Mode::kStandalone) standalone_tps = r.tps;
+    char slowdown[32];
+    std::snprintf(slowdown, sizeof slowdown, "%.2fx", standalone_tps / r.tps);
+    table.add_row({row.name, Table::num(static_cast<std::uint64_t>(r.tps)), slowdown,
+                   Table::num(r.committed == 0 ? 0 : r.traffic.total() / r.committed),
+                   Table::num(r.avg_packet_bytes, 1) + "B"});
+  }
+  table.print();
+  std::puts(
+      "\nReading the report: the active scheme pays the least for availability because\n"
+      "it ships only committed redo data as full-size Memory Channel packets; the\n"
+      "mirror schemes ship less data than passive logging but lose on packet size;\n"
+      "the straightforward port (V0) drowns in write-through meta-data.");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: the transaction API on persistent memory in ~60 lines.
+//
+//   build/examples/quickstart [--db my.db]
+//
+// Maps a file-backed recoverable arena, runs transactions through the
+// Version 3 store, deliberately leaves one transaction in flight, then
+// "reboots" (re-attaches to the same bytes) and shows recovery rolling the
+// in-flight transaction back while every committed one survives.
+#include <cstdio>
+#include <cstring>
+
+#include "core/api.hpp"
+#include "rio/arena.hpp"
+#include "sim/mem_bus.hpp"
+#include "util/cli.hpp"
+
+using namespace vrep;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::string path = args.get_string("db", "/tmp/vrep_quickstart.db");
+  std::remove(path.c_str());
+
+  core::StoreConfig config;
+  config.db_size = 1 << 20;
+
+  sim::MemBus bus;  // pass-through bus: plain wall-clock deployment
+  {
+    rio::Arena arena = rio::Arena::map_file(
+        path, core::required_arena_size(core::VersionKind::kV3InlineLog, config));
+    auto store =
+        core::make_store(core::VersionKind::kV3InlineLog, bus, arena, config, /*format=*/true);
+
+    // The database is a flat region mapped into our address space. Declare
+    // each range before writing it; writes go through the store's bus.
+    auto* counters = reinterpret_cast<std::int64_t*>(store->db());
+    for (int i = 0; i < 5; ++i) {
+      core::Transaction txn(*store);
+      txn.set_range(&counters[i], sizeof counters[i]);
+      const std::int64_t value = (i + 1) * 100;
+      bus.write(&counters[i], &value, sizeof value, sim::TrafficClass::kModified);
+      txn.commit();
+    }
+    std::printf("committed 5 transactions (seq=%llu)\n",
+                static_cast<unsigned long long>(store->committed_seq()));
+
+    // Crash mid-transaction: scribble over counter 0 and never commit.
+    store->begin_transaction();
+    store->set_range(&counters[0], sizeof counters[0]);
+    const std::int64_t scribble = -9999;
+    bus.write(&counters[0], &scribble, sizeof scribble, sim::TrafficClass::kModified);
+    std::printf("in-flight transaction wrote %lld over counter[0]... and the process dies\n",
+                static_cast<long long>(scribble));
+    arena.sync();
+    // Arena goes out of scope with the transaction still open = the crash.
+  }
+
+  // "Reboot": re-attach to the surviving bytes and recover.
+  rio::Arena arena = rio::Arena::map_file(
+      path, core::required_arena_size(core::VersionKind::kV3InlineLog, config));
+  auto store =
+      core::make_store(core::VersionKind::kV3InlineLog, bus, arena, config, /*format=*/false);
+  const int rolled_back = store->recover();
+  const auto* counters = reinterpret_cast<const std::int64_t*>(store->db());
+  std::printf("after reboot: recover() rolled back %d transaction(s)\n", rolled_back);
+  for (int i = 0; i < 5; ++i) {
+    std::printf("  counter[%d] = %lld%s\n", i, static_cast<long long>(counters[i]),
+                counters[i] == (i + 1) * 100 ? "" : "  <-- WRONG");
+  }
+  std::printf("committed seq=%llu, store %s\n",
+              static_cast<unsigned long long>(store->committed_seq()),
+              store->validate() ? "valid" : "INVALID");
+  return counters[0] == 100 && rolled_back == 1 ? 0 : 1;
+}

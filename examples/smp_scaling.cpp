@@ -1,0 +1,67 @@
+// SMP primary scaling demo (the paper's Section 8 experiment, interactive):
+// run N independent Debit-Credit streams on one node and watch the shared
+// SAN become the bottleneck for every scheme except active logging.
+//
+//   build/examples/smp_scaling [--cpus 4] [--scheme active|passive3|passive1]
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace vrep;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int max_cpus = static_cast<int>(args.get_int("cpus", 4));
+  const std::string scheme = args.get_string("scheme", "all");
+
+  struct Named {
+    const char* name;
+    const char* key;
+    harness::Mode mode;
+    core::VersionKind version;
+  };
+  const Named all[] = {
+      {"Active", "active", harness::Mode::kActive, core::VersionKind::kV3InlineLog},
+      {"Passive V3", "passive3", harness::Mode::kPassive, core::VersionKind::kV3InlineLog},
+      {"Passive V1", "passive1", harness::Mode::kPassive, core::VersionKind::kV1MirrorCopy},
+  };
+
+  Table table("Aggregate Debit-Credit throughput vs primary CPUs (10 MB per stream)");
+  table.set_header({"scheme", "cpus", "aggregate TPS", "per-CPU TPS", "link utilization",
+                    "CPU stall/txn"});
+  AsciiChart chart("SMP primary scaling", "CPUs", "aggregate TPS");
+  std::vector<double> xs;
+  for (int c = 1; c <= max_cpus; ++c) xs.push_back(c);
+  chart.set_x(xs);
+
+  for (const Named& n : all) {
+    if (scheme != "all" && scheme != n.key) continue;
+    std::vector<double> series;
+    for (int cpus = 1; cpus <= max_cpus; ++cpus) {
+      harness::ExperimentConfig config;
+      config.mode = n.mode;
+      config.version = n.version;
+      config.workload = wl::WorkloadKind::kDebitCredit;
+      config.db_size = 10 << 20;
+      config.streams = cpus;
+      config.txns_per_stream = 25'000;
+      const auto r = run_experiment(config);
+      series.push_back(r.tps);
+      char util[16], stall[24];
+      std::snprintf(util, sizeof util, "%.0f%%", r.link_utilization * 100);
+      std::snprintf(stall, sizeof stall, "%.2f us",
+                    r.mc_stall_seconds * 1e6 / static_cast<double>(r.committed));
+      table.add_row({n.name, std::to_string(cpus),
+                     Table::num(static_cast<std::uint64_t>(r.tps)),
+                     Table::num(static_cast<std::uint64_t>(r.tps / cpus)), util, stall});
+    }
+    chart.add_series(n.name, series);
+  }
+  table.print();
+  chart.print();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Primary-backup membership with epochs.
+//
+// A takeover bumps the epoch; any node still acting on an older epoch is
+// fenced (its messages carry a stale epoch and are ignored). This prevents
+// the classic split-brain where a paused-but-alive primary resumes after
+// the backup has taken over.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace vrep::cluster {
+
+enum class Role : std::uint8_t { kPrimary, kBackup, kFailed };
+
+struct View {
+  std::uint64_t epoch = 1;
+  int primary = 0;
+  int backup = 1;
+};
+
+class Membership {
+ public:
+  Membership(int self, Role role) : self_(self), role_(role) {}
+
+  const View& view() const { return view_; }
+  Role role() const { return role_; }
+  int self() const { return self_; }
+  bool is_primary() const { return role_ == Role::kPrimary; }
+
+  // The backup observed the primary's failure: it becomes primary in a new
+  // epoch.
+  void take_over() {
+    VREP_CHECK(role_ == Role::kBackup);
+    view_.epoch += 1;
+    view_.primary = self_;
+    view_.backup = -1;  // no backup until a new one joins
+    role_ = Role::kPrimary;
+  }
+
+  // A replacement backup joined the (new) primary.
+  void adopt_backup(int node) {
+    VREP_CHECK(role_ == Role::kPrimary);
+    view_.backup = node;
+    view_.epoch += 1;
+  }
+
+  // Message admission: stale-epoch traffic is fenced.
+  bool admits(std::uint64_t msg_epoch) const { return msg_epoch == view_.epoch; }
+
+ private:
+  int self_;
+  Role role_;
+  View view_{};
+};
+
+}  // namespace vrep::cluster

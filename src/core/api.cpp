@@ -1,0 +1,55 @@
+#include "core/api.hpp"
+
+#include "core/mirror_store.hpp"
+#include "core/v0_vista.hpp"
+#include "core/v3_inline_log.hpp"
+#include "util/check.hpp"
+
+namespace vrep::core {
+
+const char* version_name(VersionKind v) {
+  switch (v) {
+    case VersionKind::kV0Vista:
+      return "Version 0 (Vista)";
+    case VersionKind::kV1MirrorCopy:
+      return "Version 1 (Mirror by Copy)";
+    case VersionKind::kV2MirrorDiff:
+      return "Version 2 (Mirror by Diff)";
+    case VersionKind::kV3InlineLog:
+      return "Version 3 (Improved Log)";
+  }
+  return "unknown";
+}
+
+std::size_t required_arena_size(VersionKind kind, const StoreConfig& config) {
+  switch (kind) {
+    case VersionKind::kV0Vista:
+      return VistaStore::arena_bytes(config);
+    case VersionKind::kV1MirrorCopy:
+    case VersionKind::kV2MirrorDiff:
+      return MirrorStore::arena_bytes(config);
+    case VersionKind::kV3InlineLog:
+      return InlineLogStore::arena_bytes(config);
+  }
+  VREP_CHECK(false && "bad VersionKind");
+  return 0;
+}
+
+std::unique_ptr<TransactionStore> make_store(VersionKind kind, sim::MemBus& bus,
+                                             rio::Arena& arena, const StoreConfig& config,
+                                             bool format) {
+  switch (kind) {
+    case VersionKind::kV0Vista:
+      return std::make_unique<VistaStore>(bus, arena, config, format);
+    case VersionKind::kV1MirrorCopy:
+      return std::make_unique<MirrorStore>(bus, arena, config, /*diff=*/false, format);
+    case VersionKind::kV2MirrorDiff:
+      return std::make_unique<MirrorStore>(bus, arena, config, /*diff=*/true, format);
+    case VersionKind::kV3InlineLog:
+      return std::make_unique<InlineLogStore>(bus, arena, config, format);
+  }
+  VREP_CHECK(false && "bad VersionKind");
+  return nullptr;
+}
+
+}  // namespace vrep::core

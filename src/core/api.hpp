@@ -1,0 +1,151 @@
+// Public transaction API.
+//
+// This is the RVM / Vista interface the paper builds on (Section 2.1):
+//
+//   begin_transaction();
+//   set_range(addr, len);   // declare a region the transaction may modify
+//   ... in-place writes to the database through the store's bus ...
+//   commit_transaction();   // or abort_transaction()
+//
+// The transaction data is a flat region ("the database") mapped into the
+// caller's address space. Concurrency control is explicitly out of scope
+// (provided by a layer above, as in the paper); a store instance is used by
+// one transaction stream at a time.
+//
+// Four interchangeable implementations reproduce the paper's Versions 0-3
+// (see DESIGN.md and the per-version headers); all of them are 1-safe when
+// replicated: commit returns as soon as the commit is durable locally,
+// leaving a microseconds-wide window in which a failure loses the last
+// committed transaction but never yields a torn one on the backup (active)
+// or a torn-by-at-most-the-last-transaction mirror (passive, documented
+// in repl/).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "rio/arena.hpp"
+#include "sim/mem_bus.hpp"
+
+namespace vrep::core {
+
+enum class VersionKind : std::uint32_t {
+  kV0Vista = 0,       // heap-allocated undo records in a linked list
+  kV1MirrorCopy = 1,  // range array + mirror; commit copies ranges to mirror
+  kV2MirrorDiff = 2,  // range array + mirror; commit diffs ranges into mirror
+  kV3InlineLog = 3,   // bump-pointer undo log with in-line before-images
+};
+
+const char* version_name(VersionKind v);
+
+struct StoreConfig {
+  std::size_t db_size = 50ull << 20;
+  std::size_t max_ranges_per_txn = 64;
+  // Capacity of the V3 inline undo log (headers + before-images of one txn).
+  std::size_t undo_log_capacity = 1ull << 20;
+  // V0 persistent heap for undo records and before-image areas.
+  std::size_t heap_size = 8ull << 20;
+  // Extra bytes of bookkeeping written per V0 undo record, standing in for
+  // Vista-internal metadata traffic we cannot reconstruct (see DESIGN.md).
+  std::size_t v0_meta_pad_bytes = 0;
+};
+
+// A sub-region of the store's arena, described by arena offset so the same
+// description applies to the primary's and the backup's arena.
+struct StoreRegion {
+  const char* name;
+  std::size_t offset;
+  std::size_t len;
+  // Whether the passive primary-backup configuration writes this region
+  // through to the backup. (The V1/V2 range array is deliberately not
+  // written through — the Section 5.1 optimisation.)
+  bool replicate_passive;
+};
+
+class TransactionStore {
+ public:
+  virtual ~TransactionStore() = default;
+
+  virtual void begin_transaction() = 0;
+  virtual void set_range(void* base, std::size_t len) = 0;
+  virtual void commit_transaction() = 0;
+  virtual void abort_transaction() = 0;
+
+  // Crash recovery: bring the persistent state back to the last committed
+  // transaction. Called on the rebooted primary, or on the backup's replica
+  // of the structures during takeover. Returns the number of transactions
+  // rolled back (0 or 1).
+  virtual int recover() = 0;
+
+  // Backup takeover. Differs from recover() only for the mirror versions,
+  // where the backup has no range array and must restore the database from
+  // the mirror wholesale (paper Section 5.1).
+  virtual int takeover() { return recover(); }
+
+  // Check internal invariants of the persistent structures; used by tests
+  // and by recovery paranoia mode. Returns true if consistent.
+  virtual bool validate() const = 0;
+
+  // Called once after the application has populated a freshly formatted
+  // database, before the first transaction (off every measured path). The
+  // mirror versions synchronise the mirror with the database here.
+  virtual void flush_initial_state() {}
+
+  virtual VersionKind kind() const = 0;
+  virtual std::uint8_t* db() = 0;
+  virtual const std::uint8_t* db() const = 0;
+  virtual std::size_t db_size() const = 0;
+  virtual std::uint64_t committed_seq() const = 0;
+  virtual std::vector<StoreRegion> regions() const = 0;
+
+  // The bus every database access must go through (so that in-place writes
+  // by the application are charged and replicated like the store's own).
+  virtual sim::MemBus& bus() = 0;
+};
+
+// Bytes of arena required to host a store of this kind/config.
+std::size_t required_arena_size(VersionKind kind, const StoreConfig& config);
+
+// Create a store over `arena`. If `format` is true the arena is initialised
+// from scratch; if false the store attaches to existing persistent state
+// (reboot / takeover) and the caller should invoke recover()/takeover().
+std::unique_ptr<TransactionStore> make_store(VersionKind kind, sim::MemBus& bus,
+                                             rio::Arena& arena, const StoreConfig& config,
+                                             bool format);
+
+// RAII transaction: commits explicitly; aborts when the scope is left
+// without a commit on the normal path. When the scope unwinds with an
+// exception in flight, the transaction is deliberately NOT aborted in
+// place: under Rio semantics an exception models a crash, and the frozen
+// in-flight state is exactly what recover() exists to repair (the crash
+// injection tests rely on this). Call abort_transaction() explicitly for
+// recoverable application-level errors.
+class Transaction {
+ public:
+  explicit Transaction(TransactionStore& store)
+      : store_(&store), uncaught_at_ctor_(std::uncaught_exceptions()) {
+    store_->begin_transaction();
+  }
+  ~Transaction() {
+    if (store_ != nullptr && std::uncaught_exceptions() == uncaught_at_ctor_) {
+      store_->abort_transaction();
+    }
+  }
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  void set_range(void* base, std::size_t len) { store_->set_range(base, len); }
+  void commit() {
+    store_->commit_transaction();
+    store_ = nullptr;
+  }
+
+ private:
+  TransactionStore* store_;
+  int uncaught_at_ctor_;
+};
+
+}  // namespace vrep::core

@@ -1,0 +1,191 @@
+#include "core/mirror_store.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace vrep::core {
+
+using sim::TrafficClass;
+
+std::size_t MirrorStore::arena_bytes(const StoreConfig& config) {
+  return 4096 + sizeof(RangeArray) + config.max_ranges_per_txn * sizeof(RangeRecord) +
+         2 * config.db_size + 4096;
+}
+
+MirrorStore::MirrorStore(sim::MemBus& bus, rio::Arena& arena, const StoreConfig& config,
+                         bool diff, bool format)
+    : StoreBase(bus, arena, config), diff_(diff) {
+  VREP_CHECK(arena.size() >= arena_bytes(config));
+  rio::Layout layout(arena);
+  auto* root = layout.carve_as<RootBlock>();
+  ranges_ = reinterpret_cast<RangeArray*>(
+      layout.carve(sizeof(RangeArray) + config.max_ranges_per_txn * sizeof(RangeRecord), 64));
+  db_ = layout.carve(config.db_size, 64);
+  mirror_ = layout.carve(config.db_size, 64);
+  bus_->register_region(root, sizeof(RootBlock));
+  bus_->register_region(ranges_,
+                        sizeof(RangeArray) + config.max_ranges_per_txn * sizeof(RangeRecord));
+  bus_->register_region(db_, config.db_size);
+  bus_->register_region(mirror_, config.db_size);
+  init_root(root, kind(), format);
+  if (format) {
+    // The mirror starts identical to the (zeroed) database. A plain memset
+    // suffices: initialisation is not on any measured path.
+    std::memset(mirror_, 0, config.db_size);
+  }
+}
+
+std::vector<StoreRegion> MirrorStore::regions() const {
+  const std::uint8_t* base = arena_->data();
+  return {
+      {"root", static_cast<std::size_t>(reinterpret_cast<const std::uint8_t*>(root_) - base),
+       sizeof(RootBlock), true},
+      // Section 5.1 optimisation: the range array stays on the primary.
+      {"ranges", static_cast<std::size_t>(reinterpret_cast<const std::uint8_t*>(ranges_) - base),
+       sizeof(RangeArray) + config_.max_ranges_per_txn * sizeof(RangeRecord), false},
+      {"db", static_cast<std::size_t>(db_ - base), config_.db_size, true},
+      {"mirror", static_cast<std::size_t>(mirror_ - base), config_.db_size, true},
+  };
+}
+
+void MirrorStore::begin_transaction() {
+  VREP_CHECK(!in_txn_);
+  in_txn_ = true;
+  bus_->charge(bus_->cost().begin_ns);
+  bus_->write_pod(&ranges_->count, std::uint64_t{0}, TrafficClass::kMeta);
+  persist_state(kActive);
+}
+
+void MirrorStore::set_range(void* base, std::size_t len) {
+  VREP_CHECK(in_txn_);
+  auto* p = static_cast<std::uint8_t*>(base);
+  VREP_CHECK(p >= db_ && p + len <= db_ + config_.db_size);
+  bus_->charge(bus_->cost().set_range_base_ns);
+  const std::uint64_t i = ranges_->count;
+  VREP_CHECK(i < config_.max_ranges_per_txn);
+  RangeRecord rec{static_cast<std::uint64_t>(p - db_), len};
+  bus_->write(&ranges_->records[i], &rec, sizeof rec, TrafficClass::kMeta);
+  // Publication point for the record.
+  bus_->write_pod(&ranges_->count, i + 1, TrafficClass::kMeta);
+}
+
+void MirrorStore::propagate_range_to_mirror(const RangeRecord& r) {
+  if (diff_) {
+    bus_->diff_copy(mirror_ + r.db_off, db_ + r.db_off, r.len, TrafficClass::kUndo);
+  } else {
+    bus_->copy(mirror_ + r.db_off, db_ + r.db_off, r.len, TrafficClass::kUndo);
+  }
+}
+
+void MirrorStore::commit_transaction() {
+  VREP_CHECK(in_txn_);
+  bus_->charge(bus_->cost().commit_base_ns);
+  // Commit point: one write flips the state machine to kCommitting with the
+  // new sequence number; the database is authoritative from here on.
+  persist_state_and_seq(kCommitting, root_->committed_seq + 1);
+  const std::uint64_t n = ranges_->count;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    bus_->charge(bus_->cost().commit_per_range_ns);
+    bus_->read(&ranges_->records[i], sizeof(RangeRecord));
+    propagate_range_to_mirror(ranges_->records[i]);
+  }
+  persist_state(kIdle);
+  in_txn_ = false;
+}
+
+void MirrorStore::abort_transaction() {
+  VREP_CHECK(in_txn_);
+  bus_->charge(bus_->cost().abort_base_ns);
+  // Reinstall before-images from the mirror, newest range first.
+  const std::uint64_t n = ranges_->count;
+  for (std::uint64_t i = n; i > 0; --i) {
+    bus_->read(&ranges_->records[i - 1], sizeof(RangeRecord));
+    const RangeRecord& r = ranges_->records[i - 1];
+    bus_->copy(db_ + r.db_off, mirror_ + r.db_off, r.len, TrafficClass::kModified);
+  }
+  bus_->write_pod(&ranges_->count, std::uint64_t{0}, TrafficClass::kMeta);
+  persist_state(kIdle);
+  in_txn_ = false;
+}
+
+int MirrorStore::recover() {
+  VREP_CHECK(validate_root(kind()));
+  int rolled_back = 0;
+  const std::uint64_t n = ranges_->count;
+  switch (root_->state) {
+    case kIdle:
+      break;
+    case kActive:
+      // The in-flight transaction never committed: undo its in-place writes
+      // from the mirror.
+      for (std::uint64_t i = n; i > 0; --i) {
+        const RangeRecord& r = ranges_->records[i - 1];
+        VREP_CHECK(r.db_off + r.len <= config_.db_size);
+        bus_->copy(db_ + r.db_off, mirror_ + r.db_off, r.len, TrafficClass::kModified);
+      }
+      rolled_back = 1;
+      break;
+    case kCommitting:
+      // Commit point passed: redo the (idempotent) propagation to the mirror.
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const RangeRecord& r = ranges_->records[i];
+        VREP_CHECK(r.db_off + r.len <= config_.db_size);
+        propagate_range_to_mirror(r);
+      }
+      break;
+    default:
+      VREP_CHECK(false && "corrupt state");
+  }
+  bus_->write_pod(&ranges_->count, std::uint64_t{0}, TrafficClass::kMeta);
+  persist_state(kIdle);
+  in_txn_ = false;
+  return rolled_back;
+}
+
+int MirrorStore::takeover() {
+  // Backup-side repair: the range array was never shipped, so repair works
+  // on whole databases (paper Section 5.1: "On recovery, the backup will
+  // have to copy the entire database from the mirror").
+  VREP_CHECK(validate_root(kind()));
+  int rolled_back = 0;
+  switch (root_->state) {
+    case kIdle:
+      // Even at idle the replica's database and mirror may disagree on the
+      // trailing transaction (write-buffer flushes are not program-ordered,
+      // so a later transaction's bytes can land before the state flip — the
+      // 1-safe window). The mirror is the committed authority; repair from
+      // it unconditionally.
+      bus_->copy(db_, mirror_, config_.db_size, TrafficClass::kModified);
+      break;
+    case kActive:
+      bus_->copy(db_, mirror_, config_.db_size, TrafficClass::kModified);
+      rolled_back = 1;
+      break;
+    case kCommitting:
+      bus_->copy(mirror_, db_, config_.db_size, TrafficClass::kUndo);
+      break;
+    default:
+      VREP_CHECK(false && "corrupt state");
+  }
+  bus_->write_pod(&ranges_->count, std::uint64_t{0}, TrafficClass::kMeta);
+  persist_state(kIdle);
+  in_txn_ = false;
+  return rolled_back;
+}
+
+bool MirrorStore::validate() const {
+  if (!validate_root(kind())) return false;
+  if (ranges_->count > config_.max_ranges_per_txn) return false;
+  for (std::uint64_t i = 0; i < ranges_->count; ++i) {
+    const RangeRecord& r = ranges_->records[i];
+    if (r.db_off + r.len > config_.db_size) return false;
+  }
+  // When idle, the mirror must equal the database everywhere.
+  if (root_->state == kIdle && !in_txn_) {
+    if (std::memcmp(db_, mirror_, config_.db_size) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace vrep::core

@@ -1,0 +1,75 @@
+// Versions 1 and 2 — mirroring (paper Sections 4.2 and 4.3).
+//
+// Both versions replace Vista's heap-allocated linked list with a flat array
+// of {offset, len} range records (allocation = bumping an index) and keep a
+// full "mirror" copy of the database holding the last committed state.
+// Database writes are in-place; commit propagates each set_range region from
+// the database into the mirror:
+//   * Version 1 (mirror by copy):  straight bcopy of the whole region.
+//   * Version 2 (mirror by diff):  compare and write only the bytes that
+//     changed — fewer writes, at the price of the comparison.
+//
+// Persistent protocol (state machine in root.state):
+//   kActive      transaction mutating db in-place; mirror == committed state;
+//                recovery direction: mirror -> db over the recorded ranges.
+//   kCommitting  commit point passed (single 12-byte write of
+//                {state, committed_seq}); db == committed state; recovery
+//                direction: db -> mirror (idempotent redo of the copies).
+//   kIdle        db == mirror over all ranges.
+//
+// In the passive primary-backup configuration the range array is
+// deliberately *not* written through (paper Section 5.1): that halves the
+// meta-data traffic but means the backup cannot repair ranges individually —
+// its takeover() copies the whole database from the mirror (or vice versa),
+// trading recovery time for failure-free throughput.
+//
+// Arena layout: [root | range array | db | mirror].
+#pragma once
+
+#include "core/store_base.hpp"
+
+namespace vrep::core {
+
+class MirrorStore final : public StoreBase {
+ public:
+  MirrorStore(sim::MemBus& bus, rio::Arena& arena, const StoreConfig& config, bool diff,
+              bool format);
+
+  void begin_transaction() override;
+  void set_range(void* base, std::size_t len) override;
+  void commit_transaction() override;
+  void abort_transaction() override;
+  int recover() override;
+  int takeover() override;
+  bool validate() const override;
+  void flush_initial_state() override { std::memcpy(mirror_, db_, config_.db_size); }
+  VersionKind kind() const override {
+    return diff_ ? VersionKind::kV2MirrorDiff : VersionKind::kV1MirrorCopy;
+  }
+  std::vector<StoreRegion> regions() const override;
+
+  const std::uint8_t* mirror() const { return mirror_; }
+
+  static std::size_t arena_bytes(const StoreConfig& config);
+
+ private:
+  struct RangeRecord {  // persistent, in the range array
+    std::uint64_t db_off;
+    std::uint64_t len;
+  };
+  // The range array region: count + records. Lives next to the records (not
+  // in the root block) because none of it is written through to the backup —
+  // it is primary-local undo metadata (Section 5.1).
+  struct RangeArray {
+    std::uint64_t count;
+    RangeRecord records[];  // max_ranges_per_txn entries
+  };
+
+  void propagate_range_to_mirror(const RangeRecord& r);
+
+  bool diff_;
+  RangeArray* ranges_ = nullptr;
+  std::uint8_t* mirror_ = nullptr;
+};
+
+}  // namespace vrep::core

@@ -1,0 +1,122 @@
+// Shared persistent root block and common machinery for all four versions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "core/api.hpp"
+#include "sim/traffic.hpp"
+#include "util/check.hpp"
+
+namespace vrep::core {
+
+// Transaction lifecycle as recorded persistently (needed by recovery to know
+// which direction to repair in; see each version's protocol comment).
+enum StoreState : std::uint32_t {
+  kIdle = 0,        // no transaction in progress
+  kActive = 1,      // a transaction is mutating the database in-place
+  kCommitting = 2,  // mirror versions: propagating committed data to mirror
+};
+
+// Lives at offset 0 of every store arena. All fields are written through the
+// bus; offsets (not pointers) are used for intra-arena references so the
+// backup's byte-identical replica is valid at a different address.
+// Field order matters: the versions' commit points are implemented as one
+// contiguous write covering the fields that must change together (our
+// simulated stores are atomic memcpys, standing in for the write ordering a
+// real Rio implementation enforces with memory barriers):
+//   * V1/V2 commit point: {state, committed_seq}   (offsets 12..24)
+//   * V0 commit point:    {committed_seq, undo_head} (offsets 16..32)
+struct RootBlock {
+  static constexpr std::uint64_t kMagic = 0x56697374614442ull;  // "VistaDB"
+
+  std::uint64_t magic;          // 0
+  std::uint32_t version;        // 8   VersionKind
+  std::uint32_t state;          // 12  StoreState
+  std::uint64_t committed_seq;  // 16  sequence number of the last committed txn
+  std::uint64_t undo_head;      // 24  V0: heap offset of newest undo record (0 = none)
+  std::uint64_t range_count;    // 32  V1/V2: valid entries in the range array
+  std::uint64_t db_size;        // 40
+  // Incremented by every recovery and abort. V3 mixes it into its record
+  // publication stamps so a retry (which reuses the sequence number — the
+  // rolled-back transaction never committed) can never be confused with the
+  // crashed attempt's stale log records.
+  std::uint64_t incarnation;    // 48
+  std::uint64_t reserved;
+};
+static_assert(offsetof(RootBlock, committed_seq) == 16);
+static_assert(offsetof(RootBlock, undo_head) == 24);
+
+class StoreBase : public TransactionStore {
+ public:
+  StoreBase(sim::MemBus& bus, rio::Arena& arena, const StoreConfig& config)
+      : bus_(&bus), arena_(&arena), config_(config) {}
+
+  std::uint8_t* db() override { return db_; }
+  const std::uint8_t* db() const override { return db_; }
+  std::size_t db_size() const override { return config_.db_size; }
+  std::uint64_t committed_seq() const override { return root_->committed_seq; }
+  sim::MemBus& bus() override { return *bus_; }
+
+ protected:
+  // Initialise or validate the root block. Call from the subclass ctor after
+  // carving the root out of the arena.
+  void init_root(RootBlock* root, VersionKind kind, bool format) {
+    root_ = root;
+    if (format) {
+      RootBlock fresh{};
+      fresh.magic = RootBlock::kMagic;
+      fresh.version = static_cast<std::uint32_t>(kind);
+      fresh.state = kIdle;
+      fresh.db_size = config_.db_size;
+      bus_->write(root_, &fresh, sizeof fresh, sim::TrafficClass::kMeta);
+    } else {
+      VREP_CHECK(root->magic == RootBlock::kMagic);
+      VREP_CHECK(root->version == static_cast<std::uint32_t>(kind));
+      VREP_CHECK(root->db_size == config_.db_size);
+    }
+  }
+
+  void persist_state(StoreState s) {
+    bus_->write_pod(&root_->state, static_cast<std::uint32_t>(s), sim::TrafficClass::kMeta);
+  }
+
+  void persist_committed_seq(std::uint64_t seq) {
+    bus_->write_pod(&root_->committed_seq, seq, sim::TrafficClass::kMeta);
+  }
+
+  // V1/V2 commit point: atomically enter kCommitting with the new sequence.
+  // One 12-byte write covering root offsets 12..24 ({state, committed_seq}).
+  void persist_state_and_seq(StoreState s, std::uint64_t seq) {
+    unsigned char v[12];
+    const auto s32 = static_cast<std::uint32_t>(s);
+    std::memcpy(v, &s32, 4);
+    std::memcpy(v + 4, &seq, 8);
+    bus_->write(&root_->state, v, sizeof v, sim::TrafficClass::kMeta);
+  }
+
+  // V0 commit point: atomically bump the sequence and unlink the undo list.
+  void persist_seq_and_undo_head(std::uint64_t seq, std::uint64_t undo_head) {
+    struct {
+      std::uint64_t seq;
+      std::uint64_t undo_head;
+    } v{seq, undo_head};
+    bus_->write(&root_->committed_seq, &v, sizeof v, sim::TrafficClass::kMeta);
+  }
+
+  bool validate_root(VersionKind kind) const {
+    return root_->magic == RootBlock::kMagic &&
+           root_->version == static_cast<std::uint32_t>(kind) &&
+           root_->db_size == config_.db_size && root_->state <= kCommitting;
+  }
+
+  sim::MemBus* bus_;
+  rio::Arena* arena_;
+  StoreConfig config_;
+  RootBlock* root_ = nullptr;
+  std::uint8_t* db_ = nullptr;
+  bool in_txn_ = false;  // volatile API-misuse guard (lost on crash, by design)
+};
+
+}  // namespace vrep::core

@@ -1,0 +1,180 @@
+#include "core/v0_vista.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace vrep::core {
+
+using sim::TrafficClass;
+
+std::size_t VistaStore::arena_bytes(const StoreConfig& config) {
+  return 4096 + config.heap_size + kPadRegionSize + config.db_size + 4096;
+}
+
+VistaStore::VistaStore(sim::MemBus& bus, rio::Arena& arena, const StoreConfig& config,
+                       bool format)
+    : StoreBase(bus, arena, config) {
+  VREP_CHECK(arena.size() >= arena_bytes(config));
+  rio::Layout layout(arena);
+  auto* root = layout.carve_as<RootBlock>();
+  heap_base_ = layout.carve(config.heap_size, 64);
+  pad_region_ = layout.carve(kPadRegionSize, 64);
+  db_ = layout.carve(config.db_size, 64);
+  bus_->register_region(root, sizeof(RootBlock));
+  bus_->register_region(heap_base_, config.heap_size);
+  bus_->register_region(pad_region_, kPadRegionSize);
+  bus_->register_region(db_, config.db_size);
+  init_root(root, VersionKind::kV0Vista, format);
+  heap_ = std::make_unique<rio::PersistentHeap>(bus_, heap_base_, config.heap_size, format);
+}
+
+std::vector<StoreRegion> VistaStore::regions() const {
+  const std::uint8_t* base = arena_->data();
+  return {
+      {"root", static_cast<std::size_t>(reinterpret_cast<const std::uint8_t*>(root_) - base),
+       sizeof(RootBlock), true},
+      {"heap", static_cast<std::size_t>(heap_base_ - base), config_.heap_size, true},
+      {"pad", static_cast<std::size_t>(pad_region_ - base), kPadRegionSize, true},
+      {"db", static_cast<std::size_t>(db_ - base), config_.db_size, true},
+  };
+}
+
+void VistaStore::begin_transaction() {
+  VREP_CHECK(!in_txn_);
+  in_txn_ = true;
+  bus_->charge(bus_->cost().begin_ns);
+}
+
+void VistaStore::write_meta_pad() {
+  // Stand-in for Vista-internal bookkeeping traffic (see StoreConfig).
+  std::size_t remaining = config_.v0_meta_pad_bytes;
+  static const std::uint8_t kJunk[256] = {};
+  while (remaining > 0) {
+    if (pad_cursor_ >= kPadRegionSize) pad_cursor_ = 0;
+    const std::size_t chunk =
+        std::min({remaining, sizeof kJunk, kPadRegionSize - pad_cursor_});
+    bus_->write(pad_region_ + pad_cursor_, kJunk, chunk, TrafficClass::kMeta);
+    pad_cursor_ += chunk;
+    remaining -= chunk;
+  }
+}
+
+void VistaStore::set_range(void* base, std::size_t len) {
+  VREP_CHECK(in_txn_);
+  auto* p = static_cast<std::uint8_t*>(base);
+  VREP_CHECK(p >= db_ && p + len <= db_ + config_.db_size);
+  bus_->charge(bus_->cost().set_range_base_ns);
+
+  const std::uint64_t rec_off = heap_->alloc(sizeof(UndoRecord));
+  const std::uint64_t area_off = heap_->alloc(len);
+  VREP_CHECK(rec_off != 0 && area_off != 0);
+
+  // Before-image copy (the "bcopy" of Section 4.1).
+  bus_->copy(heap_->ptr(area_off), p, len, TrafficClass::kUndo);
+
+  UndoRecord rec;
+  rec.next = root_->undo_head;
+  rec.db_off = static_cast<std::uint64_t>(p - db_);
+  rec.len = len;
+  rec.area = area_off;
+  bus_->charge(bus_->cost().list_op_ns);
+  bus_->write(heap_->ptr(rec_off), &rec, sizeof rec, TrafficClass::kMeta);
+  // Publication point: one 8-byte write links the record into the undo list.
+  bus_->write_pod(&root_->undo_head, rec_off, TrafficClass::kMeta);
+
+  if (config_.v0_meta_pad_bytes > 0) write_meta_pad();
+}
+
+void VistaStore::commit_transaction() {
+  VREP_CHECK(in_txn_);
+  bus_->charge(bus_->cost().commit_base_ns);
+  std::uint64_t head = root_->undo_head;
+  // Commit point: bump the sequence and unlink the whole undo list at once.
+  persist_seq_and_undo_head(root_->committed_seq + 1, 0);
+  // Free records after the commit point; a crash mid-walk leaves unreachable
+  // blocks that the next recovery's heap reset reclaims.
+  while (head != 0) {
+    bus_->charge(bus_->cost().commit_per_range_ns);
+    auto* rec = static_cast<UndoRecord*>(heap_->ptr(head));
+    bus_->read(rec, sizeof *rec);
+    const std::uint64_t next = rec->next;
+    heap_->free(rec->area);
+    heap_->free(head);
+    head = next;
+  }
+  in_txn_ = false;
+}
+
+void VistaStore::apply_undo_list(std::uint64_t head) {
+  // Defensive walk: on the backup's replica, the trailing (in-flight) undo
+  // record can be torn — write buffers flush out of program order, so the
+  // head pointer may have arrived before the record body (the paper's 1-safe
+  // window of vulnerability). A record that fails validation terminates the
+  // walk instead of corrupting the database.
+  std::size_t guard = 0;
+  while (head != 0 && ++guard < 1'000'000) {
+    if (head + sizeof(UndoRecord) > config_.heap_size) return;
+    auto* rec = static_cast<UndoRecord*>(heap_->ptr(head));
+    bus_->read(rec, sizeof *rec);
+    if (rec->db_off + rec->len > config_.db_size) return;
+    if (rec->area + rec->len > config_.heap_size || rec->area == 0) return;
+    bus_->copy(db_ + rec->db_off, heap_->ptr(rec->area), rec->len, TrafficClass::kModified);
+    head = rec->next;
+  }
+}
+
+void VistaStore::abort_transaction() {
+  VREP_CHECK(in_txn_);
+  bus_->charge(bus_->cost().abort_base_ns);
+  // Walk newest-first reinstalling before-images, unlinking as we go so a
+  // crash mid-abort resumes where we stopped.
+  std::uint64_t head = root_->undo_head;
+  while (head != 0) {
+    auto* rec = static_cast<UndoRecord*>(heap_->ptr(head));
+    bus_->read(rec, sizeof *rec);
+    bus_->copy(db_ + rec->db_off, heap_->ptr(rec->area), rec->len, TrafficClass::kModified);
+    const std::uint64_t next = rec->next;
+    const std::uint64_t area = rec->area;
+    bus_->write_pod(&root_->undo_head, next, TrafficClass::kMeta);
+    heap_->free(area);
+    heap_->free(head);
+    head = next;
+  }
+  in_txn_ = false;
+}
+
+int VistaStore::recover() {
+  VREP_CHECK(validate_root(VersionKind::kV0Vista));
+  const bool had_txn = root_->undo_head != 0;
+  if (had_txn) {
+    apply_undo_list(root_->undo_head);
+    bus_->write_pod(&root_->undo_head, std::uint64_t{0}, TrafficClass::kMeta);
+  }
+  // Between transactions the heap holds no live objects, so recovery always
+  // ends with a pristine heap (this also reclaims blocks leaked by a crash
+  // inside commit's free walk).
+  heap_->reset();
+  in_txn_ = false;
+  return had_txn ? 1 : 0;
+}
+
+bool VistaStore::validate() const {
+  if (!validate_root(VersionKind::kV0Vista)) return false;
+  if (!heap_->validate()) return false;
+  // Every undo record must lie inside the heap and reference a sane range.
+  std::uint64_t head = root_->undo_head;
+  std::size_t records = 0;
+  while (head != 0) {
+    if (head + sizeof(UndoRecord) > config_.heap_size) return false;
+    const auto* rec = static_cast<const UndoRecord*>(
+        static_cast<const rio::PersistentHeap&>(*heap_).ptr(head));
+    if (rec->db_off + rec->len > config_.db_size) return false;
+    if (rec->area + rec->len > config_.heap_size) return false;
+    head = rec->next;
+    if (++records > 1'000'000) return false;  // cycle guard
+  }
+  return true;
+}
+
+}  // namespace vrep::core

@@ -1,0 +1,59 @@
+// Version 0 — the original Vista design (paper Section 4.1).
+//
+// A set_range allocates an undo log record from the persistent heap, puts it
+// at the head of a linked list, allocates a second heap area to hold the
+// before-image, and bcopy's the range into it. Database writes are in-place.
+// Commit unlinks the list and frees every record and area; abort (and crash
+// recovery) walks the list newest-first reinstalling before-images.
+//
+// Persistent protocol:
+//   * A record becomes visible by the single 8-byte write of
+//     root.undo_head (the link is prepared inside the record first).
+//   * The commit point is one 16-byte write {committed_seq+1, undo_head=0}.
+//     Records are freed only after it; a crash mid-free leaves garbage that
+//     recovery reclaims wholesale (the heap is empty between transactions,
+//     so recovery ends with heap.reset()).
+//
+// Arena layout: [root | heap | pad region | db].
+#pragma once
+
+#include "core/store_base.hpp"
+#include "rio/heap.hpp"
+
+namespace vrep::core {
+
+class VistaStore final : public StoreBase {
+ public:
+  VistaStore(sim::MemBus& bus, rio::Arena& arena, const StoreConfig& config, bool format);
+
+  void begin_transaction() override;
+  void set_range(void* base, std::size_t len) override;
+  void commit_transaction() override;
+  void abort_transaction() override;
+  int recover() override;
+  bool validate() const override;
+  VersionKind kind() const override { return VersionKind::kV0Vista; }
+  std::vector<StoreRegion> regions() const override;
+
+  static std::size_t arena_bytes(const StoreConfig& config);
+
+ private:
+  struct UndoRecord {  // persistent, allocated from the heap
+    std::uint64_t next;    // heap offset of next record (0 = end of list)
+    std::uint64_t db_off;  // range start within the database
+    std::uint64_t len;
+    std::uint64_t area;    // heap offset of the before-image area
+  };
+
+  // Reinstall before-images walking the list from `head`; frees nothing.
+  void apply_undo_list(std::uint64_t head);
+  void write_meta_pad();
+
+  std::unique_ptr<rio::PersistentHeap> heap_;
+  std::uint8_t* heap_base_ = nullptr;
+  std::uint8_t* pad_region_ = nullptr;
+  std::size_t pad_cursor_ = 0;
+  static constexpr std::size_t kPadRegionSize = 64 * 1024;
+};
+
+}  // namespace vrep::core

@@ -1,0 +1,167 @@
+#include "core/v3_inline_log.hpp"
+
+#include "util/check.hpp"
+
+namespace vrep::core {
+
+using sim::TrafficClass;
+
+namespace {
+std::size_t round_up4(std::size_t n) { return (n + 3) & ~std::size_t{3}; }
+}  // namespace
+
+std::size_t InlineLogStore::arena_bytes(const StoreConfig& config) {
+  return 4096 + config.undo_log_capacity + config.db_size + 4096;
+}
+
+InlineLogStore::InlineLogStore(sim::MemBus& bus, rio::Arena& arena, const StoreConfig& config,
+                               bool format)
+    : StoreBase(bus, arena, config) {
+  VREP_CHECK(arena.size() >= arena_bytes(config));
+  rio::Layout layout(arena);
+  auto* root = layout.carve_as<RootBlock>();
+  log_ = layout.carve(config.undo_log_capacity, 64);
+  db_ = layout.carve(config.db_size, 64);
+  bus_->register_region(root, sizeof(RootBlock));
+  bus_->register_region(log_, config.undo_log_capacity);
+  bus_->register_region(db_, config.db_size);
+  init_root(root, VersionKind::kV3InlineLog, format);
+}
+
+std::vector<StoreRegion> InlineLogStore::regions() const {
+  const std::uint8_t* base = arena_->data();
+  return {
+      {"root", static_cast<std::size_t>(reinterpret_cast<const std::uint8_t*>(root_) - base),
+       sizeof(RootBlock), true},
+      {"undo_log", static_cast<std::size_t>(log_ - base), config_.undo_log_capacity, true},
+      {"db", static_cast<std::size_t>(db_ - base), config_.db_size, true},
+  };
+}
+
+void InlineLogStore::begin_transaction() {
+  VREP_CHECK(!in_txn_);
+  in_txn_ = true;
+  log_tail_ = 0;
+  txn_records_.clear();
+  bus_->charge(bus_->cost().begin_ns);
+}
+
+void InlineLogStore::set_range(void* base, std::size_t len) {
+  VREP_CHECK(in_txn_);
+  auto* p = static_cast<std::uint8_t*>(base);
+  VREP_CHECK(p >= db_ && p + len <= db_ + config_.db_size);
+  bus_->charge(bus_->cost().set_range_base_ns);
+
+  const std::size_t rec_off = log_tail_;
+  VREP_CHECK(rec_off + sizeof(RecordHeader) + round_up4(len) <= config_.undo_log_capacity);
+  auto* hdr = reinterpret_cast<RecordHeader*>(log_ + rec_off);
+
+  // Header minus the stamp, then the in-line before-image, then the
+  // publication stamp as the last word — all strictly sequential stores, so
+  // consecutive records coalesce into full write-buffer packets.
+  RecordHeader h;
+  h.magic = kRecordMagic;
+  h.db_off = static_cast<std::uint32_t>(p - db_);
+  h.len = static_cast<std::uint32_t>(len);
+  bus_->write(hdr, &h, 12, TrafficClass::kMeta);
+  bus_->copy(log_ + rec_off + sizeof(RecordHeader), p, len, TrafficClass::kUndo);
+  bus_->write_pod(&hdr->seq, publication_stamp(), TrafficClass::kMeta);
+
+  log_tail_ = rec_off + sizeof(RecordHeader) + round_up4(len);
+  txn_records_.push_back(rec_off);
+}
+
+void InlineLogStore::commit_transaction() {
+  VREP_CHECK(in_txn_);
+  bus_->charge(bus_->cost().commit_base_ns +
+               bus_->cost().commit_per_range_ns * static_cast<sim::SimTime>(txn_records_.size()));
+  // Commit point: the sequence bump makes every log record stale at once.
+  persist_committed_seq(root_->committed_seq + 1);
+  // Deallocation is moving the bump pointer back — free.
+  log_tail_ = 0;
+  txn_records_.clear();
+  in_txn_ = false;
+}
+
+void InlineLogStore::apply_records_reverse(const std::vector<std::size_t>& records) {
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    const auto* hdr = reinterpret_cast<const RecordHeader*>(log_ + *it);
+    bus_->read(hdr, sizeof *hdr);
+    VREP_CHECK(hdr->db_off + hdr->len <= config_.db_size);
+    bus_->copy(db_ + hdr->db_off, log_ + *it + sizeof(RecordHeader), hdr->len,
+               TrafficClass::kModified);
+  }
+}
+
+void InlineLogStore::invalidate_log() {
+  // Clearing the first record's magic makes the log scan stop immediately.
+  bus_->write_pod(reinterpret_cast<std::uint32_t*>(log_), 0u, TrafficClass::kMeta);
+}
+
+void InlineLogStore::abort_transaction() {
+  VREP_CHECK(in_txn_);
+  bus_->charge(bus_->cost().abort_base_ns);
+  apply_records_reverse(txn_records_);
+  bus_->write_pod(&root_->incarnation, root_->incarnation + 1, TrafficClass::kMeta);
+  invalidate_log();
+  log_tail_ = 0;
+  txn_records_.clear();
+  in_txn_ = false;
+}
+
+std::uint32_t InlineLogStore::publication_stamp() const {
+  // The stamp a record of the CURRENT in-flight transaction must carry.
+  // Mixing in the incarnation counter is essential: after a crash is
+  // recovered (or an abort), the next transaction reuses the same sequence
+  // number, and stale bytes at a stamp position — possibly payload of the
+  // rolled-back attempt, i.e. arbitrary — must never read as published.
+  // Every recovery/abort bumps the incarnation, so a structured collision
+  // with the previous attempt is impossible (residual risk is a 2^-32
+  // random coincidence, the same class as trusting any log checksum).
+  // (The hazard was found by the workload crash-sweep test.)
+  const auto seq = static_cast<std::uint32_t>(root_->committed_seq + 1);
+  const auto inc = static_cast<std::uint32_t>(root_->incarnation);
+  return seq ^ (inc * 0x9e3779b9u) ^ 0x5aa5c33cu;
+}
+
+std::vector<std::size_t> InlineLogStore::scan_log(std::uint32_t seq) const {
+  std::vector<std::size_t> records;
+  std::size_t off = 0;
+  while (off + sizeof(RecordHeader) <= config_.undo_log_capacity) {
+    const auto* hdr = reinterpret_cast<const RecordHeader*>(log_ + off);
+    if (hdr->magic != kRecordMagic || hdr->seq != seq) break;
+    if (hdr->db_off + std::uint64_t{hdr->len} > config_.db_size) break;
+    if (off + sizeof(RecordHeader) + round_up4(hdr->len) > config_.undo_log_capacity) break;
+    records.push_back(off);
+    off += sizeof(RecordHeader) + round_up4(hdr->len);
+  }
+  return records;
+}
+
+int InlineLogStore::recover() {
+  VREP_CHECK(validate_root(VersionKind::kV3InlineLog));
+  const std::vector<std::size_t> records = scan_log(publication_stamp());
+  if (!records.empty()) {
+    apply_records_reverse(records);
+    invalidate_log();
+  }
+  bus_->write_pod(&root_->incarnation, root_->incarnation + 1, TrafficClass::kMeta);
+  log_tail_ = 0;
+  txn_records_.clear();
+  in_txn_ = false;
+  return records.empty() ? 0 : 1;
+}
+
+bool InlineLogStore::validate() const {
+  if (!validate_root(VersionKind::kV3InlineLog)) return false;
+  // Any records claiming to belong to the in-flight transaction must parse
+  // cleanly (scan_log's checks) — scan_log already enforces this by
+  // construction; validate the volatile view agrees with it while in a txn.
+  if (in_txn_) {
+    const auto records = scan_log(publication_stamp());
+    if (records.size() < txn_records_.size()) return false;
+  }
+  return true;
+}
+
+}  // namespace vrep::core

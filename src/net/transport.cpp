@@ -1,0 +1,177 @@
+#include "net/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/crc32.hpp"
+
+namespace vrep::net {
+
+namespace {
+struct FrameHeader {
+  std::uint32_t len;
+  std::uint8_t type;
+  std::uint8_t pad[3];
+  std::uint32_t crc;
+};
+}  // namespace
+
+TcpTransport::~TcpTransport() {
+  close_peer();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void TcpTransport::close_peer() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool TcpTransport::listen(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) return false;
+  if (::listen(listen_fd_, 1) != 0) return false;
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) return false;
+  port_ = ntohs(addr.sin_port);
+  return true;
+}
+
+bool TcpTransport::accept_peer(int timeout_ms) {
+  pollfd pfd{listen_fd_, POLLIN, 0};
+  if (::poll(&pfd, 1, timeout_ms) <= 0) {
+    error_ = Error::kTimeout;
+    return false;
+  }
+  fd_ = ::accept(listen_fd_, nullptr, nullptr);
+  if (fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return true;
+}
+
+bool TcpTransport::connect_to(const std::string& host, std::uint16_t port, int timeout_ms) {
+  const int deadline_steps = timeout_ms / 50 + 1;
+  for (int attempt = 0; attempt < deadline_steps; ++attempt) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+      const int one = 1;
+      ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return true;
+    }
+    ::close(fd_);
+    fd_ = -1;
+    ::usleep(50'000);  // the server may not be listening yet
+  }
+  error_ = Error::kTimeout;
+  return false;
+}
+
+bool TcpTransport::send(MsgType type, const void* payload, std::size_t len) {
+  if (fd_ < 0) return false;
+  FrameHeader hdr{};
+  hdr.len = static_cast<std::uint32_t>(len);
+  hdr.type = static_cast<std::uint8_t>(type);
+  hdr.crc = Crc32::of(payload, len);
+  iovec iov[2] = {{&hdr, sizeof hdr}, {const_cast<void*>(payload), len}};
+  std::size_t total = sizeof hdr + len;
+  std::size_t sent = 0;
+  while (sent < total) {
+    msghdr msg{};
+    // Advance the iovec past what has been sent.
+    iovec cur[2];
+    int n = 0;
+    std::size_t skip = sent;
+    for (auto& part : iov) {
+      if (skip >= part.iov_len) {
+        skip -= part.iov_len;
+        continue;
+      }
+      cur[n].iov_base = static_cast<std::uint8_t*>(part.iov_base) + skip;
+      cur[n].iov_len = part.iov_len - skip;
+      skip = 0;
+      ++n;
+    }
+    msg.msg_iov = cur;
+    msg.msg_iovlen = static_cast<std::size_t>(n);
+    const ssize_t wrote = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (wrote <= 0) {
+      if (errno == EINTR) continue;
+      error_ = Error::kClosed;
+      return false;
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+bool TcpTransport::read_fully(void* buf, std::size_t len, int timeout_ms) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < len) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) {
+      error_ = Error::kTimeout;
+      return false;
+    }
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      error_ = Error::kClosed;
+      return false;
+    }
+    const ssize_t n = ::read(fd_, p + got, len - got);
+    if (n == 0) {
+      error_ = Error::kClosed;
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error_ = Error::kClosed;
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<Message> TcpTransport::recv(int timeout_ms) {
+  error_ = Error::kNone;
+  FrameHeader hdr;
+  if (!read_fully(&hdr, sizeof hdr, timeout_ms)) return std::nullopt;
+  if (hdr.len > (64u << 20)) {  // sanity bound
+    error_ = Error::kCorrupt;
+    return std::nullopt;
+  }
+  Message msg;
+  msg.type = static_cast<MsgType>(hdr.type);
+  msg.payload.resize(hdr.len);
+  if (!read_fully(msg.payload.data(), hdr.len, timeout_ms)) return std::nullopt;
+  if (Crc32::of(msg.payload.data(), msg.payload.size()) != hdr.crc) {
+    error_ = Error::kCorrupt;
+    return std::nullopt;
+  }
+  return msg;
+}
+
+}  // namespace vrep::net

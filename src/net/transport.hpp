@@ -1,0 +1,71 @@
+// Byte-stream transport with message framing, used to emulate the SAN's
+// write-through channel over TCP (per DESIGN.md: we have no Memory Channel
+// hardware, so the two-process deployment ships the same redo packet stream
+// over a socket).
+//
+// Frame format: [u32 payload_len | u8 type | u32 crc32c(payload)] payload.
+// CRC verification makes torn frames (killed sender) detectable, mirroring
+// the simulated ring's checksummed commit markers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vrep::net {
+
+enum class MsgType : std::uint8_t {
+  kRedoBatch = 1,   // one committed transaction's redo entries
+  kHeartbeat = 2,   // primary liveness
+  kConsumerAck = 3, // backup's applied sequence (flow control / monitoring)
+  kHello = 4,       // initial handshake: db size, starting state
+  kDbChunk = 5,     // initial database image transfer
+};
+
+struct Message {
+  MsgType type;
+  std::vector<std::uint8_t> payload;
+};
+
+// Blocking, single-peer TCP transport. Deliberately minimal: the examples
+// and integration tests run primary and backup as two local processes.
+class TcpTransport {
+ public:
+  TcpTransport() = default;
+  ~TcpTransport();
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  // Server side: bind/listen on 127.0.0.1:port (port 0 = ephemeral; see
+  // bound_port()), then accept exactly one peer.
+  bool listen(std::uint16_t port);
+  std::uint16_t bound_port() const { return port_; }
+  bool accept_peer(int timeout_ms = 10'000);
+
+  // Client side.
+  bool connect_to(const std::string& host, std::uint16_t port, int timeout_ms = 10'000);
+
+  bool connected() const { return fd_ >= 0; }
+  void close_peer();
+
+  // Send one framed message. Returns false on a broken connection.
+  bool send(MsgType type, const void* payload, std::size_t len);
+
+  // Receive the next message, waiting up to timeout_ms (-1 = forever).
+  // nullopt on timeout or a broken/corrupt stream (distinguish with
+  // last_error()).
+  std::optional<Message> recv(int timeout_ms);
+
+  enum class Error { kNone, kTimeout, kClosed, kCorrupt };
+  Error last_error() const { return error_; }
+
+ private:
+  bool read_fully(void* buf, std::size_t len, int timeout_ms);
+  int listen_fd_ = -1;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  Error error_ = Error::kNone;
+};
+
+}  // namespace vrep::net

@@ -1,0 +1,184 @@
+#include "net/wire_repl.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace vrep::net {
+
+namespace {
+constexpr std::size_t kDbChunkBytes = 256 * 1024;
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + 4);
+  std::memcpy(out.data() + at, &v, 4);
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + 8);
+  std::memcpy(out.data() + at, &v, 8);
+}
+}  // namespace
+
+WirePrimary::WirePrimary(rio::Arena& arena, const core::StoreConfig& config,
+                         TcpTransport* transport, bool format)
+    : transport_(transport) {
+  local_ = std::make_unique<core::InlineLogStore>(bus_, arena, config, format);
+  bus_.set_capture(local_->db(), local_->db_size(), this);
+}
+
+bool WirePrimary::sync_backup() {
+  std::uint8_t hello[16];
+  const std::uint64_t size = local_->db_size();
+  const std::uint64_t seq = local_->committed_seq();
+  std::memcpy(hello, &size, 8);
+  std::memcpy(hello + 8, &seq, 8);
+  if (!transport_->send(MsgType::kHello, hello, sizeof hello)) return false;
+  std::vector<std::uint8_t> chunk;
+  for (std::size_t off = 0; off < local_->db_size(); off += kDbChunkBytes) {
+    const std::size_t len = std::min(kDbChunkBytes, local_->db_size() - off);
+    chunk.clear();
+    append_u64(chunk, off);
+    chunk.insert(chunk.end(), local_->db() + off, local_->db() + off + len);
+    if (!transport_->send(MsgType::kDbChunk, chunk.data(), chunk.size())) return false;
+  }
+  return true;
+}
+
+void WirePrimary::on_captured_store(std::uint64_t off, const void* src, std::size_t len) {
+  append_u32(batch_, static_cast<std::uint32_t>(off));
+  append_u32(batch_, static_cast<std::uint32_t>(len));
+  const std::size_t at = batch_.size();
+  batch_.resize(at + len);
+  std::memcpy(batch_.data() + at, src, len);
+}
+
+void WirePrimary::begin_transaction() {
+  batch_.clear();
+  batch_.resize(8);  // sequence filled in at commit
+  local_->begin_transaction();
+}
+
+void WirePrimary::set_range(void* base, std::size_t len) { local_->set_range(base, len); }
+
+void WirePrimary::abort_transaction() {
+  local_->abort_transaction();
+  batch_.clear();
+}
+
+void WirePrimary::drain_acks() {
+  // Consume whatever the backup sent back (acks); leaving them unread would
+  // eventually fill the socket buffers and, on close, make the kernel RST
+  // the connection under the backup's feet.
+  while (alive_) {
+    auto msg = transport_->recv(0);
+    if (!msg.has_value()) break;
+    if (msg->type == MsgType::kConsumerAck && msg->payload.size() == 8) {
+      std::memcpy(&acked_seq_, msg->payload.data(), 8);
+    }
+  }
+}
+
+void WirePrimary::commit_transaction() {
+  local_->commit_transaction();
+  const std::uint64_t seq = local_->committed_seq();
+  std::memcpy(batch_.data(), &seq, 8);
+  // 1-safe: fire and forget; a send failure marks the backup link down but
+  // never blocks or fails the local commit.
+  if (alive_ && !transport_->send(MsgType::kRedoBatch, batch_.data(), batch_.size())) {
+    alive_ = false;
+  }
+  drain_acks();
+  batch_.clear();
+}
+
+int WirePrimary::recover() {
+  batch_.clear();
+  return local_->recover();
+}
+
+bool WirePrimary::send_heartbeat() {
+  const std::uint64_t seq = local_->committed_seq();
+  if (alive_ && !transport_->send(MsgType::kHeartbeat, &seq, 8)) alive_ = false;
+  return alive_;
+}
+
+// ---------------------------------------------------------------------------
+
+bool WireBackup::apply_batch(const Message& msg) {
+  if (msg.payload.size() < 8) return false;
+  std::uint64_t seq;
+  std::memcpy(&seq, msg.payload.data(), 8);
+  std::size_t at = 8;
+  while (at < msg.payload.size()) {
+    if (at + 8 > msg.payload.size()) return false;
+    std::uint32_t off, len;
+    std::memcpy(&off, msg.payload.data() + at, 4);
+    std::memcpy(&len, msg.payload.data() + at + 4, 4);
+    at += 8;
+    if (at + len > msg.payload.size() || off + std::uint64_t{len} > db_size_) return false;
+    std::memcpy(arena_->data() + off, msg.payload.data() + at, len);
+    at += len;
+  }
+  applied_seq_ = seq;
+  return true;
+}
+
+WireBackup::ServeResult WireBackup::serve(TcpTransport& transport, int timeout_ms) {
+  while (true) {
+    auto msg = transport.recv(timeout_ms);
+    if (!msg.has_value()) {
+      // Timeout or closed connection: either way the primary is gone as far
+      // as this backup can tell. (The paper defers failure detection to the
+      // cluster layer [12]; this is the minimal equivalent.)
+      return transport.last_error() == TcpTransport::Error::kCorrupt
+                 ? ServeResult::kCorrupt
+                 : ServeResult::kPrimaryFailed;
+    }
+    switch (msg->type) {
+      case MsgType::kHello: {
+        if (msg->payload.size() != 16) return ServeResult::kCorrupt;
+        std::uint64_t size;
+        std::memcpy(&size, msg->payload.data(), 8);
+        std::memcpy(&applied_seq_, msg->payload.data() + 8, 8);
+        if (size > arena_->size()) return ServeResult::kCorrupt;
+        db_size_ = size;
+        break;
+      }
+      case MsgType::kDbChunk: {
+        if (msg->payload.size() < 8) return ServeResult::kCorrupt;
+        std::uint64_t off;
+        std::memcpy(&off, msg->payload.data(), 8);
+        const std::size_t len = msg->payload.size() - 8;
+        if (off + len > db_size_) return ServeResult::kCorrupt;
+        std::memcpy(arena_->data() + off, msg->payload.data() + 8, len);
+        break;
+      }
+      case MsgType::kRedoBatch:
+        if (!apply_batch(*msg)) return ServeResult::kCorrupt;
+        // Acknowledge periodically (flow control / monitoring); per-batch
+        // acks would just pressure the primary's receive buffer.
+        if (applied_seq_ % 32 == 0) {
+          transport.send(MsgType::kConsumerAck, &applied_seq_, 8);
+        }
+        break;
+      case MsgType::kHeartbeat:
+        break;  // liveness only; recv timeout is the detector
+      default:
+        return ServeResult::kCorrupt;
+    }
+  }
+}
+
+std::unique_ptr<core::TransactionStore> WireBackup::promote(sim::MemBus& bus,
+                                                            rio::Arena& new_arena,
+                                                            const core::StoreConfig& config) {
+  VREP_CHECK(config.db_size == db_size_);
+  auto store = std::make_unique<core::InlineLogStore>(bus, new_arena, config, /*format=*/true);
+  std::memcpy(store->db(), arena_->data(), db_size_);
+  return store;
+}
+
+}  // namespace vrep::net

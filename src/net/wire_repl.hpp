@@ -1,0 +1,102 @@
+// Active replication over the TCP transport: the same redo-shipping design
+// as repl/active.hpp, but between two real processes on wall-clock time.
+// Used by the bank_failover example and the integration tests.
+//
+// Protocol (all frames CRC-protected by the transport):
+//   kHello      u64 db_size | u64 committed_seq       (primary -> backup)
+//   kDbChunk    u64 offset  | bytes                    initial image
+//   kRedoBatch  u64 seq | { u32 db_off, u32 len, bytes }*   one transaction
+//   kHeartbeat  u64 committed_seq
+//   kConsumerAck u64 applied_seq                       (backup -> primary)
+//
+// 1-safety: commit returns after the local commit; the batch send is not
+// awaited. A primary crash can lose the trailing transactions, but a batch
+// frame is applied atomically (framing + CRC), so the backup never holds a
+// torn transaction.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/v3_inline_log.hpp"
+#include "net/transport.hpp"
+#include "rio/arena.hpp"
+#include "sim/mem_bus.hpp"
+
+namespace vrep::net {
+
+class WirePrimary final : public core::TransactionStore, private sim::MemBus::CaptureSink {
+ public:
+  // The local store runs Version 3 on a pass-through bus over `arena`.
+  WirePrimary(rio::Arena& arena, const core::StoreConfig& config, TcpTransport* transport,
+              bool format);
+
+  // Ship the current database image + sequence so a (fresh) backup can join.
+  bool sync_backup();
+
+  void begin_transaction() override;
+  void set_range(void* base, std::size_t len) override;
+  void commit_transaction() override;
+  void abort_transaction() override;
+  int recover() override;
+  bool validate() const override { return local_->validate(); }
+  core::VersionKind kind() const override { return core::VersionKind::kV3InlineLog; }
+  std::uint8_t* db() override { return local_->db(); }
+  const std::uint8_t* db() const override { return local_->db(); }
+  std::size_t db_size() const override { return local_->db_size(); }
+  std::uint64_t committed_seq() const override { return local_->committed_seq(); }
+  std::vector<core::StoreRegion> regions() const override { return local_->regions(); }
+  sim::MemBus& bus() override { return bus_; }
+
+  bool send_heartbeat();
+  bool connection_alive() const { return alive_; }
+  // Highest applied sequence the backup has acknowledged (drained on commit).
+  std::uint64_t backup_acked_seq() const { return acked_seq_; }
+
+ private:
+  void on_captured_store(std::uint64_t off, const void* src, std::size_t len) override;
+
+  sim::MemBus bus_;  // pass-through (wall-clock deployment)
+  std::unique_ptr<core::InlineLogStore> local_;
+  void drain_acks();
+
+  TcpTransport* transport_;
+  std::vector<std::uint8_t> batch_;  // staged redo payload for this txn
+  std::uint64_t acked_seq_ = 0;
+  bool alive_ = true;
+};
+
+// Backup-side replica state: a database image plus the applied sequence.
+class WireBackup {
+ public:
+  // `arena` must hold at least the hello'd db_size bytes (file-backed in the
+  // failover example so the image survives the process).
+  explicit WireBackup(rio::Arena& arena) : arena_(&arena) {}
+
+  enum class ServeResult {
+    kPrimaryFailed,   // connection lost or heartbeats stopped: take over!
+    kCorrupt,         // stream corruption (should not happen)
+  };
+
+  // Receive and apply until the primary goes silent for `timeout_ms`.
+  ServeResult serve(TcpTransport& transport, int timeout_ms);
+
+  std::uint64_t applied_seq() const { return applied_seq_; }
+  std::size_t db_size() const { return db_size_; }
+  const std::uint8_t* db() const { return arena_->data(); }
+
+  // Promote to a standalone primary: build a fresh Version 3 store in
+  // `new_arena` seeded with the replica's database image.
+  std::unique_ptr<core::TransactionStore> promote(sim::MemBus& bus, rio::Arena& new_arena,
+                                                  const core::StoreConfig& config);
+
+ private:
+  bool apply_batch(const Message& msg);
+
+  rio::Arena* arena_;
+  std::size_t db_size_ = 0;
+  std::uint64_t applied_seq_ = 0;
+};
+
+}  // namespace vrep::net

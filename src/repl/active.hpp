@@ -1,0 +1,160 @@
+// Active primary-backup (paper Section 6).
+//
+// The primary runs the best local scheme (Version 3) for its own
+// recoverability, captures the bytes each transaction modifies, and at
+// commit ships them — redo data only, no undo log, no mirror — through a
+// circular buffer in write-through memory (see redo_ring.hpp for the wire
+// format). The backup CPU applies the entries to its own database copy and
+// writes its consumer cursor back; the primary blocks only if the ring
+// fills.
+//
+// In the simulated environment the backup is co-simulated deterministically:
+// after each commit the primary polls the backup with the virtual time at
+// which the Memory Channel traffic it just generated lands; the ActiveBackup
+// advances its own clock, parses whatever complete transactions have
+// physically arrived in its replica, applies them (charging its own cache
+// model), and records when its consumer cursor becomes visible to the
+// primary for flow control. The same redo entry format is reused by the TCP
+// transport in net/ for real two-process failover.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/v3_inline_log.hpp"
+#include "repl/redo_ring.hpp"
+#include "rio/arena.hpp"
+#include "sim/node.hpp"
+
+namespace vrep::repl {
+
+// Layout of the backup arena used by the active scheme.
+struct ActiveBackupLayout {
+  std::size_t ring_offset = 0;
+  std::size_t ring_capacity = 1ull << 20;  // data bytes
+  std::size_t db_offset = 0;
+  std::size_t db_size = 0;
+
+  static ActiveBackupLayout make(std::size_t db_size, std::size_t ring_capacity = 1ull << 20);
+  std::size_t arena_bytes() const { return db_offset + db_size; }
+};
+
+class ActiveBackup {
+ public:
+  // `cpu` is the backup's CPU (own clock + cache); `arena` its physical
+  // memory holding the ring replica and the database copy.
+  ActiveBackup(sim::Cpu& cpu, rio::Arena& arena, const ActiveBackupLayout& layout,
+               sim::McFabric& fabric);
+
+  // Busy-wait iteration: bring the backup to virtual time `t`, deliver what
+  // has physically arrived, and apply every complete transaction found.
+  void poll(sim::SimTime t);
+
+  std::uint64_t consumer() const { return consumer_; }
+  std::uint64_t applied_seq() const { return applied_seq_; }
+
+  // Flow control as the *primary* experiences it: after applying a batch the
+  // backup writes its cursor through to the primary, which therefore sees
+  // the value one propagation delay after the apply finishes.
+  static constexpr sim::SimTime kNever = std::numeric_limits<sim::SimTime>::max();
+  std::uint64_t consumer_visible(sim::SimTime t) const;
+  sim::SimTime next_visibility_after(sim::SimTime t) const;
+
+  std::uint8_t* db() { return arena_->data() + layout_.db_offset; }
+  const std::uint8_t* db() const { return arena_->data() + layout_.db_offset; }
+
+  // Primary died at virtual time `crash_time`: cut the fabric, then apply
+  // every complete transaction the replica received. Returns the committed
+  // sequence the backup now serves (trailing in-flight commits are lost —
+  // the 1-safe window — but never torn).
+  std::uint64_t takeover(sim::SimTime crash_time);
+
+  sim::Cpu& cpu() { return *cpu_; }
+
+ private:
+  // Parse one complete transaction starting at consumer_; returns true and
+  // applies it if its commit marker (matching seq and checksum) has arrived.
+  bool try_apply_one();
+  std::uint32_t ring_crc(std::uint64_t from, std::uint64_t to) const;
+
+  sim::Cpu* cpu_;
+  rio::Arena* arena_;
+  ActiveBackupLayout layout_;
+  sim::McFabric* fabric_;
+  std::uint8_t* data_;
+  std::uint64_t consumer_ = 0;
+  std::uint64_t applied_seq_ = 0;
+  // (visible_at, cursor) pairs, oldest first; pruned as the primary reads.
+  mutable std::deque<std::pair<sim::SimTime, std::uint64_t>> visibility_;
+  mutable std::uint64_t last_visible_ = 0;
+};
+
+// Decorator around an InlineLogStore: same TransactionStore interface (so
+// workloads run unchanged), plus redo shipping at commit.
+class ActivePrimary final : public core::TransactionStore, private sim::MemBus::CaptureSink {
+ public:
+  // `primary_arena` hosts the local V3 store plus the local halves of the
+  // doubled ring writes; `backup` owns the replica arena whose ring region
+  // is reached through `bus`'s MC interface.
+  ActivePrimary(sim::MemBus& bus, rio::Arena& primary_arena, rio::Arena& backup_arena,
+                const core::StoreConfig& config, const ActiveBackupLayout& layout,
+                ActiveBackup* backup, bool format);
+
+  // 2-safe commit (extension beyond the paper's 1-safe design): commit does
+  // not return until the backup has durably applied the transaction and its
+  // acknowledgment has reached the primary. Closes the window of
+  // vulnerability at the price of one round trip per commit.
+  void set_two_safe(bool enabled) { two_safe_ = enabled; }
+  bool two_safe() const { return two_safe_; }
+  sim::SimTime two_safe_wait_ns() const { return two_safe_wait_ns_; }
+
+  void begin_transaction() override;
+  void set_range(void* base, std::size_t len) override;
+  void commit_transaction() override;
+  void abort_transaction() override;
+  int recover() override;
+  bool validate() const override { return local_->validate(); }
+  core::VersionKind kind() const override { return core::VersionKind::kV3InlineLog; }
+  std::uint8_t* db() override { return local_->db(); }
+  const std::uint8_t* db() const override { return local_->db(); }
+  std::size_t db_size() const override { return local_->db_size(); }
+  std::uint64_t committed_seq() const override { return local_->committed_seq(); }
+  std::vector<core::StoreRegion> regions() const override { return local_->regions(); }
+  sim::MemBus& bus() override { return *bus_; }
+
+  sim::SimTime flow_stall_ns() const { return flow_stall_ns_; }
+
+  static std::size_t primary_arena_bytes(const core::StoreConfig& config,
+                                         const ActiveBackupLayout& layout);
+
+ private:
+  void on_captured_store(std::uint64_t off, const void* src, std::size_t len) override;
+  void ship_redo();
+  void reserve_ring_space(std::uint64_t bytes);
+  void ring_write(const void* src, std::size_t len, sim::TrafficClass cls);
+
+  sim::MemBus* bus_;
+  std::unique_ptr<core::InlineLogStore> local_;
+  ActiveBackupLayout layout_;
+  ActiveBackup* backup_;
+  std::uint8_t* ring_data_;  // local (shadow) half of the doubled writes
+  std::uint64_t producer_ = 0;
+
+  struct Staged {
+    std::uint64_t off;
+    std::uint32_t len;
+    std::uint32_t data_pos;  // into staging_bytes_
+  };
+  std::vector<Staged> staged_;
+  std::vector<std::uint8_t> staging_bytes_;
+  sim::SimTime flow_stall_ns_ = 0;
+  bool two_safe_ = false;
+  sim::SimTime two_safe_wait_ns_ = 0;
+};
+
+}  // namespace vrep::repl

@@ -1,0 +1,26 @@
+#include "repl/passive.hpp"
+
+#include "util/check.hpp"
+
+namespace vrep::repl {
+
+void setup_passive_replication(core::TransactionStore& store, rio::Arena& primary_arena,
+                               rio::Arena& backup_arena, bool ship_everything) {
+  VREP_CHECK(backup_arena.size() >= primary_arena.size());
+  for (const core::StoreRegion& region : store.regions()) {
+    if (!region.replicate_passive && !ship_everything) continue;
+    store.bus().replicate_region(primary_arena.data() + region.offset,
+                                 backup_arena.data() + region.offset);
+  }
+}
+
+std::unique_ptr<core::TransactionStore> passive_takeover(core::VersionKind kind,
+                                                         const core::StoreConfig& config,
+                                                         sim::MemBus& backup_bus,
+                                                         rio::Arena& backup_arena) {
+  auto store = core::make_store(kind, backup_bus, backup_arena, config, /*format=*/false);
+  store->takeover();
+  return store;
+}
+
+}  // namespace vrep::repl

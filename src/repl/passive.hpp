@@ -1,0 +1,44 @@
+// Passive primary-backup (paper Section 5).
+//
+// The backup CPU is idle; every replicated structure of the primary is
+// "write doubled" onto the Memory Channel, so the backup's arena holds a
+// near-real-time byte-level replica. Which structures are replicated is the
+// per-version policy encoded in TransactionStore::regions():
+//   V0: root + heap + db            (everything — the straightforward port)
+//   V1/V2: root + db + mirror       (the range array stays local; recovery
+//                                    on the backup copies whole databases)
+//   V3: root + undo log + db
+//
+// On primary failure the backup attaches a store to its replica and runs
+// takeover(), rolling back the in-flight transaction. 1-safety: packets in
+// flight at the instant of the crash are lost, so the backup may miss the
+// last commit (and, for the mirror versions, may hold a partially-propagated
+// last transaction inside the mirror — the paper's microseconds-wide window
+// of vulnerability).
+#pragma once
+
+#include <memory>
+
+#include "core/api.hpp"
+#include "rio/arena.hpp"
+#include "sim/node.hpp"
+
+namespace vrep::repl {
+
+// Wire up write-through for every replicate_passive region of `store`,
+// mapping arena offsets 1:1 onto the backup arena. The store's bus must
+// already have its Memory Channel interface attached. `ship_everything`
+// additionally replicates the regions the per-version policy would keep
+// local (undoing the Section 5.1 optimisation — used by the ablation bench).
+void setup_passive_replication(core::TransactionStore& store, rio::Arena& primary_arena,
+                               rio::Arena& backup_arena, bool ship_everything = false);
+
+// Backup-side takeover: attach a store of the same kind/config to the
+// backup's replica and repair it. Returns the recovered store (ready to
+// serve transactions through `backup_bus`).
+std::unique_ptr<core::TransactionStore> passive_takeover(core::VersionKind kind,
+                                                         const core::StoreConfig& config,
+                                                         sim::MemBus& backup_bus,
+                                                         rio::Arena& backup_arena);
+
+}  // namespace vrep::repl

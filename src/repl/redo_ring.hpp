@@ -1,0 +1,71 @@
+// Redo-log circular buffer shared by the active primary and backup
+// (paper Section 6.1).
+//
+// The ring is a region of Memory-Channel-mapped memory on the *backup*; the
+// primary streams committed modifications into it through the SAN and the
+// backup CPU busy-waits for new data and applies it to its database copy.
+//
+// Entries are packed back-to-back, 8-byte aligned:
+//
+//   data entry    [u32 db_off | u32 len]  + len payload bytes (padded to 8)
+//   pad marker    [kPadMarker | 0]        skip to the ring's physical start
+//   commit marker [kCommitMarker | 8]     + u64 committed sequence number
+//
+// A transaction's entries are followed by its commit marker; because the
+// entry stream is written strictly sequentially, the write buffers emit it
+// as consecutive full 32-byte Memory Channel packets (the paper: "The Active
+// logging version sends 32-byte packets, and thus takes advantage of the
+// full 80 Mbytes/sec bandwidth"), and in-order delivery means a commit
+// marker is trustworthy evidence that every byte before it has arrived.
+// The backup recognises commit N+1's marker by its sequence number (stale
+// bytes from a previous lap carry older sequences), applies the batch, and
+// advances its consumer cursor — 1-safe: a crash loses at most the trailing
+// commits whose markers were still in flight, and never applies a torn
+// transaction.
+//
+// Cursors are monotonically increasing byte counts (physical offset =
+// cursor % capacity).
+#pragma once
+
+#include <cstdint>
+
+namespace vrep::repl {
+
+// Headers are 6 bytes ({u32 db_off, u16 len}, 2-byte aligned): redo chunks
+// are small scattered stores, so header overhead directly determines how
+// many CPUs one SAN can carry (Section 8) — the paper's active scheme ships
+// only ~29 bytes of meta-data per transaction.
+#pragma pack(push, 1)
+struct RedoEntryHeader {
+  static constexpr std::uint32_t kPadMarker = 0xffffffffu;
+  static constexpr std::uint32_t kCommitMarker = 0xfffffffeu;
+  std::uint32_t db_off;
+  std::uint16_t len;
+};
+#pragma pack(pop)
+static_assert(sizeof(RedoEntryHeader) == 6);
+
+// A data chunk larger than this is split by the capture layer.
+constexpr std::uint32_t kMaxRedoChunk = 60'000;
+
+// Entries are 2-byte aligned; an entry (or marker) never starts within 6
+// bytes of the physical end of the ring — both sides treat that sliver as
+// an implicit pad.
+inline std::uint64_t redo_entry_bytes(std::uint32_t payload_len) {
+  return sizeof(RedoEntryHeader) + ((payload_len + 1u) & ~1u);
+}
+
+// Commit marker payload: {u32 seq, u32 crc}.
+//
+// The checksum covers every ring byte of the transaction (from the cursor
+// position where its first entry starts up to the marker). It exists because
+// write buffers do NOT drain in program order: a transaction's first bytes
+// can sit in a lingering partially-filled buffer while later blocks — marker
+// included — flush and arrive first. Without the checksum the backup could
+// mistake stale previous-lap bytes under the undelivered window for entries
+// (the classic torn-log problem; the same reason production write-ahead logs
+// checksum their records). With it, a transaction is applied only when the
+// bytes on the backup are exactly the bytes the primary wrote.
+constexpr std::uint64_t kCommitMarkerBytes = sizeof(RedoEntryHeader) + 8;
+
+}  // namespace vrep::repl

@@ -1,0 +1,72 @@
+#include "rio/arena.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace vrep::rio {
+
+Arena Arena::create(std::size_t len) {
+  Arena a;
+  a.data_ = new std::uint8_t[len]();
+  a.size_ = len;
+  a.mapped_ = false;
+  return a;
+}
+
+Arena Arena::map_file(const std::string& path, std::size_t len) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  VREP_CHECK(fd >= 0);
+  VREP_CHECK(::ftruncate(fd, static_cast<off_t>(len)) == 0);
+  void* p = ::mmap(nullptr, len, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  VREP_CHECK(p != MAP_FAILED);
+  Arena a;
+  a.data_ = static_cast<std::uint8_t*>(p);
+  a.size_ = len;
+  a.mapped_ = true;
+  return a;
+}
+
+Arena::Arena(Arena&& o) noexcept : data_(o.data_), size_(o.size_), mapped_(o.mapped_) {
+  o.data_ = nullptr;
+  o.size_ = 0;
+}
+
+Arena& Arena::operator=(Arena&& o) noexcept {
+  if (this != &o) {
+    this->~Arena();
+    data_ = std::exchange(o.data_, nullptr);
+    size_ = std::exchange(o.size_, 0);
+    mapped_ = o.mapped_;
+  }
+  return *this;
+}
+
+Arena::~Arena() {
+  if (data_ == nullptr) return;
+  if (mapped_) {
+    ::munmap(data_, size_);
+  } else {
+    delete[] data_;
+  }
+  data_ = nullptr;
+}
+
+void Arena::sync() {
+  if (mapped_ && data_ != nullptr) ::msync(data_, size_, MS_SYNC);
+}
+
+std::uint8_t* Layout::carve(std::size_t len, std::size_t align) {
+  std::size_t off = (off_ + align - 1) & ~(align - 1);
+  VREP_CHECK(off + len <= len_);
+  off_ = off + len;
+  return base_ + off;
+}
+
+}  // namespace vrep::rio

@@ -1,0 +1,41 @@
+// Virtual time. All performance experiments in this repository run against a
+// deterministic virtual clock (nanoseconds) rather than wall-clock time, so
+// that results are reproducible and independent of the host machine. See
+// DESIGN.md section 2 ("Time model").
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace vrep::sim {
+
+using SimTime = std::int64_t;  // nanoseconds of virtual time
+
+constexpr SimTime kMicrosecond = 1'000;
+constexpr SimTime kMillisecond = 1'000'000;
+constexpr SimTime kSecond = 1'000'000'000;
+
+class VirtualClock {
+ public:
+  SimTime now() const { return now_; }
+
+  void advance(SimTime delta) {
+    VREP_DCHECK(delta >= 0);
+    now_ += delta;
+  }
+
+  // Jump forward to an absolute time; no-op if already past it.
+  void advance_to(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+  void reset() { now_ = 0; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+inline double to_seconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+}  // namespace vrep::sim

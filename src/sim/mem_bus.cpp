@@ -1,0 +1,146 @@
+#include "sim/mem_bus.hpp"
+
+#include "util/check.hpp"
+
+namespace vrep::sim {
+
+void MemBus::register_region(const void* base, std::size_t len) {
+  // Idempotent: a store re-attaching after a simulated reboot re-registers
+  // the same regions.
+  for (const auto& existing : regions_) {
+    if (existing.lo == reinterpret_cast<std::uintptr_t>(base)) {
+      VREP_CHECK(existing.hi - existing.lo == len);
+      return;
+    }
+  }
+  Region r;
+  r.lo = reinterpret_cast<std::uintptr_t>(base);
+  r.hi = r.lo + len;
+  r.vbase = next_vbase_;
+  // 1 MB-align virtual bases so distinct regions never share a cache line
+  // and layouts are deterministic regardless of host allocation addresses.
+  next_vbase_ += (len + (1 << 20) - 1) & ~std::uint64_t{(1 << 20) - 1};
+  regions_.push_back(r);
+}
+
+void MemBus::replicate_region(const void* base, void* remote_base) {
+  VREP_CHECK(mc_ != nullptr);
+  for (auto& r : regions_) {
+    if (r.lo == reinterpret_cast<std::uintptr_t>(base)) {
+      r.replicated = true;
+      r.io_base = mc_->fabric()->map_segment(remote_base, r.hi - r.lo);
+      return;
+    }
+  }
+  VREP_CHECK(false && "replicate_region: region not registered");
+}
+
+void MemBus::unreplicate_region(const void* base) {
+  for (auto& r : regions_) {
+    if (r.lo == reinterpret_cast<std::uintptr_t>(base)) {
+      r.replicated = false;
+      return;
+    }
+  }
+}
+
+const MemBus::Region* MemBus::find(const void* p) const {
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  if (last_region_ < regions_.size()) {
+    const Region& r = regions_[last_region_];
+    if (addr >= r.lo && addr < r.hi) return &r;
+  }
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (addr >= regions_[i].lo && addr < regions_[i].hi) {
+      last_region_ = i;
+      return &regions_[i];
+    }
+  }
+  return nullptr;
+}
+
+void MemBus::charge_access(const void* p, std::size_t len, const Region* r) {
+  if (clk_ == nullptr) return;
+  clk_->advance(cost_->access_base_ns);
+  if (r == nullptr) {
+    clk_->advance(cost_->unregistered_access_ns);
+    return;
+  }
+  const std::uint64_t vaddr = r->vbase + (reinterpret_cast<std::uintptr_t>(p) - r->lo);
+  clk_->advance(cache_->access(vaddr, len));
+}
+
+void MemBus::write_through(const Region* r, const void* dst, const void* src, std::size_t len,
+                           TrafficClass cls) {
+  if (capture_ != nullptr) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(dst);
+    if (addr >= cap_lo_ && addr + len <= cap_hi_) {
+      capture_->on_captured_store(addr - cap_lo_, src, len);
+    }
+  }
+  if (r == nullptr || !r->replicated || mc_ == nullptr) return;
+  const std::uint64_t io = r->io_base + (reinterpret_cast<std::uintptr_t>(dst) - r->lo);
+  mc_->io_write(io, src, len, cls);
+}
+
+void MemBus::read(const void* src, std::size_t len) {
+  charge_access(src, len, find(src));
+}
+
+void MemBus::write(void* dst, const void* src, std::size_t len, TrafficClass cls) {
+  if (hook_ != nullptr) hook_->on_write();
+  std::memcpy(dst, src, len);
+  const Region* r = find(dst);
+  charge_access(dst, len, r);
+  write_through(r, dst, src, len, cls);
+}
+
+void MemBus::copy(void* dst, const void* src, std::size_t len, TrafficClass cls) {
+  if (hook_ != nullptr) hook_->on_write();
+  std::memcpy(dst, src, len);
+  const Region* rs = find(src);
+  charge_access(src, len, rs);
+  const Region* rd = find(dst);
+  charge_access(dst, len, rd);
+  if (clk_ != nullptr) {
+    clk_->advance(static_cast<SimTime>(static_cast<double>(len) * cost_->copy_byte_ns));
+  }
+  write_through(rd, dst, src, len, cls);
+}
+
+std::size_t MemBus::diff_copy(void* dst, const void* src, std::size_t len, TrafficClass cls) {
+  if (hook_ != nullptr) hook_->on_write();
+  const Region* rs = find(src);
+  charge_access(src, len, rs);
+  const Region* rd = find(dst);
+  charge_access(dst, len, rd);
+  if (clk_ != nullptr) {
+    clk_->advance(static_cast<SimTime>(static_cast<double>(len) * cost_->compare_byte_ns));
+  }
+  // Find differing runs at word granularity (the paper's diff works on
+  // machine words; finer granularity would trade compare cost for bytes).
+  auto* d = static_cast<std::uint8_t*>(dst);
+  const auto* s = static_cast<const std::uint8_t*>(src);
+  std::size_t changed = 0;
+  std::size_t i = 0;
+  while (i < len) {
+    if (d[i] == s[i]) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < len && d[j] != s[j]) ++j;
+    std::memcpy(d + i, s + i, j - i);
+    write_through(rd, d + i, s + i, j - i, cls);
+    changed += j - i;
+    i = j;
+  }
+  return changed;
+}
+
+void MemBus::barrier() {
+  if (mc_ != nullptr) mc_->flush();
+  if (clk_ != nullptr) clk_->advance(cost_->barrier_ns);
+}
+
+}  // namespace vrep::sim

@@ -1,0 +1,151 @@
+// The instrumented memory layer.
+//
+// The transaction library performs all of its database / log / mirror memory
+// operations through a MemBus. The bus
+//   1. actually performs the operation on real memory (so functional
+//      behaviour — recovery, takeover, data integrity — is exact),
+//   2. charges virtual-time CPU costs (fixed op cost + cache-model access
+//      cost at a stable *virtual* address, so results are independent of
+//      where the host allocator placed the buffers), and
+//   3. transparently "write doubles" stores that fall inside a region
+//      registered as replicated, forwarding them to the Memory Channel
+//      interface exactly as the paper's primary-backup versions do.
+//
+// A MemBus constructed with a null clock is a plain pass-through (used by
+// purely functional unit tests and by the real-TCP replication path, which
+// runs on wall-clock time).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "sim/alpha_cost_model.hpp"
+#include "sim/cache_model.hpp"
+#include "sim/memory_channel.hpp"
+#include "sim/traffic.hpp"
+
+namespace vrep::sim {
+
+// Hook invoked before every charged store. The crash-injection harness in
+// rio/crash.hpp implements this to throw a SimulatedCrash at the N-th write,
+// which lets tests exercise recovery at every store boundary.
+struct WriteHook {
+  virtual void on_write() = 0;
+
+ protected:
+  ~WriteHook() = default;
+};
+
+class MemBus {
+ public:
+  // Simulated bus. All three pointers must outlive the bus.
+  MemBus(VirtualClock* clk, CacheModel* cache, const AlphaCostModel* cost)
+      : clk_(clk), cache_(cache), cost_(cost) {}
+  // Pass-through bus: no costs, no replication.
+  MemBus() = default;
+
+  bool simulated() const { return clk_ != nullptr; }
+  VirtualClock* clock() { return clk_; }
+  // Always valid: pass-through buses see the default cost model (whose
+  // charges are no-ops anyway since there is no clock).
+  const AlphaCostModel& cost() const {
+    static const AlphaCostModel kDefault{};
+    return cost_ != nullptr ? *cost_ : kDefault;
+  }
+
+  // Attach the outgoing Memory Channel interface used for replicated regions.
+  void attach_mc(McInterface* mc) { mc_ = mc; }
+  McInterface* mc() { return mc_; }
+
+  // Register [base, base+len) so cache charging uses a stable virtual
+  // address. Every persistent arena registers itself.
+  void register_region(const void* base, std::size_t len);
+
+  // Additionally mark a registered region as replicated: every write inside
+  // it is doubled onto the Memory Channel, landing at remote_base on the
+  // receiving node. Requires attach_mc() first.
+  void replicate_region(const void* base, void* remote_base);
+  void unreplicate_region(const void* base);
+
+  // ---- charged operations ----------------------------------------------
+
+  // Charge a fixed CPU cost (operation bookkeeping).
+  void charge(SimTime ns) {
+    if (clk_ != nullptr) clk_->advance(ns);
+  }
+
+  // Charge a read of [src, src+len) without moving data.
+  void read(const void* src, std::size_t len);
+
+  // memcpy(dst, src, len) where src is small caller-owned data (not charged
+  // as a cached read): the canonical "store into the database" operation.
+  void write(void* dst, const void* src, std::size_t len, TrafficClass cls);
+
+  template <typename T>
+  void write_pod(T* dst, const T& v, TrafficClass cls) {
+    write(dst, &v, sizeof v, cls);
+  }
+
+  // Charged memcpy: read of src + write of dst + per-byte copy cost.
+  void copy(void* dst, const void* src, std::size_t len, TrafficClass cls);
+
+  // Compare [src] against [dst]; where they differ, update dst (and write
+  // through only the differing runs). Returns the number of bytes that
+  // changed. This is Version 2's "mirror by diffing" commit primitive.
+  std::size_t diff_copy(void* dst, const void* src, std::size_t len, TrafficClass cls);
+
+  // Memory barrier: drain the write buffers so everything stored so far is
+  // ordered before anything stored later (used around commit flags).
+  void barrier();
+
+  // Crash injection (tests only; null in benchmarks).
+  void set_write_hook(WriteHook* hook) { hook_ = hook; }
+
+  // ---- write capture ------------------------------------------------------
+  // The active replication scheme needs the bytes each transaction modifies
+  // in the database, so it can ship them as a redo log at commit. Capture
+  // observes every store landing inside [base, base+len) and reports it
+  // region-relative. (This is the "local write doubling into the redo
+  // staging buffer" of an active primary; its CPU cost is charged by the
+  // sink.)
+  struct CaptureSink {
+    virtual void on_captured_store(std::uint64_t off, const void* src, std::size_t len) = 0;
+
+   protected:
+    ~CaptureSink() = default;
+  };
+  void set_capture(const void* base, std::size_t len, CaptureSink* sink) {
+    cap_lo_ = reinterpret_cast<std::uintptr_t>(base);
+    cap_hi_ = cap_lo_ + len;
+    capture_ = sink;
+  }
+  void clear_capture() { capture_ = nullptr; }
+
+ private:
+  struct Region {
+    std::uintptr_t lo = 0;
+    std::uintptr_t hi = 0;
+    std::uint64_t vbase = 0;     // stable virtual base for cache indexing
+    bool replicated = false;
+    std::uint64_t io_base = 0;   // valid when replicated
+  };
+
+  const Region* find(const void* p) const;
+  void charge_access(const void* p, std::size_t len, const Region* r);
+  void write_through(const Region* r, const void* dst, const void* src, std::size_t len,
+                     TrafficClass cls);
+
+  VirtualClock* clk_ = nullptr;
+  CacheModel* cache_ = nullptr;
+  const AlphaCostModel* cost_ = nullptr;
+  McInterface* mc_ = nullptr;
+  WriteHook* hook_ = nullptr;
+  CaptureSink* capture_ = nullptr;
+  std::uintptr_t cap_lo_ = 0, cap_hi_ = 0;
+  std::vector<Region> regions_;
+  mutable std::size_t last_region_ = 0;
+  std::uint64_t next_vbase_ = 1 << 20;
+};
+
+}  // namespace vrep::sim

@@ -1,0 +1,109 @@
+#include "sim/memory_channel.hpp"
+
+#include <cstring>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace vrep::sim {
+
+std::uint64_t McFabric::map_segment(void* remote_base, std::size_t len) {
+  Segment seg;
+  seg.io_base = next_io_;
+  seg.len = len;
+  seg.remote = static_cast<std::uint8_t*>(remote_base);
+  segments_.push_back(seg);
+  // Page-align the next base so a 32-byte block never spans two segments.
+  next_io_ += (len + 8191) & ~std::uint64_t{8191};
+  return seg.io_base;
+}
+
+std::uint8_t* McFabric::resolve(std::uint64_t io_offset, std::size_t len) {
+  for (const auto& seg : segments_) {
+    if (io_offset >= seg.io_base && io_offset + len <= seg.io_base + seg.len) {
+      return seg.remote + (io_offset - seg.io_base);
+    }
+  }
+  return nullptr;
+}
+
+void McFabric::count_packet(const Packet& pkt) {
+  VREP_DCHECK(pkt.len >= 1 && pkt.len <= kWriteBufferBytes);
+  ++packets_of_size_[pkt.len];
+  link_.bytes += pkt.len;
+}
+
+void McFabric::submit(const Packet& pkt, SimTime deliver_at) {
+  in_flight_.push(InFlight{deliver_at, next_seq_++, pkt});
+}
+
+void McFabric::deliver_until(SimTime t) {
+  while (!in_flight_.empty() && in_flight_.top().deliver_at <= t) {
+    const Packet& pkt = in_flight_.top().pkt;
+    std::uint8_t* dst = resolve(pkt.io_offset, pkt.len);
+    VREP_CHECK(dst != nullptr);
+    std::memcpy(dst, pkt.data.data(), pkt.len);
+    in_flight_.pop();
+  }
+}
+
+void McFabric::deliver_all() {
+  deliver_until(std::numeric_limits<SimTime>::max());
+}
+
+std::size_t McFabric::crash_at(SimTime t) {
+  deliver_until(t);
+  const std::size_t dropped = in_flight_.size();
+  in_flight_ = {};
+  return dropped;
+}
+
+McInterface::McInterface(McFabric* fabric, VirtualClock* clk, int fifo_depth,
+                         SimTime store_base_ns, double store_byte_ns,
+                         SimTime small_packet_penalty_ns, bool coalescing)
+    : fabric_(fabric),
+      clk_(clk),
+      wbufs_([this](const Packet& pkt) { on_packet(pkt); }, coalescing),
+      fifo_depth_(static_cast<std::size_t>(fifo_depth)),
+      store_base_ns_(store_base_ns),
+      store_byte_ns_(store_byte_ns),
+      small_packet_penalty_ns_(small_packet_penalty_ns) {}
+
+void McInterface::io_write(std::uint64_t io_offset, const void* src, std::size_t len,
+                           TrafficClass cls) {
+  traffic_.add(cls, len);
+  clk_->advance(store_base_ns_ +
+                static_cast<SimTime>(static_cast<double>(len) * store_byte_ns_));
+  wbufs_.store(io_offset, src, len);
+}
+
+void McInterface::on_packet(const Packet& pkt) {
+  if (pkt.len < kWriteBufferBytes) clk_->advance(small_packet_penalty_ns_);
+  const SimTime now = clk_->now();
+  // Retire adapter FIFO entries whose packets have already left.
+  while (!fifo_.empty() && fifo_.front() <= now) fifo_.pop_front();
+  if (fifo_.size() >= fifo_depth_) {
+    // Adapter full: the CPU stalls until the oldest queued packet departs.
+    const SimTime resume = fifo_.front();
+    stall_ns_ += resume - now;
+    clk_->advance_to(resume);
+    fifo_.pop_front();
+  }
+  fabric_->count_packet(pkt);
+  const SimTime completion =
+      fabric_->link().serve(clk_->now(), fabric_->model().packet_time(pkt.len));
+  fifo_.push_back(completion);
+  fabric_->submit(pkt, completion + fabric_->model().propagation_ns);
+}
+
+void McInterface::flush() { wbufs_.flush_all(); }
+
+void McInterface::drop_pending() {
+  // Discard buffered stores by swapping in a fresh buffer set; queued adapter
+  // packets were already submitted to the fabric (the fabric's crash handling
+  // decides their fate based on delivery time).
+  wbufs_ = WriteBufferSet([this](const Packet& pkt) { on_packet(pkt); });
+  fifo_.clear();
+}
+
+}  // namespace vrep::sim

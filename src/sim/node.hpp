@@ -1,0 +1,60 @@
+// Composition of the simulation pieces into CPUs and nodes.
+//
+// A Cpu bundles a virtual clock, a private cache, an optional Memory Channel
+// interface (senders only), and the instrumented memory bus the transaction
+// engine runs on. A Node is a machine: one or more CPUs (the paper's SMP
+// experiment uses 4) that share the node's single Memory Channel adapter
+// occupancy (LinkState inside the McFabric).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/alpha_cost_model.hpp"
+#include "sim/mem_bus.hpp"
+
+namespace vrep::sim {
+
+class Cpu {
+ public:
+  // `fabric` may be null for a CPU that never sends (standalone runs, the
+  // passive backup).
+  Cpu(const AlphaCostModel& cost, McFabric* fabric)
+      : cost_(&cost), cache_(cost.cache) {
+    if (fabric != nullptr) {
+      mc_.emplace(fabric, &clk_, cost.fifo_depth, cost.io_store_base_ns, cost.io_store_byte_ns,
+                  cost.io_small_packet_penalty_ns, cost.write_buffer_coalescing);
+    }
+    bus_ = MemBus(&clk_, &cache_, cost_);
+    if (mc_.has_value()) bus_.attach_mc(&*mc_);
+  }
+
+  VirtualClock& clock() { return clk_; }
+  CacheModel& cache() { return cache_; }
+  MemBus& bus() { return bus_; }
+  McInterface* mc() { return mc_.has_value() ? &*mc_ : nullptr; }
+  const AlphaCostModel& cost() const { return *cost_; }
+
+ private:
+  const AlphaCostModel* cost_;
+  VirtualClock clk_;
+  CacheModel cache_;
+  std::optional<McInterface> mc_;
+  MemBus bus_;
+};
+
+class Node {
+ public:
+  Node(const AlphaCostModel& cost, int num_cpus, McFabric* out_fabric) {
+    for (int i = 0; i < num_cpus; ++i) cpus_.push_back(std::make_unique<Cpu>(cost, out_fabric));
+  }
+
+  Cpu& cpu(std::size_t i = 0) { return *cpus_.at(i); }
+  std::size_t num_cpus() const { return cpus_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Cpu>> cpus_;
+};
+
+}  // namespace vrep::sim

@@ -1,0 +1,34 @@
+// Classification of bytes written through to the backup, matching the
+// three-way breakdown the paper reports in Tables 2, 5, and 7:
+// modified transaction data, undo data, and meta-data.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace vrep::sim {
+
+enum class TrafficClass : std::uint8_t {
+  kModified = 0,  // bytes of the database changed by transactions (redo data)
+  kUndo = 1,      // before-images written to the undo log / mirror
+  kMeta = 2,      // everything else: headers, pointers, allocator state, flags
+};
+
+constexpr std::size_t kNumTrafficClasses = 3;
+
+struct TrafficStats {
+  std::array<std::uint64_t, kNumTrafficClasses> bytes{};
+
+  void add(TrafficClass c, std::uint64_t n) { bytes[static_cast<std::size_t>(c)] += n; }
+  std::uint64_t total() const { return bytes[0] + bytes[1] + bytes[2]; }
+  std::uint64_t modified() const { return bytes[0]; }
+  std::uint64_t undo() const { return bytes[1]; }
+  std::uint64_t meta() const { return bytes[2]; }
+
+  TrafficStats& operator+=(const TrafficStats& o) {
+    for (std::size_t i = 0; i < kNumTrafficClasses; ++i) bytes[i] += o.bytes[i];
+    return *this;
+  }
+};
+
+}  // namespace vrep::sim

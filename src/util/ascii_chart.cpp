@@ -1,0 +1,60 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace vrep {
+
+void AsciiChart::add_series(std::string name, std::vector<double> ys) {
+  VREP_CHECK(ys.size() == xs_.size());
+  series_.emplace_back(std::move(name), std::move(ys));
+}
+
+std::string AsciiChart::render(int width, int height) const {
+  static const char kMarks[] = {'*', 'o', '+', 'x', '#', '@'};
+  double ymax = 0;
+  for (const auto& [name, ys] : series_)
+    for (double y : ys) ymax = std::max(ymax, y);
+  if (ymax <= 0) ymax = 1;
+  double xmin = xs_.empty() ? 0 : xs_.front();
+  double xmax = xs_.empty() ? 1 : xs_.back();
+  if (xmax <= xmin) xmax = xmin + 1;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    const char mark = kMarks[s % sizeof kMarks];
+    const auto& ys = series_[s].second;
+    for (std::size_t i = 0; i < xs_.size(); ++i) {
+      int col = static_cast<int>(std::lround((xs_[i] - xmin) / (xmax - xmin) * (width - 1)));
+      int row = static_cast<int>(std::lround(ys[i] / ymax * (height - 1)));
+      row = std::clamp(row, 0, height - 1);
+      col = std::clamp(col, 0, width - 1);
+      grid[static_cast<std::size_t>(height - 1 - row)][static_cast<std::size_t>(col)] = mark;
+    }
+  }
+
+  std::string out = title_ + "\n";
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s (max %.0f)\n", y_label_.c_str(), ymax);
+  out += buf;
+  for (auto& line : grid) out += "  |" + line + "\n";
+  out += "  +" + std::string(static_cast<std::size_t>(width), '-') + "> " + x_label_ + "\n";
+  out += "  legend:";
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    out += " ";
+    out += kMarks[s % sizeof kMarks];
+    out += "=" + series_[s].first;
+  }
+  out += "\n";
+  return out;
+}
+
+void AsciiChart::print(int width, int height) const {
+  std::fputs(render(width, height).c_str(), stdout);
+}
+
+}  // namespace vrep

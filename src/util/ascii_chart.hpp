@@ -1,0 +1,27 @@
+// Minimal ASCII line chart, used by the figure-reproduction benches so a
+// terminal shows the same series the paper plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vrep {
+
+class AsciiChart {
+ public:
+  AsciiChart(std::string title, std::string x_label, std::string y_label)
+      : title_(std::move(title)), x_label_(std::move(x_label)), y_label_(std::move(y_label)) {}
+
+  // All series must share the same x values.
+  void set_x(std::vector<double> xs) { xs_ = std::move(xs); }
+  void add_series(std::string name, std::vector<double> ys);
+  std::string render(int width = 64, int height = 20) const;
+  void print(int width = 64, int height = 20) const;
+
+ private:
+  std::string title_, x_label_, y_label_;
+  std::vector<double> xs_;
+  std::vector<std::pair<std::string, std::vector<double>>> series_;
+};
+
+}  // namespace vrep

@@ -1,0 +1,29 @@
+// Lightweight invariant checking used throughout the library.
+//
+// VREP_CHECK is always on (it guards data integrity invariants whose failure
+// would silently corrupt a database); VREP_DCHECK compiles away in release
+// builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vrep {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace vrep
+
+#define VREP_CHECK(expr)                                   \
+  do {                                                     \
+    if (!(expr)) ::vrep::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define VREP_DCHECK(expr) ((void)0)
+#else
+#define VREP_DCHECK(expr) VREP_CHECK(expr)
+#endif

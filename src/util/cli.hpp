@@ -1,0 +1,33 @@
+// Tiny command-line flag parser shared by examples and benches.
+//
+// Usage:
+//   CliArgs args(argc, argv);
+//   auto n = args.get_int("txns", 100000);
+//   auto role = args.get_string("role", "demo");
+//   if (args.has("help")) ...
+// Flags are written --name=value or --name value; bare --name is a boolean.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vrep {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  bool has(const std::string& name) const { return values_.count(name) != 0; }
+  std::string get_string(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vrep

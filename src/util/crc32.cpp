@@ -1,0 +1,28 @@
+#include "util/crc32.hpp"
+
+namespace vrep {
+namespace {
+
+struct Table {
+  std::uint32_t t[256];
+  constexpr Table() : t{} {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+  }
+};
+
+constexpr Table kTable{};
+
+}  // namespace
+
+void Crc32::update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = state_;
+  for (std::size_t i = 0; i < len; ++i) c = kTable.t[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  state_ = c;
+}
+
+}  // namespace vrep

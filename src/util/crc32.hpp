@@ -1,0 +1,26 @@
+// CRC32 (Castagnoli polynomial, table-driven) used to checksum database
+// state in tests and in the wire protocol of the TCP transport.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vrep {
+
+// Incremental CRC32C. Start from 0, feed buffers, read value().
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t len);
+  std::uint32_t value() const { return ~state_; }
+
+  static std::uint32_t of(const void* data, std::size_t len) {
+    Crc32 c;
+    c.update(data, len);
+    return c.value();
+  }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+}  // namespace vrep

@@ -1,0 +1,66 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace vrep {
+
+int Histogram::bucket_of(std::uint64_t v) {
+  if (v <= 1) return 0;
+  return 64 - std::countl_zero(v) - 1;
+}
+
+void Histogram::add(std::uint64_t value, std::uint64_t count) {
+  buckets_[static_cast<std::size_t>(bucket_of(value))] += count;
+  total_count_ += count;
+  total_sum_ += value * count;
+  max_seen_ = std::max(max_seen_, value);
+}
+
+double Histogram::mean() const {
+  return total_count_ == 0 ? 0.0
+                           : static_cast<double>(total_sum_) / static_cast<double>(total_count_);
+}
+
+std::uint64_t Histogram::percentile(double fraction) const {
+  if (total_count_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(fraction * static_cast<double>(total_count_));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) return 1ull << (i + 1);
+  }
+  return max_seen_;
+}
+
+std::string Histogram::to_string(const char* unit) const {
+  std::string out;
+  char line[128];
+  std::snprintf(line, sizeof line, "count=%llu mean=%.1f%s p50=%llu p99=%llu max=%llu\n",
+                static_cast<unsigned long long>(total_count_), mean(), unit,
+                static_cast<unsigned long long>(percentile(0.50)),
+                static_cast<unsigned long long>(percentile(0.99)),
+                static_cast<unsigned long long>(max_seen_));
+  out += line;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    std::snprintf(line, sizeof line, "  [%llu, %llu): %llu\n",
+                  static_cast<unsigned long long>(i == 0 ? 0 : (1ull << i)),
+                  static_cast<unsigned long long>(1ull << (i + 1)),
+                  static_cast<unsigned long long>(buckets_[i]));
+    out += line;
+  }
+  return out;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  total_count_ += other.total_count_;
+  total_sum_ += other.total_sum_;
+  max_seen_ = std::max(max_seen_, other.max_seen_);
+}
+
+void Histogram::reset() { *this = Histogram{}; }
+
+}  // namespace vrep

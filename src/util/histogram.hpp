@@ -1,0 +1,32 @@
+// Power-of-two bucketed histogram for latency / packet-size distributions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace vrep {
+
+// Buckets are [2^i, 2^(i+1)); value 0 lands in bucket 0 together with 1.
+class Histogram {
+ public:
+  void add(std::uint64_t value, std::uint64_t count = 1);
+  std::uint64_t total_count() const { return total_count_; }
+  std::uint64_t total_sum() const { return total_sum_; }
+  double mean() const;
+  // Value below which `fraction` (0..1) of samples fall (bucket upper bound).
+  std::uint64_t percentile(double fraction) const;
+  std::uint64_t max_seen() const { return max_seen_; }
+  std::string to_string(const char* unit = "") const;
+  void merge(const Histogram& other);
+  void reset();
+
+ private:
+  static int bucket_of(std::uint64_t v);
+  std::array<std::uint64_t, 64> buckets_{};
+  std::uint64_t total_count_ = 0;
+  std::uint64_t total_sum_ = 0;
+  std::uint64_t max_seen_ = 0;
+};
+
+}  // namespace vrep

@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+namespace vrep {
+
+void Table::set_header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void Table::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths;
+  auto account = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  };
+  account(header_);
+  for (const auto& r : rows_) account(r);
+
+  auto render_row = [&widths](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    out += "\n";
+    return out;
+  };
+
+  std::string sep = "+";
+  for (auto w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = title_.empty() ? std::string() : title_ + "\n";
+  out += sep;
+  if (!header_.empty()) {
+    out += render_row(header_);
+    out += sep;
+  }
+  for (const auto& r : rows_) out += render_row(r);
+  out += sep;
+  return out;
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace vrep

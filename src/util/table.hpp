@@ -1,0 +1,28 @@
+// ASCII table rendering used by every benchmark binary so that our output
+// lines up with the tables in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vrep {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> cells);
+  void add_row(std::vector<std::string> cells);
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 1);
+  static std::string num(std::uint64_t v);
+  std::string render() const;
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vrep

@@ -1,0 +1,91 @@
+#include "workload/debit_credit.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace vrep::wl {
+
+using sim::TrafficClass;
+
+DebitCredit::DebitCredit(std::size_t db_size) : db_size_(db_size) {
+  // TPC-B scaling: 10 tellers and 1 branch per 10 tellers; accounts fill the
+  // space that remains after the audit trail.
+  history_bytes_ = std::min<std::size_t>(2ull << 20, db_size / 4);
+  const std::size_t records_budget = db_size - history_bytes_;
+  // ~90% of record space for accounts; TPC-B ratios of 1 branch : 10
+  // tellers : 100k accounts below that.
+  num_accounts_ = records_budget * 9 / 10 / kRecordBytes;
+  num_branches_ = std::max<std::size_t>(1, num_accounts_ / 100'000);
+  num_tellers_ = 10 * num_branches_;
+  VREP_CHECK(num_accounts_ > 0);
+
+  accounts_off_ = 0;
+  tellers_off_ = accounts_off_ + num_accounts_ * kRecordBytes;
+  branches_off_ = tellers_off_ + num_tellers_ * kRecordBytes;
+  history_off_ = db_size - history_bytes_;
+  VREP_CHECK(branches_off_ + num_branches_ * kRecordBytes <= history_off_);
+}
+
+void DebitCredit::initialize(core::TransactionStore& store) {
+  // All balances start at zero; the arena is already zero-filled, so only
+  // non-zero fields would need explicit initialisation. Touch nothing: the
+  // consistency invariant (equal sums) holds for the all-zero state.
+  (void)store;
+}
+
+void DebitCredit::run_txn(core::TransactionStore& store, Rng& rng) {
+  sim::MemBus& bus = store.bus();
+  std::uint8_t* db = store.db();
+
+  const auto account = static_cast<std::uint32_t>(rng.below(num_accounts_));
+  const auto teller = static_cast<std::uint32_t>(rng.below(num_tellers_));
+  // A teller belongs to a branch, as in TPC-B.
+  const auto branch = static_cast<std::uint32_t>(teller % num_branches_);
+  const auto amount = static_cast<std::int32_t>(rng.range(-999'999, 999'999) | 1);
+
+  core::Transaction txn(store);
+  for (const std::size_t off :
+       {account_off(account), teller_off(teller), branch_off(branch)}) {
+    std::uint8_t* rec = db + off;
+    txn.set_range(rec, kRangeBytes);
+    std::int32_t balance;
+    bus.read(rec, sizeof balance);
+    std::memcpy(&balance, rec, sizeof balance);
+    balance += amount;
+    bus.write(rec, &balance, sizeof balance, TrafficClass::kModified);
+  }
+
+  // Append to the audit trail; the slot derives from the commit sequence.
+  const std::size_t slots = history_bytes_ / sizeof(HistoryRecord);
+  const std::size_t slot = static_cast<std::size_t>(store.committed_seq()) % slots;
+  std::uint8_t* hist = db + history_off_ + slot * sizeof(HistoryRecord);
+  txn.set_range(hist, sizeof(HistoryRecord));
+  const HistoryRecord rec{account, teller, branch, amount};
+  bus.write(hist, &rec, sizeof rec, TrafficClass::kModified);
+
+  txn.commit();
+}
+
+std::string DebitCredit::check_consistency(const core::TransactionStore& store) const {
+  const std::uint8_t* db = store.db();
+  auto sum_over = [&](std::size_t base, std::size_t n) {
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int32_t v;
+      std::memcpy(&v, db + base + i * kRecordBytes, sizeof v);
+      sum += v;
+    }
+    return sum;
+  };
+  const std::int64_t accounts = sum_over(accounts_off_, num_accounts_);
+  const std::int64_t tellers = sum_over(tellers_off_, num_tellers_);
+  const std::int64_t branches = sum_over(branches_off_, num_branches_);
+  if (accounts != tellers || tellers != branches) {
+    return "balance sums diverge: accounts=" + std::to_string(accounts) +
+           " tellers=" + std::to_string(tellers) + " branches=" + std::to_string(branches);
+  }
+  return {};
+}
+
+}  // namespace vrep::wl

@@ -1,0 +1,62 @@
+// Debit-Credit: the Vista TPC-B variant.
+//
+// Database layout (within the store's flat db region):
+//   [account records][teller records][branch records][2 MB history ring]
+//
+// Records are 100 bytes (TPC-B's record size); the balance and a few hot
+// fields live in the first 16 bytes, which is what set_range covers — the
+// paper's traffic tables imply ranges of roughly this size (undo volume
+// ~2.3x the modified bytes for Debit-Credit).
+//
+// Each transaction:
+//   set_range(account, 16);  balance += amount     (4-byte write)
+//   set_range(teller, 16);   balance += amount     (4-byte write)
+//   set_range(branch, 16);   balance += amount     (4-byte write)
+//   set_range(history slot, 16); append a record    (16-byte write)
+// The history slot index derives from the store's committed sequence number,
+// so the ring cursor needs no separate persistent (and transactional) state.
+//
+// Consistency invariant used by recovery tests: the sum of account balances,
+// the sum of teller balances and the sum of branch balances are all equal
+// (every committed transaction adds the same amount to one record of each).
+#pragma once
+
+#include "workload/workload.hpp"
+
+namespace vrep::wl {
+
+class DebitCredit final : public Workload {
+ public:
+  explicit DebitCredit(std::size_t db_size);
+
+  const char* name() const override { return "Debit-Credit"; }
+  void initialize(core::TransactionStore& store) override;
+  void run_txn(core::TransactionStore& store, Rng& rng) override;
+  std::string check_consistency(const core::TransactionStore& store) const override;
+
+  std::size_t num_accounts() const { return num_accounts_; }
+  std::size_t num_tellers() const { return num_tellers_; }
+  std::size_t num_branches() const { return num_branches_; }
+
+ private:
+  static constexpr std::size_t kRecordBytes = 100;
+  static constexpr std::size_t kRangeBytes = 16;  // hot prefix covered by set_range
+  struct HistoryRecord {
+    std::uint32_t account;
+    std::uint32_t teller;
+    std::uint32_t branch;
+    std::int32_t amount;
+  };
+  static_assert(sizeof(HistoryRecord) == 16);
+
+  std::size_t account_off(std::size_t i) const { return accounts_off_ + i * kRecordBytes; }
+  std::size_t teller_off(std::size_t i) const { return tellers_off_ + i * kRecordBytes; }
+  std::size_t branch_off(std::size_t i) const { return branches_off_ + i * kRecordBytes; }
+
+  std::size_t db_size_;
+  std::size_t history_bytes_;
+  std::size_t num_accounts_ = 0, num_tellers_ = 0, num_branches_ = 0;
+  std::size_t accounts_off_ = 0, tellers_off_ = 0, branches_off_ = 0, history_off_ = 0;
+};
+
+}  // namespace vrep::wl

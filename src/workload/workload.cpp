@@ -1,0 +1,48 @@
+#include "workload/workload.hpp"
+
+#include "util/check.hpp"
+#include "workload/debit_credit.hpp"
+#include "workload/order_entry.hpp"
+
+namespace vrep::wl {
+
+const char* workload_name(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::kDebitCredit:
+      return "Debit-Credit";
+    case WorkloadKind::kOrderEntry:
+      return "Order-Entry";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Workload> make_workload(WorkloadKind kind, std::size_t db_size) {
+  switch (kind) {
+    case WorkloadKind::kDebitCredit:
+      return std::make_unique<DebitCredit>(db_size);
+    case WorkloadKind::kOrderEntry:
+      return std::make_unique<OrderEntry>(db_size);
+  }
+  VREP_CHECK(false && "bad WorkloadKind");
+  return nullptr;
+}
+
+core::StoreConfig suggest_config(WorkloadKind kind, std::size_t db_size) {
+  core::StoreConfig config;
+  config.db_size = db_size;
+  switch (kind) {
+    case WorkloadKind::kDebitCredit:
+      config.max_ranges_per_txn = 8;
+      config.undo_log_capacity = 64 * 1024;
+      config.heap_size = 4ull << 20;
+      break;
+    case WorkloadKind::kOrderEntry:
+      config.max_ranges_per_txn = 16;
+      config.undo_log_capacity = 256 * 1024;
+      config.heap_size = 8ull << 20;
+      break;
+  }
+  return config;
+}
+
+}  // namespace vrep::wl

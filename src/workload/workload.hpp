@@ -1,0 +1,57 @@
+// Benchmark workloads (paper Section 2.4).
+//
+// Both workloads are the Vista benchmark variants of the TPC suites:
+//  * Debit-Credit — TPC-B-like banking: each transaction updates a random
+//    account, its teller and branch, and appends a history record to a 2 MB
+//    in-memory circular audit trail.
+//  * Order-Entry — TPC-C-like wholesale supplier, using the three
+//    database-updating transaction types (New-Order, Payment, Delivery).
+//
+// Transactions are issued sequentially and as fast as possible, with no
+// terminal I/O, to isolate the transaction system itself.
+//
+// A workload owns the database *layout* within the store's flat db region
+// and performs every access through the store's MemBus so application
+// writes are charged and replicated exactly like the store's own.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/api.hpp"
+#include "util/rng.hpp"
+
+namespace vrep::wl {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const char* name() const = 0;
+
+  // Populate the database with its initial contents (not on a measured path;
+  // issued through the bus of a formatted store, outside any transaction —
+  // initial state needs no atomicity).
+  virtual void initialize(core::TransactionStore& store) = 0;
+
+  // Execute exactly one transaction (begin..commit) against the store.
+  virtual void run_txn(core::TransactionStore& store, Rng& rng) = 0;
+
+  // Logical-consistency check of the *committed* database state; returns an
+  // empty string when consistent, else a description of the violation. Used
+  // by recovery/takeover tests.
+  virtual std::string check_consistency(const core::TransactionStore& store) const = 0;
+};
+
+enum class WorkloadKind { kDebitCredit, kOrderEntry };
+
+const char* workload_name(WorkloadKind k);
+
+// Factory; the workload adapts its table sizes to db_size.
+std::unique_ptr<Workload> make_workload(WorkloadKind kind, std::size_t db_size);
+
+// Store configuration suited to this workload (range capacity, log sizes).
+core::StoreConfig suggest_config(WorkloadKind kind, std::size_t db_size);
+
+}  // namespace vrep::wl

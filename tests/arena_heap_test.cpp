@@ -1,0 +1,167 @@
+// Rio substrate: arenas, layout carving, the persistent heap.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rio/arena.hpp"
+#include "rio/heap.hpp"
+#include "util/rng.hpp"
+
+namespace vrep::rio {
+namespace {
+
+TEST(Arena, CreateZeroFills) {
+  Arena a = Arena::create(4096);
+  ASSERT_TRUE(a.valid());
+  for (std::size_t i = 0; i < 4096; ++i) ASSERT_EQ(a.data()[i], 0);
+}
+
+TEST(Arena, MoveTransfersOwnership) {
+  Arena a = Arena::create(128);
+  std::uint8_t* p = a.data();
+  Arena b = std::move(a);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing the move
+}
+
+TEST(Arena, FileBackedSurvivesRemap) {
+  const std::string path = ::testing::TempDir() + "/vrep_arena_test.dat";
+  std::remove(path.c_str());
+  {
+    Arena a = Arena::map_file(path, 8192);
+    std::memcpy(a.data() + 100, "persistent!", 11);
+    a.sync();
+  }
+  {
+    Arena b = Arena::map_file(path, 8192);
+    EXPECT_EQ(std::memcmp(b.data() + 100, "persistent!", 11), 0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Layout, CarveAlignsAndAdvances) {
+  Arena a = Arena::create(4096);
+  Layout layout(a);
+  std::uint8_t* p1 = layout.carve(10, 64);
+  std::uint8_t* p2 = layout.carve(100, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p1) % 64, reinterpret_cast<std::uintptr_t>(a.data()) % 64);
+  EXPECT_GE(p2, p1 + 10);
+  EXPECT_EQ((p2 - p1) % 64, 0);
+}
+
+TEST(Layout, ExhaustionAborts) {
+  Arena a = Arena::create(256);
+  Layout layout(a);
+  layout.carve(200);
+  EXPECT_DEATH(layout.carve(200), "CHECK");
+}
+
+class HeapTest : public ::testing::Test {
+ protected:
+  HeapTest() : arena_(Arena::create(1 << 20)), heap_(&bus_, arena_.data(), arena_.size(), true) {}
+  sim::MemBus bus_;
+  Arena arena_;
+  PersistentHeap heap_;
+};
+
+TEST_F(HeapTest, AllocReturnsWritableDistinctBlocks) {
+  std::set<std::uint64_t> offsets;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t off = heap_.alloc(48);
+    ASSERT_NE(off, 0u);
+    ASSERT_TRUE(offsets.insert(off).second);
+    std::memset(heap_.ptr(off), 0xAB, 48);
+  }
+  EXPECT_TRUE(heap_.validate());
+}
+
+TEST_F(HeapTest, FreeThenAllocReusesBlock) {
+  const std::uint64_t a = heap_.alloc(100);
+  heap_.free(a);
+  const std::uint64_t b = heap_.alloc(100);
+  EXPECT_EQ(a, b) << "LIFO free list must hand the block back";
+}
+
+TEST_F(HeapTest, DifferentSizeClassesDoNotMix) {
+  const std::uint64_t small = heap_.alloc(16);
+  heap_.free(small);
+  const std::uint64_t big = heap_.alloc(4000);
+  EXPECT_NE(small, big);
+  EXPECT_TRUE(heap_.validate());
+}
+
+TEST_F(HeapTest, InUseAccounting) {
+  EXPECT_EQ(heap_.bytes_in_use(), 0u);
+  const std::uint64_t a = heap_.alloc(16);
+  const std::uint64_t b = heap_.alloc(16);
+  EXPECT_GT(heap_.bytes_in_use(), 0u);
+  heap_.free(a);
+  heap_.free(b);
+  EXPECT_EQ(heap_.bytes_in_use(), 0u);
+}
+
+TEST_F(HeapTest, ExhaustionReturnsZero) {
+  sim::MemBus bus;
+  Arena small = Arena::create(1024);
+  PersistentHeap heap(&bus, small.data(), small.size(), true);
+  std::uint64_t last = 1;
+  int count = 0;
+  while ((last = heap.alloc(64)) != 0) ++count;
+  EXPECT_GT(count, 2);
+  EXPECT_EQ(heap.alloc(64), 0u);
+  EXPECT_TRUE(heap.validate());
+}
+
+TEST_F(HeapTest, ResetRestoresPristineHeap) {
+  for (int i = 0; i < 50; ++i) heap_.alloc(128);
+  heap_.reset();
+  EXPECT_EQ(heap_.bytes_in_use(), 0u);
+  EXPECT_TRUE(heap_.validate());
+  EXPECT_NE(heap_.alloc(128), 0u);
+}
+
+TEST_F(HeapTest, ReattachSeesSameState) {
+  const std::uint64_t a = heap_.alloc(64);
+  std::memcpy(heap_.ptr(a), "surviving data", 14);
+  PersistentHeap reattached(&bus_, arena_.data(), arena_.size(), /*format=*/false);
+  EXPECT_EQ(std::memcmp(reattached.ptr(a), "surviving data", 14), 0);
+  EXPECT_EQ(reattached.bytes_in_use(), heap_.bytes_in_use());
+  EXPECT_TRUE(reattached.validate());
+}
+
+TEST_F(HeapTest, RandomAllocFreeStressStaysConsistent) {
+  Rng rng(11);
+  std::vector<std::pair<std::uint64_t, std::size_t>> live;
+  for (int i = 0; i < 5000; ++i) {
+    if (live.empty() || rng.below(100) < 60) {
+      const std::size_t n = 8 + rng.below(500);
+      const std::uint64_t off = heap_.alloc(n);
+      if (off != 0) {
+        std::memset(heap_.ptr(off), static_cast<int>(i & 0xff), n);
+        live.emplace_back(off, n);
+      }
+    } else {
+      const std::size_t idx = rng.below(live.size());
+      heap_.free(live[idx].first);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  EXPECT_TRUE(heap_.validate());
+  for (auto& [off, n] : live) heap_.free(off);
+  EXPECT_EQ(heap_.bytes_in_use(), 0u);
+  EXPECT_TRUE(heap_.validate());
+}
+
+TEST_F(HeapTest, DoubleFreeDies) {
+  const std::uint64_t a = heap_.alloc(32);
+  heap_.free(a);
+  EXPECT_DEATH(heap_.free(a), "CHECK");
+}
+
+}  // namespace
+}  // namespace vrep::rio

@@ -1,0 +1,104 @@
+// Cache hierarchy model.
+#include <gtest/gtest.h>
+
+#include "sim/cache_model.hpp"
+
+namespace vrep::sim {
+namespace {
+
+CacheConfig tiny_config() {
+  CacheConfig config;
+  config.levels = {
+      {1024, 1, 2},      // L1: 16 lines direct-mapped
+      {4096, 2, 10},     // L2: 64 lines, 2-way
+  };
+  config.memory_ns = 100;
+  return config;
+}
+
+TEST(CacheModel, ColdMissThenHit) {
+  CacheModel cache(tiny_config());
+  EXPECT_EQ(cache.access(0, 4), 100);  // cold: memory
+  EXPECT_EQ(cache.access(0, 4), 2);    // L1 hit
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits[0], 1u);
+}
+
+TEST(CacheModel, DirectMappedConflictEvicts) {
+  CacheModel cache(tiny_config());
+  cache.access(0, 4);
+  cache.access(1024, 4);  // same L1 set (16 lines * 64B = 1024B wrap)
+  // line 0 evicted from L1 but still in L2 (2-way, different... same set but
+  // two ways hold both).
+  EXPECT_EQ(cache.access(0, 4), 10) << "should hit L2 after L1 conflict";
+}
+
+TEST(CacheModel, LruKeepsMostRecentlyUsed) {
+  CacheConfig config;
+  config.levels = {{128, 2, 3}};  // one set, 2 ways
+  config.memory_ns = 50;
+  CacheModel cache(config);
+  cache.access(0, 1);      // A: miss
+  cache.access(64, 1);     // B: miss
+  cache.access(0, 1);      // A: hit (A is MRU now)
+  cache.access(128, 1);    // C: miss, evicts B (LRU)
+  EXPECT_EQ(cache.access(0, 1), 3) << "A must survive";
+  EXPECT_EQ(cache.access(64, 1), 50) << "B was evicted";
+}
+
+TEST(CacheModel, MultiLineAccessChargesPerLine) {
+  CacheModel cache(tiny_config());
+  const SimTime cost = cache.access(0, 256);  // 4 lines, all cold
+  EXPECT_EQ(cost, 4 * 100);
+  EXPECT_EQ(cache.access(0, 256), 4 * 2);  // all hot in L1
+}
+
+TEST(CacheModel, UnalignedAccessTouchesBothLines) {
+  CacheModel cache(tiny_config());
+  EXPECT_EQ(cache.access(60, 8), 2 * 100);  // straddles lines 0 and 1
+}
+
+TEST(CacheModel, InvalidateAllForcesMisses) {
+  CacheModel cache(tiny_config());
+  cache.access(0, 4);
+  cache.invalidate_all();
+  EXPECT_EQ(cache.access(0, 4), 100);
+}
+
+TEST(CacheModel, WorkingSetLargerThanCacheThrashes) {
+  CacheModel cache(tiny_config());  // 4KB L2
+  // Stream 64KB twice: second pass must still miss everywhere.
+  for (int pass = 0; pass < 2; ++pass) {
+    cache.reset_stats();
+    for (std::uint64_t addr = 0; addr < 64 * 1024; addr += 64) cache.access(addr, 4);
+    EXPECT_EQ(cache.stats().misses, 1024u) << "pass " << pass;
+  }
+}
+
+TEST(CacheModel, SmallWorkingSetStaysResident) {
+  CacheModel cache(tiny_config());
+  for (std::uint64_t addr = 0; addr < 1024; addr += 64) cache.access(addr, 4);
+  cache.reset_stats();
+  for (std::uint64_t addr = 0; addr < 1024; addr += 64) cache.access(addr, 4);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(CacheModel, DefaultGeometryMatchesAlpha) {
+  // 8KB L1 + 96KB L2 + 8MB board cache: a 6MB working set fits L3 but not
+  // L2; a 16MB set fits nothing.
+  CacheModel cache{CacheConfig{}};
+  auto stream = [&cache](std::uint64_t bytes) {
+    for (std::uint64_t a = 0; a < bytes; a += 64) cache.access(a, 4);
+  };
+  stream(6ull << 20);  // warm
+  cache.reset_stats();
+  stream(6ull << 20);
+  EXPECT_EQ(cache.stats().misses, 0u) << "6MB fits the 8MB board cache";
+  stream(16ull << 20);  // blow it out
+  cache.reset_stats();
+  stream(16ull << 20);
+  EXPECT_GT(cache.stats().misses, (16ull << 20) / 64 / 2) << "16MB thrashes";
+}
+
+}  // namespace
+}  // namespace vrep::sim

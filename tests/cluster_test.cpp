@@ -1,0 +1,72 @@
+// Failure detector and membership logic (pure virtual-time tests).
+#include <gtest/gtest.h>
+
+#include "cluster/failure_detector.hpp"
+#include "cluster/membership.hpp"
+
+namespace vrep::cluster {
+namespace {
+
+TEST(HeartbeatDetector, NoSuspicionBeforeFirstContact) {
+  HeartbeatDetector d(100);
+  EXPECT_FALSE(d.suspects(1'000'000));
+}
+
+TEST(HeartbeatDetector, HealthyPeerIsNotSuspected) {
+  HeartbeatDetector d(100);
+  for (std::int64_t t = 0; t < 10'000; t += 50) d.heartbeat(t);
+  EXPECT_FALSE(d.suspects(10'049));
+}
+
+TEST(HeartbeatDetector, SilenceTriggersSuspicion) {
+  HeartbeatDetector d(100);
+  d.heartbeat(1000);
+  EXPECT_FALSE(d.suspects(1099));
+  EXPECT_TRUE(d.suspects(1100));
+}
+
+TEST(HeartbeatDetector, ThresholdDebouncesLateHeartbeats) {
+  HeartbeatDetector d(100, /*suspicion_threshold=*/3);
+  d.heartbeat(0);
+  EXPECT_FALSE(d.suspects(250));  // 2 intervals missed
+  EXPECT_TRUE(d.suspects(300));   // 3 intervals missed
+  d.heartbeat(301);               // peer recovered
+  EXPECT_FALSE(d.suspects(400));
+}
+
+TEST(HeartbeatDetector, MissedIntervalCount) {
+  HeartbeatDetector d(100);
+  d.heartbeat(500);
+  EXPECT_EQ(d.missed_intervals(500), 0);
+  EXPECT_EQ(d.missed_intervals(750), 2);
+  EXPECT_EQ(d.missed_intervals(1200), 7);
+}
+
+TEST(Membership, TakeoverBumpsEpochAndFencesOldPrimary) {
+  Membership backup(1, Role::kBackup);
+  const std::uint64_t old_epoch = backup.view().epoch;
+  backup.take_over();
+  EXPECT_TRUE(backup.is_primary());
+  EXPECT_EQ(backup.view().primary, 1);
+  EXPECT_EQ(backup.view().epoch, old_epoch + 1);
+  // A message stamped with the dead primary's epoch is fenced.
+  EXPECT_FALSE(backup.admits(old_epoch));
+  EXPECT_TRUE(backup.admits(old_epoch + 1));
+}
+
+TEST(Membership, AdoptingANewBackupBumpsEpochAgain) {
+  Membership node(1, Role::kBackup);
+  node.take_over();
+  const std::uint64_t epoch = node.view().epoch;
+  node.adopt_backup(2);
+  EXPECT_EQ(node.view().backup, 2);
+  EXPECT_EQ(node.view().epoch, epoch + 1);
+}
+
+TEST(Membership, OnlyBackupsTakeOver) {
+  Membership primary(0, Role::kPrimary);
+  EXPECT_DEATH(primary.take_over(), "CHECK");
+}
+
+}  // namespace
+}  // namespace vrep::cluster

@@ -1,0 +1,145 @@
+// Integration tests of the full experiment harness: determinism, the
+// paper's qualitative orderings, and accounting sanity.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace vrep::harness {
+namespace {
+
+ExperimentConfig base() {
+  ExperimentConfig config;
+  config.db_size = 8ull << 20;
+  config.txns_per_stream = 5'000;
+  return config;
+}
+
+ExperimentResult run(core::VersionKind v, Mode m, int streams = 1,
+                     wl::WorkloadKind w = wl::WorkloadKind::kDebitCredit) {
+  ExperimentConfig config = base();
+  config.version = v;
+  config.mode = m;
+  config.streams = streams;
+  config.workload = w;
+  return run_experiment(config);
+}
+
+TEST(Experiment, DeterministicVirtualTime) {
+  const auto a = run(core::VersionKind::kV3InlineLog, Mode::kPassive);
+  const auto b = run(core::VersionKind::kV3InlineLog, Mode::kPassive);
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.traffic.total(), b.traffic.total());
+  EXPECT_EQ(a.packets, b.packets);
+}
+
+TEST(Experiment, SeedChangesResultSlightly) {
+  ExperimentConfig c1 = base(), c2 = base();
+  c2.seed = 2;
+  const auto a = run_experiment(c1);
+  const auto b = run_experiment(c2);
+  EXPECT_NE(a.seconds, b.seconds);
+  EXPECT_NEAR(a.tps, b.tps, a.tps * 0.05) << "different seed, same distribution";
+}
+
+TEST(Experiment, StandaloneOrderingMatchesPaperTable3) {
+  const double v0 = run(core::VersionKind::kV0Vista, Mode::kStandalone).tps;
+  const double v1 = run(core::VersionKind::kV1MirrorCopy, Mode::kStandalone).tps;
+  const double v2 = run(core::VersionKind::kV2MirrorDiff, Mode::kStandalone).tps;
+  const double v3 = run(core::VersionKind::kV3InlineLog, Mode::kStandalone).tps;
+  EXPECT_GT(v3, v1);
+  EXPECT_GT(v1, v2);
+  EXPECT_GT(v2, v0);
+}
+
+TEST(Experiment, PassiveOrderingMatchesPaperTable4) {
+  const double v0 = run(core::VersionKind::kV0Vista, Mode::kPassive).tps;
+  const double v2 = run(core::VersionKind::kV2MirrorDiff, Mode::kPassive).tps;
+  const double v3 = run(core::VersionKind::kV3InlineLog, Mode::kPassive).tps;
+  EXPECT_GT(v3, v2) << "logging beats mirroring under write-through";
+  EXPECT_GT(v2, 2 * v0) << "all restructured versions crush Version 0";
+}
+
+TEST(Experiment, ActiveBeatsBestPassive) {
+  const double passive = run(core::VersionKind::kV3InlineLog, Mode::kPassive).tps;
+  const double active = run(core::VersionKind::kV3InlineLog, Mode::kActive).tps;
+  EXPECT_GT(active, passive);
+}
+
+TEST(Experiment, ReplicationCostsThroughput) {
+  const double standalone = run(core::VersionKind::kV3InlineLog, Mode::kStandalone).tps;
+  const double passive = run(core::VersionKind::kV3InlineLog, Mode::kPassive).tps;
+  EXPECT_GT(standalone, passive);
+}
+
+TEST(Experiment, TrafficBreakdownShape) {
+  // Paper Table 5/7 structure: V1 ships full ranges as undo, V2 ships only
+  // diffs, V3 ships undo + headers, active ships no undo at all.
+  const auto v1 = run(core::VersionKind::kV1MirrorCopy, Mode::kPassive);
+  const auto v2 = run(core::VersionKind::kV2MirrorDiff, Mode::kPassive);
+  const auto v3 = run(core::VersionKind::kV3InlineLog, Mode::kPassive);
+  const auto act = run(core::VersionKind::kV3InlineLog, Mode::kActive);
+
+  EXPECT_EQ(v1.traffic.modified(), v2.traffic.modified());
+  EXPECT_GT(v1.traffic.undo(), 2 * v2.traffic.undo());
+  EXPECT_NEAR(static_cast<double>(v2.traffic.undo()),
+              static_cast<double>(v2.traffic.modified()),
+              static_cast<double>(v2.traffic.modified()) * 0.55)
+      << "diffing ships roughly the modified bytes";
+  EXPECT_EQ(v1.traffic.undo(), v3.traffic.undo()) << "same before-image volume";
+  EXPECT_EQ(act.traffic.undo(), 0u);
+  EXPECT_LT(act.traffic.total(), v3.traffic.total());
+}
+
+TEST(Experiment, ActivePacketsAreFullSize) {
+  const auto act = run(core::VersionKind::kV3InlineLog, Mode::kActive);
+  EXPECT_GT(act.avg_packet_bytes, 30.0) << "the redo stream must coalesce into 32B packets";
+  const auto v2 = run(core::VersionKind::kV2MirrorDiff, Mode::kPassive);
+  EXPECT_LT(v2.avg_packet_bytes, 8.0) << "diff writes are scattered small packets";
+}
+
+TEST(Experiment, CommittedCountsMatch) {
+  const auto r = run(core::VersionKind::kV3InlineLog, Mode::kPassive);
+  EXPECT_EQ(r.committed, 5'000u);
+  EXPECT_GT(r.tps, 0.0);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(Experiment, SmpAggregateScalesForActive) {
+  ExperimentConfig config = base();
+  config.mode = Mode::kActive;
+  config.db_size = 4ull << 20;  // paper: 10MB per stream; scaled for test speed
+  config.txns_per_stream = 3'000;
+  config.streams = 1;
+  const double one = run_experiment(config).tps;
+  config.streams = 4;
+  const double four = run_experiment(config).tps;
+  EXPECT_GT(four, 3.0 * one) << "active should scale near-linearly to 4 CPUs";
+}
+
+TEST(Experiment, SmpMirroringSaturates) {
+  ExperimentConfig config = base();
+  config.mode = Mode::kPassive;
+  config.version = core::VersionKind::kV1MirrorCopy;
+  config.db_size = 4ull << 20;
+  config.txns_per_stream = 3'000;
+  config.streams = 1;
+  const double one = run_experiment(config).tps;
+  config.streams = 4;
+  const double four = run_experiment(config).tps;
+  EXPECT_LT(four, 2.5 * one) << "mirroring must hit the SAN wall (paper Fig. 2/3)";
+}
+
+TEST(Experiment, LargerDatabaseDegradesGracefully) {
+  ExperimentConfig config = base();
+  config.mode = Mode::kActive;
+  config.txns_per_stream = 4'000;
+  config.db_size = 8ull << 20;
+  const double small = run_experiment(config).tps;
+  config.db_size = 128ull << 20;
+  const double large = run_experiment(config).tps;
+  EXPECT_LT(large, small);
+  EXPECT_GT(large, 0.6 * small) << "Table 8: graceful degradation, not collapse";
+}
+
+}  // namespace
+}  // namespace vrep::harness

@@ -1,0 +1,72 @@
+// Link cost model: the Figure 1 fit and the shared-occupancy arithmetic.
+#include <gtest/gtest.h>
+
+#include "sim/link_model.hpp"
+
+namespace vrep::sim {
+namespace {
+
+TEST(LinkModel, Figure1Endpoints) {
+  const LinkModel m;
+  // Paper: 32-byte packets sustain ~80 MB/s, 4-byte packets ~14 MB/s.
+  EXPECT_NEAR(m.effective_bandwidth_mbs(32), 80.0, 2.0);
+  EXPECT_NEAR(m.effective_bandwidth_mbs(4), 14.0, 1.0);
+}
+
+TEST(LinkModel, Figure1IntermediatePointsRoughlyDouble) {
+  const LinkModel m;
+  const double bw8 = m.effective_bandwidth_mbs(8);
+  const double bw16 = m.effective_bandwidth_mbs(16);
+  EXPECT_GT(bw8, 20.0);
+  EXPECT_LT(bw8, 35.0);
+  EXPECT_GT(bw16, 40.0);
+  EXPECT_LT(bw16, 60.0);
+}
+
+TEST(LinkModel, BandwidthMonotoneInPacketSize) {
+  const LinkModel m;
+  double prev = 0;
+  for (std::size_t s = 1; s <= 32; ++s) {
+    const double bw = m.effective_bandwidth_mbs(s);
+    EXPECT_GT(bw, prev) << "packet size " << s;
+    prev = bw;
+  }
+}
+
+TEST(LinkModel, PacketTimePositiveAndAffine) {
+  const LinkModel m;
+  const SimTime t4 = m.packet_time(4);
+  const SimTime t8 = m.packet_time(8);
+  const SimTime t32 = m.packet_time(32);
+  EXPECT_GT(t4, 0);
+  EXPECT_EQ(t8 - t4, (t32 - t4) / 7);  // affine in size
+}
+
+TEST(LinkState, ServeSerializesBackToBackPackets) {
+  const LinkModel m;
+  LinkState link;
+  const SimTime t1 = link.serve(0, m.packet_time(32));
+  const SimTime t2 = link.serve(0, m.packet_time(32));
+  EXPECT_EQ(t1, m.packet_time(32));
+  EXPECT_EQ(t2, 2 * m.packet_time(32));
+  EXPECT_EQ(link.packets, 2u);
+}
+
+TEST(LinkState, IdleLinkStartsImmediately) {
+  const LinkModel m;
+  LinkState link;
+  link.serve(0, m.packet_time(4));
+  const SimTime later = 1'000'000;
+  const SimTime done = link.serve(later, m.packet_time(4));
+  EXPECT_EQ(done, later + m.packet_time(4));
+}
+
+TEST(LinkState, BusyTimeAccumulates) {
+  const LinkModel m;
+  LinkState link;
+  for (int i = 0; i < 10; ++i) link.serve(0, m.packet_time(16));
+  EXPECT_EQ(link.busy_ns, 10 * m.packet_time(16));
+}
+
+}  // namespace
+}  // namespace vrep::sim

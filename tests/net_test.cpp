@@ -1,0 +1,155 @@
+// TCP transport framing and wire replication (loopback, two threads).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "net/transport.hpp"
+#include "net/wire_repl.hpp"
+#include "util/rng.hpp"
+
+namespace vrep::net {
+namespace {
+
+struct LoopbackPair {
+  LoopbackPair() {
+    EXPECT_TRUE(server.listen(0));
+    std::thread connector([this] { client_ok = client.connect_to("127.0.0.1", server.bound_port()); });
+    EXPECT_TRUE(server.accept_peer());
+    connector.join();
+    EXPECT_TRUE(client_ok);
+  }
+  TcpTransport server, client;
+  bool client_ok = false;
+};
+
+TEST(Transport, RoundTripsFramedMessages) {
+  LoopbackPair pair;
+  const char payload[] = "hello backup";
+  ASSERT_TRUE(pair.client.send(MsgType::kHeartbeat, payload, sizeof payload));
+  auto msg = pair.server.recv(1000);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MsgType::kHeartbeat);
+  ASSERT_EQ(msg->payload.size(), sizeof payload);
+  EXPECT_EQ(std::memcmp(msg->payload.data(), payload, sizeof payload), 0);
+}
+
+TEST(Transport, ManyMessagesArriveInOrder) {
+  LoopbackPair pair;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(pair.client.send(MsgType::kRedoBatch, &i, 4));
+  }
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    auto msg = pair.server.recv(1000);
+    ASSERT_TRUE(msg.has_value());
+    std::uint32_t got;
+    std::memcpy(&got, msg->payload.data(), 4);
+    ASSERT_EQ(got, i);
+  }
+}
+
+TEST(Transport, LargePayload) {
+  LoopbackPair pair;
+  std::vector<std::uint8_t> big(3u << 20);
+  Rng rng(5);
+  for (auto& b : big) b = static_cast<std::uint8_t>(rng.next_u32());
+  std::thread sender([&] { pair.client.send(MsgType::kDbChunk, big.data(), big.size()); });
+  auto msg = pair.server.recv(5000);
+  sender.join();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, big);
+}
+
+TEST(Transport, RecvTimesOutWhenSilent) {
+  LoopbackPair pair;
+  auto msg = pair.server.recv(50);
+  EXPECT_FALSE(msg.has_value());
+  EXPECT_EQ(pair.server.last_error(), TcpTransport::Error::kTimeout);
+}
+
+TEST(Transport, ClosedPeerIsDetected) {
+  LoopbackPair pair;
+  pair.client.close_peer();
+  auto msg = pair.server.recv(1000);
+  EXPECT_FALSE(msg.has_value());
+  EXPECT_EQ(pair.server.last_error(), TcpTransport::Error::kClosed);
+}
+
+TEST(WireRepl, BackupTracksPrimaryOverTcp) {
+  LoopbackPair pair;
+  core::StoreConfig config;
+  config.db_size = 256 * 1024;
+
+  rio::Arena primary_arena =
+      rio::Arena::create(core::required_arena_size(core::VersionKind::kV3InlineLog, config));
+  WirePrimary primary(primary_arena, config, &pair.client, /*format=*/true);
+
+  rio::Arena backup_arena = rio::Arena::create(config.db_size);
+  WireBackup backup(backup_arena);
+  std::thread backup_thread([&] {
+    // Serve until the primary closes (test end) or goes silent.
+    backup.serve(pair.server, 2000);
+  });
+
+  ASSERT_TRUE(primary.sync_backup());
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    primary.begin_transaction();
+    const std::size_t off = rng.below(config.db_size - 64);
+    primary.set_range(primary.db() + off, 32);
+    const std::uint64_t v = rng.next_u64();
+    primary.bus().write(primary.db() + off, &v, 8, sim::TrafficClass::kModified);
+    primary.commit_transaction();
+  }
+  pair.client.close_peer();  // "primary crashes"
+  backup_thread.join();
+
+  EXPECT_EQ(backup.applied_seq(), 200u);
+  EXPECT_EQ(std::memcmp(backup.db(), primary.db(), config.db_size), 0);
+
+  // Promote and keep serving.
+  sim::MemBus bus;
+  rio::Arena new_arena =
+      rio::Arena::create(core::required_arena_size(core::VersionKind::kV3InlineLog, config));
+  auto promoted = backup.promote(bus, new_arena, config);
+  EXPECT_EQ(std::memcmp(promoted->db(), primary.db(), config.db_size), 0);
+  promoted->begin_transaction();
+  promoted->set_range(promoted->db(), 8);
+  const std::uint64_t v = 42;
+  bus.write(promoted->db(), &v, 8, sim::TrafficClass::kModified);
+  promoted->commit_transaction();
+  EXPECT_TRUE(promoted->validate());
+}
+
+TEST(WireRepl, AbortedTransactionsNeverReachTheBackup) {
+  LoopbackPair pair;
+  core::StoreConfig config;
+  config.db_size = 64 * 1024;
+  rio::Arena primary_arena =
+      rio::Arena::create(core::required_arena_size(core::VersionKind::kV3InlineLog, config));
+  WirePrimary primary(primary_arena, config, &pair.client, true);
+  rio::Arena backup_arena = rio::Arena::create(config.db_size);
+  WireBackup backup(backup_arena);
+  std::thread backup_thread([&] { backup.serve(pair.server, 2000); });
+
+  ASSERT_TRUE(primary.sync_backup());
+  primary.begin_transaction();
+  primary.set_range(primary.db(), 16);
+  const std::uint64_t junk = ~0ull;
+  primary.bus().write(primary.db(), &junk, 8, sim::TrafficClass::kModified);
+  primary.abort_transaction();
+
+  primary.begin_transaction();
+  primary.set_range(primary.db() + 100, 16);
+  const std::uint64_t v = 7;
+  primary.bus().write(primary.db() + 100, &v, 8, sim::TrafficClass::kModified);
+  primary.commit_transaction();
+
+  pair.client.close_peer();
+  backup_thread.join();
+  EXPECT_EQ(backup.applied_seq(), 1u);
+  EXPECT_EQ(std::memcmp(backup.db(), primary.db(), config.db_size), 0);
+}
+
+}  // namespace
+}  // namespace vrep::net

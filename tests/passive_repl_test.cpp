@@ -1,0 +1,192 @@
+// Passive primary-backup: write-through replication and backup takeover.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/api.hpp"
+#include "repl/passive.hpp"
+#include "rio/arena.hpp"
+#include "rio/crash.hpp"
+#include "sim/node.hpp"
+#include "util/rng.hpp"
+
+namespace vrep {
+namespace {
+
+using core::StoreConfig;
+using core::VersionKind;
+
+constexpr VersionKind kAllVersions[] = {
+    VersionKind::kV0Vista,
+    VersionKind::kV1MirrorCopy,
+    VersionKind::kV2MirrorDiff,
+    VersionKind::kV3InlineLog,
+};
+
+StoreConfig small_config() {
+  StoreConfig config;
+  config.db_size = 64 * 1024;
+  config.max_ranges_per_txn = 16;
+  config.undo_log_capacity = 32 * 1024;
+  config.heap_size = 512 * 1024;
+  return config;
+}
+
+void run_txn(core::TransactionStore& store, std::uint64_t salt) {
+  std::uint8_t* db = store.db();
+  Rng rng(salt);
+  store.begin_transaction();
+  for (int r = 0; r < 3; ++r) {
+    const std::size_t len = 8 + rng.below(40);
+    const std::size_t off = rng.below(store.db_size() - len);
+    store.set_range(db + off, len);
+    for (std::size_t i = 0; i + 4 <= len; i += 4) {
+      const std::uint32_t v = rng.next_u32() | 1;
+      store.bus().write(db + off + i, &v, 4, sim::TrafficClass::kModified);
+    }
+  }
+  store.commit_transaction();
+}
+
+// A primary node + passive backup arena wired through a simulated fabric.
+struct Pair {
+  explicit Pair(VersionKind kind, const StoreConfig& config)
+      : fabric(cost.link), primary(cost, 1, &fabric) {
+    const std::size_t bytes = core::required_arena_size(kind, config);
+    primary_arena = rio::Arena::create(bytes);
+    backup_arena = rio::Arena::create(bytes);
+    store = core::make_store(kind, primary.cpu().bus(), primary_arena, config, true);
+    repl::setup_passive_replication(*store, primary_arena, backup_arena);
+    std::memcpy(backup_arena.data(), primary_arena.data(), primary_arena.size());
+  }
+
+  void quiesce() {
+    primary.cpu().mc()->flush();
+    fabric.deliver_all();
+  }
+
+  sim::AlphaCostModel cost;
+  sim::McFabric fabric;
+  sim::Node primary;
+  rio::Arena primary_arena;
+  rio::Arena backup_arena;
+  std::unique_ptr<core::TransactionStore> store;
+};
+
+class PassiveReplTest : public ::testing::TestWithParam<VersionKind> {};
+
+TEST_P(PassiveReplTest, ReplicatedRegionsAreByteIdenticalAfterQuiesce) {
+  const StoreConfig config = small_config();
+  Pair pair(GetParam(), config);
+  for (int i = 0; i < 50; ++i) run_txn(*pair.store, 100 + static_cast<std::uint64_t>(i));
+  pair.quiesce();
+
+  for (const auto& region : pair.store->regions()) {
+    if (!region.replicate_passive) continue;
+    EXPECT_EQ(std::memcmp(pair.primary_arena.data() + region.offset,
+                          pair.backup_arena.data() + region.offset, region.len),
+              0)
+        << "region " << region.name << " diverged";
+  }
+}
+
+TEST_P(PassiveReplTest, TakeoverAfterQuiesceServesCommittedState) {
+  const StoreConfig config = small_config();
+  Pair pair(GetParam(), config);
+  for (int i = 0; i < 30; ++i) run_txn(*pair.store, 200 + static_cast<std::uint64_t>(i));
+  std::vector<std::uint8_t> committed(pair.store->db(), pair.store->db() + config.db_size);
+  pair.quiesce();
+
+  sim::MemBus backup_bus;  // takeover is functional here; no cost model needed
+  auto backup_store =
+      repl::passive_takeover(GetParam(), config, backup_bus, pair.backup_arena);
+  EXPECT_EQ(std::memcmp(backup_store->db(), committed.data(), config.db_size), 0);
+  EXPECT_TRUE(backup_store->validate());
+  EXPECT_EQ(backup_store->committed_seq(), 30u);
+
+  // The promoted backup must be able to process transactions.
+  run_txn(*backup_store, 999);
+  EXPECT_TRUE(backup_store->validate());
+  EXPECT_EQ(backup_store->committed_seq(), 31u);
+}
+
+TEST_P(PassiveReplTest, TakeoverMidTransactionRollsBack) {
+  const StoreConfig config = small_config();
+  Pair pair(GetParam(), config);
+  for (int i = 0; i < 10; ++i) run_txn(*pair.store, 300 + static_cast<std::uint64_t>(i));
+  std::vector<std::uint8_t> committed(pair.store->db(), pair.store->db() + config.db_size);
+
+  // Primary dies mid-transaction, but with the SAN quiesced (every issued
+  // packet delivered) — the deterministic-window case.
+  std::uint8_t* db = pair.store->db();
+  pair.store->begin_transaction();
+  pair.store->set_range(db + 100, 32);
+  const std::uint64_t junk = 0xDEADDEADDEADDEADull;
+  pair.store->bus().write(db + 100, &junk, 8, sim::TrafficClass::kModified);
+  pair.quiesce();  // crash happens after buffers drained
+
+  sim::MemBus backup_bus;
+  auto backup_store =
+      repl::passive_takeover(GetParam(), config, backup_bus, pair.backup_arena);
+  EXPECT_EQ(std::memcmp(backup_store->db(), committed.data(), config.db_size), 0)
+      << "takeover must roll the in-flight transaction back";
+  EXPECT_TRUE(backup_store->validate());
+}
+
+TEST_P(PassiveReplTest, InFlightPacketsAreLostOnCrashButStateStaysUsable) {
+  // 1-safety: crash the fabric mid-stream at increasing cut times. The
+  // backup may lose trailing commits (and, for mirror versions, the paper's
+  // window-of-vulnerability may tear the *final* in-flight transaction), but
+  // takeover must always produce a validating, usable store.
+  const StoreConfig config = small_config();
+  for (const sim::SimTime cut_fraction : {0, 25, 50, 75, 100}) {
+    Pair pair(GetParam(), config);
+    for (int i = 0; i < 20; ++i) run_txn(*pair.store, 400 + static_cast<std::uint64_t>(i));
+    const sim::SimTime end = pair.primary.cpu().clock().now();
+    pair.primary.cpu().mc()->drop_pending();
+    pair.fabric.crash_at(end * cut_fraction / 100);
+
+    sim::MemBus backup_bus;
+    auto backup_store =
+        repl::passive_takeover(GetParam(), config, backup_bus, pair.backup_arena);
+    EXPECT_TRUE(backup_store->validate()) << "cut at " << cut_fraction << "%";
+    EXPECT_LE(backup_store->committed_seq(), 20u);
+    run_txn(*backup_store, 555);
+    EXPECT_TRUE(backup_store->validate());
+  }
+}
+
+TEST_P(PassiveReplTest, UnreplicatedRegionsStayLocal) {
+  const StoreConfig config = small_config();
+  Pair pair(GetParam(), config);
+  for (int i = 0; i < 10; ++i) run_txn(*pair.store, 500 + static_cast<std::uint64_t>(i));
+  pair.quiesce();
+  const auto kind = GetParam();
+  if (kind == VersionKind::kV1MirrorCopy || kind == VersionKind::kV2MirrorDiff) {
+    // The backup's copy of the range array must still be the seeded image:
+    // nothing was written through for it after the initial memcpy. Verify by
+    // checking traffic classes: undo bytes flowed (mirror), but the region
+    // bytes... simplest: the backup range-array count should lag the
+    // primary's unless coincidentally equal; instead check traffic volume.
+    const auto& traffic = pair.primary.cpu().mc()->traffic();
+    // 10 txns x 3 ranges x 16B records would be ~480B of meta if the array
+    // were shipped; the state-machine meta per txn is ~20B. Assert the total
+    // meta stays well below the would-be volume plus overhead.
+    EXPECT_LT(traffic.meta(), 10u * 30u + 200u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVersions, PassiveReplTest, ::testing::ValuesIn(kAllVersions),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case VersionKind::kV0Vista: return "V0Vista";
+                             case VersionKind::kV1MirrorCopy: return "V1MirrorCopy";
+                             case VersionKind::kV2MirrorDiff: return "V2MirrorDiff";
+                             case VersionKind::kV3InlineLog: return "V3InlineLog";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace vrep

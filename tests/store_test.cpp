@@ -1,0 +1,247 @@
+// Functional tests of the four transaction store versions, parameterized so
+// every behaviour is checked against every version.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "core/api.hpp"
+#include "rio/arena.hpp"
+#include "sim/node.hpp"
+#include "util/rng.hpp"
+
+namespace vrep {
+namespace {
+
+using core::StoreConfig;
+using core::VersionKind;
+
+constexpr VersionKind kAllVersions[] = {
+    VersionKind::kV0Vista,
+    VersionKind::kV1MirrorCopy,
+    VersionKind::kV2MirrorDiff,
+    VersionKind::kV3InlineLog,
+};
+
+StoreConfig small_config() {
+  StoreConfig config;
+  config.db_size = 256 * 1024;
+  config.max_ranges_per_txn = 32;
+  config.undo_log_capacity = 64 * 1024;
+  config.heap_size = 1ull << 20;
+  return config;
+}
+
+class StoreTest : public ::testing::TestWithParam<VersionKind> {
+ protected:
+  void SetUp() override {
+    config_ = small_config();
+    arena_ = rio::Arena::create(core::required_arena_size(GetParam(), config_));
+    store_ = core::make_store(GetParam(), bus_, arena_, config_, /*format=*/true);
+  }
+
+  // Re-attach to the same arena, as a reboot would.
+  void reopen() {
+    store_.reset();
+    store_ = core::make_store(GetParam(), bus_, arena_, config_, /*format=*/false);
+  }
+
+  sim::MemBus bus_;  // pass-through: functional tests need no cost model
+  StoreConfig config_;
+  rio::Arena arena_;
+  std::unique_ptr<core::TransactionStore> store_;
+};
+
+TEST_P(StoreTest, FreshStoreIsValidAndEmpty) {
+  EXPECT_TRUE(store_->validate());
+  EXPECT_EQ(store_->committed_seq(), 0u);
+  EXPECT_EQ(store_->db_size(), config_.db_size);
+  for (std::size_t i = 0; i < config_.db_size; ++i) {
+    ASSERT_EQ(store_->db()[i], 0) << "fresh database must be zeroed, byte " << i;
+  }
+}
+
+TEST_P(StoreTest, CommitMakesWritesDurable) {
+  std::uint8_t* db = store_->db();
+  store_->begin_transaction();
+  store_->set_range(db + 100, 16);
+  const std::uint32_t value = 0xdeadbeef;
+  store_->bus().write(db + 100, &value, 4, sim::TrafficClass::kModified);
+  store_->commit_transaction();
+
+  EXPECT_EQ(store_->committed_seq(), 1u);
+  std::uint32_t readback;
+  std::memcpy(&readback, db + 100, 4);
+  EXPECT_EQ(readback, value);
+  EXPECT_TRUE(store_->validate());
+}
+
+TEST_P(StoreTest, AbortRestoresPreImage) {
+  std::uint8_t* db = store_->db();
+  // Commit an initial value.
+  store_->begin_transaction();
+  store_->set_range(db + 64, 8);
+  const std::uint64_t initial = 0x1111111111111111ull;
+  store_->bus().write(db + 64, &initial, 8, sim::TrafficClass::kModified);
+  store_->commit_transaction();
+
+  // Overwrite and abort.
+  store_->begin_transaction();
+  store_->set_range(db + 64, 8);
+  const std::uint64_t scribble = 0x2222222222222222ull;
+  store_->bus().write(db + 64, &scribble, 8, sim::TrafficClass::kModified);
+  store_->abort_transaction();
+
+  std::uint64_t readback;
+  std::memcpy(&readback, db + 64, 8);
+  EXPECT_EQ(readback, initial);
+  EXPECT_EQ(store_->committed_seq(), 1u) << "abort must not bump the commit sequence";
+  EXPECT_TRUE(store_->validate());
+}
+
+TEST_P(StoreTest, AbortRestoresManyRangesNewestFirst) {
+  std::uint8_t* db = store_->db();
+  // Two overlapping set_ranges in one transaction: the second snapshot sees
+  // the first modification, so newest-first undo must end at the ORIGINAL.
+  store_->begin_transaction();
+  store_->set_range(db + 0, 16);
+  const std::uint64_t first = 0xAAAAAAAAAAAAAAAAull;
+  store_->bus().write(db + 0, &first, 8, sim::TrafficClass::kModified);
+  store_->set_range(db + 8, 16);  // overlaps bytes 8..16
+  const std::uint64_t second = 0xBBBBBBBBBBBBBBBBull;
+  store_->bus().write(db + 8, &second, 8, sim::TrafficClass::kModified);
+  store_->abort_transaction();
+
+  for (std::size_t i = 0; i < 24; ++i) {
+    ASSERT_EQ(db[i], 0) << "byte " << i << " not restored";
+  }
+  EXPECT_TRUE(store_->validate());
+}
+
+TEST_P(StoreTest, SequenceAdvancesPerCommit) {
+  std::uint8_t* db = store_->db();
+  for (int i = 1; i <= 10; ++i) {
+    store_->begin_transaction();
+    store_->set_range(db + 32, 4);
+    store_->bus().write(db + 32, &i, 4, sim::TrafficClass::kModified);
+    store_->commit_transaction();
+    EXPECT_EQ(store_->committed_seq(), static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST_P(StoreTest, RecoverOnCleanStoreIsNoOp) {
+  std::uint8_t* db = store_->db();
+  store_->begin_transaction();
+  store_->set_range(db + 0, 4);
+  const int v = 7;
+  store_->bus().write(db + 0, &v, 4, sim::TrafficClass::kModified);
+  store_->commit_transaction();
+
+  reopen();
+  EXPECT_EQ(store_->recover(), 0);
+  EXPECT_EQ(store_->committed_seq(), 1u);
+  int readback;
+  std::memcpy(&readback, store_->db() + 0, 4);
+  EXPECT_EQ(readback, 7);
+  EXPECT_TRUE(store_->validate());
+}
+
+TEST_P(StoreTest, ReopenWithoutRecoverySeesCommittedData) {
+  std::uint8_t* db = store_->db();
+  store_->begin_transaction();
+  store_->set_range(db + 1000, 32);
+  std::uint8_t pattern[32];
+  for (int i = 0; i < 32; ++i) pattern[i] = static_cast<std::uint8_t>(i * 3 + 1);
+  store_->bus().write(db + 1000, pattern, 32, sim::TrafficClass::kModified);
+  store_->commit_transaction();
+
+  reopen();
+  EXPECT_EQ(std::memcmp(store_->db() + 1000, pattern, 32), 0);
+}
+
+TEST_P(StoreTest, RegionsCoverRootAndDatabase) {
+  bool has_root = false, has_db = false;
+  for (const auto& r : store_->regions()) {
+    if (std::string(r.name) == "root") has_root = true;
+    if (std::string(r.name) == "db") {
+      has_db = true;
+      EXPECT_EQ(r.len, config_.db_size);
+      EXPECT_TRUE(r.replicate_passive);
+    }
+    EXPECT_LE(r.offset + r.len, arena_.size());
+  }
+  EXPECT_TRUE(has_root);
+  EXPECT_TRUE(has_db);
+}
+
+TEST_P(StoreTest, MirrorVersionsKeepRangeArrayLocal) {
+  const auto kind = GetParam();
+  const bool is_mirror =
+      kind == VersionKind::kV1MirrorCopy || kind == VersionKind::kV2MirrorDiff;
+  for (const auto& r : store_->regions()) {
+    if (std::string(r.name) == "ranges") {
+      EXPECT_TRUE(is_mirror);
+      EXPECT_FALSE(r.replicate_passive) << "Section 5.1: the range array is not shipped";
+    }
+  }
+}
+
+TEST_P(StoreTest, ManyRandomTransactionsStayConsistent) {
+  // Model check against an in-memory reference: random commits and aborts,
+  // the database must always equal the reference afterwards.
+  std::uint8_t* db = store_->db();
+  std::vector<std::uint8_t> reference(config_.db_size, 0);
+  Rng rng(42);
+
+  for (int txn = 0; txn < 300; ++txn) {
+    const bool commit = rng.below(100) < 70;
+    store_->begin_transaction();
+    std::vector<std::uint8_t> scratch = reference;
+    const int ranges = static_cast<int>(1 + rng.below(5));
+    for (int r = 0; r < ranges; ++r) {
+      const std::size_t len = 4 + rng.below(64);
+      const std::size_t off = rng.below(config_.db_size - len);
+      store_->set_range(db + off, len);
+      for (std::size_t i = 0; i < len; i += 4) {
+        const auto v = static_cast<std::uint32_t>(rng.next_u32());
+        const std::size_t n = std::min<std::size_t>(4, len - i);
+        store_->bus().write(db + off + i, &v, n, sim::TrafficClass::kModified);
+        std::memcpy(scratch.data() + off + i, &v, n);
+      }
+    }
+    if (commit) {
+      store_->commit_transaction();
+      reference = std::move(scratch);
+    } else {
+      store_->abort_transaction();
+    }
+    ASSERT_EQ(std::memcmp(db, reference.data(), config_.db_size), 0)
+        << "divergence after txn " << txn << (commit ? " (commit)" : " (abort)");
+    ASSERT_TRUE(store_->validate());
+  }
+}
+
+TEST_P(StoreTest, SetRangeRejectsOutOfBounds) {
+  store_->begin_transaction();
+  EXPECT_DEATH(store_->set_range(store_->db() + config_.db_size - 2, 8), "CHECK");
+}
+
+TEST_P(StoreTest, DoubleBeginIsRejected) {
+  store_->begin_transaction();
+  EXPECT_DEATH(store_->begin_transaction(), "CHECK");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVersions, StoreTest, ::testing::ValuesIn(kAllVersions),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case VersionKind::kV0Vista: return "V0Vista";
+                             case VersionKind::kV1MirrorCopy: return "V1MirrorCopy";
+                             case VersionKind::kV2MirrorDiff: return "V2MirrorDiff";
+                             case VersionKind::kV3InlineLog: return "V3InlineLog";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace vrep

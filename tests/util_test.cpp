@@ -1,0 +1,153 @@
+// Utility layer: RNG, CRC, histogram, table/chart rendering, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/ascii_chart.hpp"
+#include "util/cli.hpp"
+#include "util/crc32.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace vrep {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) ASSERT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.range(-3, 3));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), -3);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC32C("123456789") = 0xE3069283 (Castagnoli reference value).
+  EXPECT_EQ(Crc32::of("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot) {
+  Crc32 inc;
+  inc.update("hello ", 6);
+  inc.update("world", 5);
+  EXPECT_EQ(inc.value(), Crc32::of("hello world", 11));
+}
+
+TEST(Crc32, SensitiveToEveryByte) {
+  std::string s(64, 'x');
+  const std::uint32_t base = Crc32::of(s.data(), s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    std::string t = s;
+    t[i] = 'y';
+    ASSERT_NE(Crc32::of(t.data(), t.size()), base) << i;
+  }
+}
+
+TEST(Histogram, MeanAndCount) {
+  Histogram h;
+  h.add(10);
+  h.add(20);
+  h.add(30);
+  EXPECT_EQ(h.total_count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_EQ(h.max_seen(), 30u);
+}
+
+TEST(Histogram, PercentileBounds) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.add(8);
+  h.add(1024);
+  EXPECT_LE(h.percentile(0.5), 16u);
+  EXPECT_GE(h.percentile(0.999), 1024u);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a, b;
+  a.add(4, 10);
+  b.add(4, 5);
+  a.merge(b);
+  EXPECT_EQ(a.total_count(), 15u);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t("Title");
+  t.set_header({"name", "tps"});
+  t.add_row({"V3", "372692"});
+  t.add_row({"V0 (long name)", "1"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| V3 "), std::string::npos);
+  EXPECT_NE(out.find("372692"), std::string::npos);
+  // Every rendered body line has the same width.
+  std::size_t width = 0;
+  std::size_t pos = out.find('+');
+  const std::size_t line_end = out.find('\n', pos);
+  width = line_end - pos;
+  for (std::size_t p = pos; p < out.size();) {
+    const std::size_t e = out.find('\n', p);
+    if (e == std::string::npos) break;
+    ASSERT_EQ(e - p, width);
+    p = e + 1;
+  }
+}
+
+TEST(AsciiChart, RendersSeriesAndLegend) {
+  AsciiChart chart("Throughput", "cpus", "tps");
+  chart.set_x({1, 2, 3, 4});
+  chart.add_series("Active", {100, 200, 300, 400});
+  chart.add_series("Passive", {100, 120, 120, 120});
+  const std::string out = chart.render(40, 10);
+  EXPECT_NE(out.find("Throughput"), std::string::npos);
+  EXPECT_NE(out.find("*=Active"), std::string::npos);
+  EXPECT_NE(out.find("o=Passive"), std::string::npos);
+}
+
+TEST(Cli, ParsesFlagsAndPositional) {
+  // Positionals go before flags: a bare --flag followed by a word is read
+  // as --flag=word (the --role primary form), which is the documented
+  // ambiguity of this minimal parser.
+  const char* argv[] = {"prog", "input.db", "--txns=5000", "--role", "primary", "--verbose"};
+  CliArgs args(6, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("txns", 0), 5000);
+  EXPECT_EQ(args.get_string("role", ""), "primary");
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get_int("missing", 42), 42);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.db");
+}
+
+TEST(Cli, DoubleValues) {
+  const char* argv[] = {"prog", "--scale=2.5"};
+  CliArgs args(2, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 0), 2.5);
+}
+
+}  // namespace
+}  // namespace vrep

@@ -1,0 +1,92 @@
+// Crash recovery under the real workloads: inject crashes at sampled store
+// boundaries while Debit-Credit / Order-Entry run, recover, and check the
+// workloads' logical invariants (balance sums, warehouse/district YTD,
+// order-slot structure) — a different axis from the byte-exact synthetic
+// sweeps in crash_recovery_test.cpp.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/api.hpp"
+#include "rio/arena.hpp"
+#include "rio/crash.hpp"
+#include "sim/mem_bus.hpp"
+#include "workload/workload.hpp"
+
+namespace vrep {
+namespace {
+
+using Param = std::tuple<core::VersionKind, wl::WorkloadKind>;
+
+class WorkloadCrashTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(WorkloadCrashTest, InvariantsHoldAfterRecoveryFromSampledCrashes) {
+  const auto [kind, workload_kind] = GetParam();
+  constexpr std::size_t kDbSize = 2ull << 20;
+
+  core::StoreConfig config = wl::suggest_config(workload_kind, kDbSize);
+  sim::MemBus bus;
+  rio::Arena arena = rio::Arena::create(core::required_arena_size(kind, config));
+  rio::CrashInjector injector;
+
+  auto store = core::make_store(kind, bus, arena, config, /*format=*/true);
+  auto workload = wl::make_workload(workload_kind, kDbSize);
+  workload->initialize(*store);
+  store->flush_initial_state();
+
+  Rng rng(17);
+  std::uint64_t crashes = 0;
+  // Run batches of transactions with a crash armed at a pseudo-random write
+  // inside each batch; recover in place and keep going with the same store
+  // state (a long-lived server that keeps crashing and recovering).
+  for (int batch = 0; batch < 60; ++batch) {
+    bus.set_write_hook(&injector);
+    injector.arm(rng.below(400));
+    bool crashed = false;
+    try {
+      for (int i = 0; i < 25; ++i) workload->run_txn(*store, rng);
+    } catch (const rio::SimulatedCrash&) {
+      crashed = true;
+      ++crashes;
+    }
+    bus.set_write_hook(nullptr);
+    if (crashed) {
+      // Reboot: fresh store object over the surviving arena.
+      store.reset();
+      store = core::make_store(kind, bus, arena, config, /*format=*/false);
+      store->recover();
+    }
+    ASSERT_TRUE(store->validate()) << "batch " << batch;
+    ASSERT_EQ(workload->check_consistency(*store), "") << "batch " << batch;
+  }
+  // The sampling must actually have exercised the crash path.
+  EXPECT_GT(crashes, 20u);
+  EXPECT_GT(store->committed_seq(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVersionsAndWorkloads, WorkloadCrashTest,
+    ::testing::Combine(::testing::Values(core::VersionKind::kV0Vista,
+                                         core::VersionKind::kV1MirrorCopy,
+                                         core::VersionKind::kV2MirrorDiff,
+                                         core::VersionKind::kV3InlineLog),
+                       ::testing::Values(wl::WorkloadKind::kDebitCredit,
+                                         wl::WorkloadKind::kOrderEntry)),
+    [](const auto& info) {
+      // No structured bindings here: a comma inside [] would split the
+      // INSTANTIATE macro's arguments.
+      const core::VersionKind kind = std::get<0>(info.param);
+      const wl::WorkloadKind workload = std::get<1>(info.param);
+      std::string name;
+      switch (kind) {
+        case core::VersionKind::kV0Vista: name = "V0"; break;
+        case core::VersionKind::kV1MirrorCopy: name = "V1"; break;
+        case core::VersionKind::kV2MirrorDiff: name = "V2"; break;
+        case core::VersionKind::kV3InlineLog: name = "V3"; break;
+      }
+      name += workload == wl::WorkloadKind::kDebitCredit ? "DebitCredit" : "OrderEntry";
+      return name;
+    });
+
+}  // namespace
+}  // namespace vrep
