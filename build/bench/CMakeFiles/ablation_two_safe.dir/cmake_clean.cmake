@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_two_safe.dir/ablation_two_safe.cpp.o"
+  "CMakeFiles/ablation_two_safe.dir/ablation_two_safe.cpp.o.d"
+  "ablation_two_safe"
+  "ablation_two_safe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_two_safe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

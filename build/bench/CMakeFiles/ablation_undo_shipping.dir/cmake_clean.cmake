@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_undo_shipping.dir/ablation_undo_shipping.cpp.o"
+  "CMakeFiles/ablation_undo_shipping.dir/ablation_undo_shipping.cpp.o.d"
+  "ablation_undo_shipping"
+  "ablation_undo_shipping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_undo_shipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_smp_debitcredit.dir/fig2_smp_debitcredit.cpp.o"
+  "CMakeFiles/fig2_smp_debitcredit.dir/fig2_smp_debitcredit.cpp.o.d"
+  "fig2_smp_debitcredit"
+  "fig2_smp_debitcredit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_smp_debitcredit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_smp_orderentry.dir/fig3_smp_orderentry.cpp.o"
+  "CMakeFiles/fig3_smp_orderentry.dir/fig3_smp_orderentry.cpp.o.d"
+  "fig3_smp_orderentry"
+  "fig3_smp_orderentry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_smp_orderentry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_smp_orderentry.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_time.dir/recovery_time.cpp.o"
+  "CMakeFiles/recovery_time.dir/recovery_time.cpp.o.d"
+  "recovery_time"
+  "recovery_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_straightforward.dir/table1_straightforward.cpp.o"
+  "CMakeFiles/table1_straightforward.dir/table1_straightforward.cpp.o.d"
+  "table1_straightforward"
+  "table1_straightforward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_straightforward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_standalone.dir/table3_standalone.cpp.o"
+  "CMakeFiles/table3_standalone.dir/table3_standalone.cpp.o.d"
+  "table3_standalone"
+  "table3_standalone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_standalone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_passive.dir/table4_passive.cpp.o"
+  "CMakeFiles/table4_passive.dir/table4_passive.cpp.o.d"
+  "table4_passive"
+  "table4_passive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_passive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

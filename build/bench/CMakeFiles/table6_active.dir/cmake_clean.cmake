@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_active.dir/table6_active.cpp.o"
+  "CMakeFiles/table6_active.dir/table6_active.cpp.o.d"
+  "table6_active"
+  "table6_active.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

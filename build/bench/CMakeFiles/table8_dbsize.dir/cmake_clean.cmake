@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_dbsize.dir/table8_dbsize.cpp.o"
+  "CMakeFiles/table8_dbsize.dir/table8_dbsize.cpp.o.d"
+  "table8_dbsize"
+  "table8_dbsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_dbsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

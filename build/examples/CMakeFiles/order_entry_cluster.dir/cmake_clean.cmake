@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_entry_cluster.dir/order_entry_cluster.cpp.o"
+  "CMakeFiles/order_entry_cluster.dir/order_entry_cluster.cpp.o.d"
+  "order_entry_cluster"
+  "order_entry_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_entry_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

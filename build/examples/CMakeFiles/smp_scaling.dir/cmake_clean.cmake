@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smp_scaling.dir/smp_scaling.cpp.o"
+  "CMakeFiles/smp_scaling.dir/smp_scaling.cpp.o.d"
+  "smp_scaling"
+  "smp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

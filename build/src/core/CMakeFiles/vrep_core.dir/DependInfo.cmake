@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/api.cpp" "src/core/CMakeFiles/vrep_core.dir/api.cpp.o" "gcc" "src/core/CMakeFiles/vrep_core.dir/api.cpp.o.d"
+  "/root/repo/src/core/mirror_store.cpp" "src/core/CMakeFiles/vrep_core.dir/mirror_store.cpp.o" "gcc" "src/core/CMakeFiles/vrep_core.dir/mirror_store.cpp.o.d"
+  "/root/repo/src/core/v0_vista.cpp" "src/core/CMakeFiles/vrep_core.dir/v0_vista.cpp.o" "gcc" "src/core/CMakeFiles/vrep_core.dir/v0_vista.cpp.o.d"
+  "/root/repo/src/core/v3_inline_log.cpp" "src/core/CMakeFiles/vrep_core.dir/v3_inline_log.cpp.o" "gcc" "src/core/CMakeFiles/vrep_core.dir/v3_inline_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rio/CMakeFiles/vrep_rio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vrep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vrep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrep_core.dir/api.cpp.o"
+  "CMakeFiles/vrep_core.dir/api.cpp.o.d"
+  "CMakeFiles/vrep_core.dir/mirror_store.cpp.o"
+  "CMakeFiles/vrep_core.dir/mirror_store.cpp.o.d"
+  "CMakeFiles/vrep_core.dir/v0_vista.cpp.o"
+  "CMakeFiles/vrep_core.dir/v0_vista.cpp.o.d"
+  "CMakeFiles/vrep_core.dir/v3_inline_log.cpp.o"
+  "CMakeFiles/vrep_core.dir/v3_inline_log.cpp.o.d"
+  "libvrep_core.a"
+  "libvrep_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrep_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

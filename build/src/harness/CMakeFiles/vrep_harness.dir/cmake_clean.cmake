@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrep_harness.dir/experiment.cpp.o"
+  "CMakeFiles/vrep_harness.dir/experiment.cpp.o.d"
+  "libvrep_harness.a"
+  "libvrep_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrep_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrep_net.dir/transport.cpp.o"
+  "CMakeFiles/vrep_net.dir/transport.cpp.o.d"
+  "CMakeFiles/vrep_net.dir/wire_repl.cpp.o"
+  "CMakeFiles/vrep_net.dir/wire_repl.cpp.o.d"
+  "libvrep_net.a"
+  "libvrep_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrep_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

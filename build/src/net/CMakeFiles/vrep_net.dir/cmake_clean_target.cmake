@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvrep_net.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repl/active.cpp" "src/repl/CMakeFiles/vrep_repl.dir/active.cpp.o" "gcc" "src/repl/CMakeFiles/vrep_repl.dir/active.cpp.o.d"
+  "/root/repo/src/repl/passive.cpp" "src/repl/CMakeFiles/vrep_repl.dir/passive.cpp.o" "gcc" "src/repl/CMakeFiles/vrep_repl.dir/passive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vrep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vrep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rio/CMakeFiles/vrep_rio.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vrep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

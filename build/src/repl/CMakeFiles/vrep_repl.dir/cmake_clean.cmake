@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrep_repl.dir/active.cpp.o"
+  "CMakeFiles/vrep_repl.dir/active.cpp.o.d"
+  "CMakeFiles/vrep_repl.dir/passive.cpp.o"
+  "CMakeFiles/vrep_repl.dir/passive.cpp.o.d"
+  "libvrep_repl.a"
+  "libvrep_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrep_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rio/arena.cpp" "src/rio/CMakeFiles/vrep_rio.dir/arena.cpp.o" "gcc" "src/rio/CMakeFiles/vrep_rio.dir/arena.cpp.o.d"
+  "/root/repo/src/rio/heap.cpp" "src/rio/CMakeFiles/vrep_rio.dir/heap.cpp.o" "gcc" "src/rio/CMakeFiles/vrep_rio.dir/heap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vrep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vrep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrep_rio.dir/arena.cpp.o"
+  "CMakeFiles/vrep_rio.dir/arena.cpp.o.d"
+  "CMakeFiles/vrep_rio.dir/heap.cpp.o"
+  "CMakeFiles/vrep_rio.dir/heap.cpp.o.d"
+  "libvrep_rio.a"
+  "libvrep_rio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrep_rio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

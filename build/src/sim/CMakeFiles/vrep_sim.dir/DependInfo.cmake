@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache_model.cpp" "src/sim/CMakeFiles/vrep_sim.dir/cache_model.cpp.o" "gcc" "src/sim/CMakeFiles/vrep_sim.dir/cache_model.cpp.o.d"
+  "/root/repo/src/sim/mem_bus.cpp" "src/sim/CMakeFiles/vrep_sim.dir/mem_bus.cpp.o" "gcc" "src/sim/CMakeFiles/vrep_sim.dir/mem_bus.cpp.o.d"
+  "/root/repo/src/sim/memory_channel.cpp" "src/sim/CMakeFiles/vrep_sim.dir/memory_channel.cpp.o" "gcc" "src/sim/CMakeFiles/vrep_sim.dir/memory_channel.cpp.o.d"
+  "/root/repo/src/sim/write_buffer.cpp" "src/sim/CMakeFiles/vrep_sim.dir/write_buffer.cpp.o" "gcc" "src/sim/CMakeFiles/vrep_sim.dir/write_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vrep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrep_sim.dir/cache_model.cpp.o"
+  "CMakeFiles/vrep_sim.dir/cache_model.cpp.o.d"
+  "CMakeFiles/vrep_sim.dir/mem_bus.cpp.o"
+  "CMakeFiles/vrep_sim.dir/mem_bus.cpp.o.d"
+  "CMakeFiles/vrep_sim.dir/memory_channel.cpp.o"
+  "CMakeFiles/vrep_sim.dir/memory_channel.cpp.o.d"
+  "CMakeFiles/vrep_sim.dir/write_buffer.cpp.o"
+  "CMakeFiles/vrep_sim.dir/write_buffer.cpp.o.d"
+  "libvrep_sim.a"
+  "libvrep_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrep_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

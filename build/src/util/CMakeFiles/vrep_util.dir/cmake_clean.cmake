@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrep_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/vrep_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/vrep_util.dir/cli.cpp.o"
+  "CMakeFiles/vrep_util.dir/cli.cpp.o.d"
+  "CMakeFiles/vrep_util.dir/crc32.cpp.o"
+  "CMakeFiles/vrep_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/vrep_util.dir/histogram.cpp.o"
+  "CMakeFiles/vrep_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/vrep_util.dir/table.cpp.o"
+  "CMakeFiles/vrep_util.dir/table.cpp.o.d"
+  "libvrep_util.a"
+  "libvrep_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrep_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

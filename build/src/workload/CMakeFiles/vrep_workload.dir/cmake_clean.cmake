@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrep_workload.dir/debit_credit.cpp.o"
+  "CMakeFiles/vrep_workload.dir/debit_credit.cpp.o.d"
+  "CMakeFiles/vrep_workload.dir/order_entry.cpp.o"
+  "CMakeFiles/vrep_workload.dir/order_entry.cpp.o.d"
+  "CMakeFiles/vrep_workload.dir/workload.cpp.o"
+  "CMakeFiles/vrep_workload.dir/workload.cpp.o.d"
+  "libvrep_workload.a"
+  "libvrep_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrep_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

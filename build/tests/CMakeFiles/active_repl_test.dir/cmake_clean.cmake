@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_repl_test.dir/active_repl_test.cpp.o"
+  "CMakeFiles/active_repl_test.dir/active_repl_test.cpp.o.d"
+  "active_repl_test"
+  "active_repl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_repl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

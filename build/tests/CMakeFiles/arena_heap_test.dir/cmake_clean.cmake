@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arena_heap_test.dir/arena_heap_test.cpp.o"
+  "CMakeFiles/arena_heap_test.dir/arena_heap_test.cpp.o.d"
+  "arena_heap_test"
+  "arena_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arena_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passive_repl_test.dir/passive_repl_test.cpp.o"
+  "CMakeFiles/passive_repl_test.dir/passive_repl_test.cpp.o.d"
+  "passive_repl_test"
+  "passive_repl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passive_repl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

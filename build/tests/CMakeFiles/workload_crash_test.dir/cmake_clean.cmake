@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_crash_test.dir/workload_crash_test.cpp.o"
+  "CMakeFiles/workload_crash_test.dir/workload_crash_test.cpp.o.d"
+  "workload_crash_test"
+  "workload_crash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
