@@ -8,17 +8,27 @@
 
 #include <cstdint>
 
+#include "util/check.hpp"
+
 namespace vrep::cluster {
 
 class HeartbeatDetector {
  public:
-  // `timeout_ms`: silence after which the peer is suspected.
+  // `timeout_ms`: silence after which the peer is suspected. Must be
+  // positive — it divides the observed silence into missed intervals.
   // `suspicion_threshold`: consecutive missed intervals before declaring
   // failure (debounces a single late heartbeat).
   explicit HeartbeatDetector(std::int64_t timeout_ms, int suspicion_threshold = 1)
-      : timeout_ms_(timeout_ms), threshold_(suspicion_threshold) {}
+      : timeout_ms_(timeout_ms), threshold_(suspicion_threshold) {
+    VREP_CHECK(timeout_ms > 0);
+    VREP_CHECK(suspicion_threshold > 0);
+  }
 
   void heartbeat(std::int64_t now_ms) {
+    // A timestamp behind the newest one we have seen (clock skew between
+    // reporting threads, or a delayed frame carrying a stale receive time)
+    // must not rewind the detector and resurrect an already-silent peer.
+    if (seen_any_ && now_ms < last_heartbeat_ms_) return;
     last_heartbeat_ms_ = now_ms;
     seen_any_ = true;
   }

@@ -4,6 +4,12 @@
 // fenced (its messages carry a stale epoch and are ignored). This prevents
 // the classic split-brain where a paused-but-alive primary resumes after
 // the backup has taken over.
+//
+// The epoch travels in every wire frame (net/transport.hpp), so fencing is
+// end-to-end: a promoted node drops stale-epoch redo and answers with a
+// kEpochFence frame, and the fenced old primary demotes itself
+// (demote_to_backup) and re-enters via the rejoin protocol instead of
+// corrupting state.
 #pragma once
 
 #include <cstdint>
@@ -22,7 +28,15 @@ struct View {
 
 class Membership {
  public:
-  Membership(int self, Role role) : self_(self), role_(role) {}
+  Membership(int self, Role role) : self_(self), role_(role) {
+    if (role == Role::kBackup) {
+      view_.primary = -1;  // learned from the primary's hello/delta
+      view_.backup = self;
+    } else {
+      view_.primary = self;
+      view_.backup = -1;  // no backup until one joins
+    }
+  }
 
   const View& view() const { return view_; }
   Role role() const { return role_; }
@@ -39,11 +53,35 @@ class Membership {
     role_ = Role::kPrimary;
   }
 
-  // A replacement backup joined the (new) primary.
+  // A replacement backup joined the (new) primary: view change, new epoch.
+  // A mere reconnection of the current backup is NOT a view change and must
+  // not bump the epoch (has_backup() distinguishes the two).
   void adopt_backup(int node) {
     VREP_CHECK(role_ == Role::kPrimary);
     view_.backup = node;
     view_.epoch += 1;
+  }
+
+  bool has_backup() const { return view_.backup >= 0; }
+
+  // Backup side: learned the primary's current epoch from a kHello /
+  // kRejoinDelta frame. Epochs only move forward.
+  void join_epoch(std::uint64_t epoch) {
+    VREP_CHECK(role_ == Role::kBackup);
+    VREP_CHECK(epoch >= view_.epoch);
+    view_.epoch = epoch;
+  }
+
+  // A fenced primary (someone took over in a newer epoch) steps down so it
+  // can rejoin as backup. Adopts the fencing epoch; join_epoch() will move
+  // it further forward when the new primary syncs us.
+  void demote_to_backup(std::uint64_t fenced_by_epoch) {
+    VREP_CHECK(role_ == Role::kPrimary);
+    VREP_CHECK(fenced_by_epoch > view_.epoch);
+    view_.epoch = fenced_by_epoch;
+    view_.primary = -1;
+    view_.backup = self_;
+    role_ = Role::kBackup;
   }
 
   // Message admission: stale-epoch traffic is fenced.

@@ -52,6 +52,15 @@ class InlineLogStore final : public StoreBase {
   // redo log instead of this undo log.
   std::size_t ranges_in_txn() const { return txn_records_.size(); }
 
+  // Seed the persistent sequence counter of a freshly formatted store so a
+  // promoted backup continues the replicated numbering (rejoin deltas and
+  // any workload state derived from committed_seq depend on it). Only valid
+  // outside a transaction, before the store commits anything of its own.
+  void seed_committed_seq(std::uint64_t seq) {
+    VREP_CHECK(!in_txn_);
+    persist_committed_seq(seq);
+  }
+
  private:
   struct RecordHeader {  // persistent, 16 bytes
     std::uint32_t magic;

@@ -16,11 +16,22 @@ namespace vrep::net {
 
 namespace {
 struct FrameHeader {
+  std::uint64_t epoch;
   std::uint32_t len;
+  std::uint32_t payload_crc;
+  std::uint32_t header_crc;  // over epoch, len, type
   std::uint8_t type;
   std::uint8_t pad[3];
-  std::uint32_t crc;
 };
+static_assert(sizeof(FrameHeader) == 24);
+
+std::uint32_t header_crc_of(const FrameHeader& hdr) {
+  Crc32 c;
+  c.update(&hdr.epoch, sizeof hdr.epoch);
+  c.update(&hdr.len, sizeof hdr.len);
+  c.update(&hdr.type, sizeof hdr.type);
+  return c.value();
+}
 }  // namespace
 
 TcpTransport::~TcpTransport() {
@@ -53,6 +64,7 @@ bool TcpTransport::listen(std::uint16_t port) {
 }
 
 bool TcpTransport::accept_peer(int timeout_ms) {
+  close_peer();  // drop any previous peer before accepting a replacement
   pollfd pfd{listen_fd_, POLLIN, 0};
   if (::poll(&pfd, 1, timeout_ms) <= 0) {
     error_ = Error::kTimeout;
@@ -62,10 +74,12 @@ bool TcpTransport::accept_peer(int timeout_ms) {
   if (fd_ < 0) return false;
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  error_ = Error::kNone;
   return true;
 }
 
 bool TcpTransport::connect_to(const std::string& host, std::uint16_t port, int timeout_ms) {
+  close_peer();
   const int deadline_steps = timeout_ms / 50 + 1;
   for (int attempt = 0; attempt < deadline_steps; ++attempt) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -77,6 +91,7 @@ bool TcpTransport::connect_to(const std::string& host, std::uint16_t port, int t
     if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
       const int one = 1;
       ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      error_ = Error::kNone;
       return true;
     }
     ::close(fd_);
@@ -87,12 +102,45 @@ bool TcpTransport::connect_to(const std::string& host, std::uint16_t port, int t
   return false;
 }
 
-bool TcpTransport::send(MsgType type, const void* payload, std::size_t len) {
-  if (fd_ < 0) return false;
+std::vector<std::uint8_t> TcpTransport::encode_frame(MsgType type, std::uint64_t epoch,
+                                                     const void* payload, std::size_t len) {
   FrameHeader hdr{};
+  hdr.epoch = epoch;
   hdr.len = static_cast<std::uint32_t>(len);
   hdr.type = static_cast<std::uint8_t>(type);
-  hdr.crc = Crc32::of(payload, len);
+  hdr.payload_crc = Crc32::of(payload, len);
+  hdr.header_crc = header_crc_of(hdr);
+  std::vector<std::uint8_t> frame(sizeof hdr + len);
+  std::memcpy(frame.data(), &hdr, sizeof hdr);
+  if (len > 0) std::memcpy(frame.data() + sizeof hdr, payload, len);
+  return frame;
+}
+
+bool TcpTransport::send_bytes(const void* bytes, std::size_t len) {
+  if (fd_ < 0) return false;
+  const auto* p = static_cast<const std::uint8_t*>(bytes);
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t wrote = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    if (wrote <= 0) {
+      if (errno == EINTR) continue;
+      error_ = Error::kClosed;
+      return false;
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+bool TcpTransport::send(MsgType type, std::uint64_t epoch, const void* payload,
+                        std::size_t len) {
+  if (fd_ < 0) return false;
+  FrameHeader hdr{};
+  hdr.epoch = epoch;
+  hdr.len = static_cast<std::uint32_t>(len);
+  hdr.type = static_cast<std::uint8_t>(type);
+  hdr.payload_crc = Crc32::of(payload, len);
+  hdr.header_crc = header_crc_of(hdr);
   iovec iov[2] = {{&hdr, sizeof hdr}, {const_cast<void*>(payload), len}};
   std::size_t total = sizeof hdr + len;
   std::size_t sent = 0;
@@ -159,15 +207,21 @@ std::optional<Message> TcpTransport::recv(int timeout_ms) {
   error_ = Error::kNone;
   FrameHeader hdr;
   if (!read_fully(&hdr, sizeof hdr, timeout_ms)) return std::nullopt;
-  if (hdr.len > (64u << 20)) {  // sanity bound
+  if (header_crc_of(hdr) != hdr.header_crc || hdr.len > (64u << 20)) {
+    // The length field cannot be trusted: framing is lost for good. Close so
+    // the peer reconnects and the protocol layer resyncs via rejoin.
     error_ = Error::kCorrupt;
+    close_peer();
     return std::nullopt;
   }
   Message msg;
   msg.type = static_cast<MsgType>(hdr.type);
+  msg.epoch = hdr.epoch;
   msg.payload.resize(hdr.len);
   if (!read_fully(msg.payload.data(), hdr.len, timeout_ms)) return std::nullopt;
-  if (Crc32::of(msg.payload.data(), msg.payload.size()) != hdr.crc) {
+  if (Crc32::of(msg.payload.data(), msg.payload.size()) != hdr.payload_crc) {
+    // Payload bytes were consumed in full, so the stream stays aligned; the
+    // receiver may skip this frame and resynchronise in-band.
     error_ = Error::kCorrupt;
     return std::nullopt;
   }

@@ -3,9 +3,23 @@
 // hardware, so the two-process deployment ships the same redo packet stream
 // over a socket).
 //
-// Frame format: [u32 payload_len | u8 type | u32 crc32c(payload)] payload.
-// CRC verification makes torn frames (killed sender) detectable, mirroring
-// the simulated ring's checksummed commit markers.
+// Frame format (24-byte header, then payload):
+//   [u64 epoch | u32 payload_len | u32 payload_crc | u32 header_crc |
+//    u8 type | u8 pad[3]] payload
+//
+// Every frame carries the sender's membership epoch so the protocol layer
+// can fence stale-epoch traffic (split-brain defense; see
+// cluster/membership.hpp). Two CRCs split corruption into recoverable and
+// fatal classes:
+//   * header_crc (over epoch, payload_len, type): if it fails, payload_len
+//     cannot be trusted and stream framing is lost — the transport closes
+//     the connection (Error::kCorrupt, then disconnected). Recovery is a
+//     reconnect + rejoin.
+//   * payload_crc: if it fails the frame was read in full, so the stream
+//     stays aligned — the receiver can skip the frame and resynchronise
+//     in-band (Error::kCorrupt, still connected).
+// CRC verification also makes torn frames (killed sender) detectable,
+// mirroring the simulated ring's checksummed commit markers.
 #pragma once
 
 #include <cstdint>
@@ -16,29 +30,61 @@
 namespace vrep::net {
 
 enum class MsgType : std::uint8_t {
-  kRedoBatch = 1,   // one committed transaction's redo entries
-  kHeartbeat = 2,   // primary liveness
-  kConsumerAck = 3, // backup's applied sequence (flow control / monitoring)
-  kHello = 4,       // initial handshake: db size, starting state
-  kDbChunk = 5,     // initial database image transfer
+  kRedoBatch = 1,      // one committed transaction's redo entries
+  kHeartbeat = 2,      // primary liveness
+  kConsumerAck = 3,    // backup's applied sequence (flow control / monitoring)
+  kHello = 4,          // full-sync handshake: db size, starting state
+  kDbChunk = 5,        // initial database image transfer
+  kRejoinRequest = 6,  // backup -> primary: u64 last applied sequence
+  kRejoinDelta = 7,    // primary -> backup: u64 from_seq | u64 batch count
+  kEpochFence = 8,     // receiver -> stale sender: u64 current epoch
 };
 
 struct Message {
   MsgType type;
+  std::uint64_t epoch;
   std::vector<std::uint8_t> payload;
+};
+
+enum class TransportError : std::uint8_t { kNone, kTimeout, kClosed, kCorrupt };
+
+// Abstract single-peer message transport. TcpTransport is the real thing;
+// FaultInjectingTransport decorates one with a seeded fault schedule.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Send one framed message stamped with `epoch`. Returns false on a broken
+  // connection.
+  virtual bool send(MsgType type, std::uint64_t epoch, const void* payload,
+                    std::size_t len) = 0;
+
+  // Receive the next message, waiting up to timeout_ms (-1 = forever).
+  // nullopt on timeout or a broken/corrupt stream; distinguish with
+  // last_error(), and for kCorrupt check connected(): a payload CRC failure
+  // leaves the stream aligned and the connection open, a header CRC failure
+  // closes it.
+  virtual std::optional<Message> recv(int timeout_ms) = 0;
+
+  virtual TransportError last_error() const = 0;
+  virtual bool connected() const = 0;
+  virtual void close_peer() = 0;
 };
 
 // Blocking, single-peer TCP transport. Deliberately minimal: the examples
 // and integration tests run primary and backup as two local processes.
-class TcpTransport {
+class TcpTransport final : public Transport {
  public:
+  using Error = TransportError;  // legacy spelling (TcpTransport::Error)
+
   TcpTransport() = default;
-  ~TcpTransport();
+  ~TcpTransport() override;
   TcpTransport(const TcpTransport&) = delete;
   TcpTransport& operator=(const TcpTransport&) = delete;
 
   // Server side: bind/listen on 127.0.0.1:port (port 0 = ephemeral; see
-  // bound_port()), then accept exactly one peer.
+  // bound_port()), then accept exactly one peer. accept_peer() may be called
+  // again after the peer connection is lost to accept a replacement.
   bool listen(std::uint16_t port);
   std::uint16_t bound_port() const { return port_; }
   bool accept_peer(int timeout_ms = 10'000);
@@ -46,19 +92,20 @@ class TcpTransport {
   // Client side.
   bool connect_to(const std::string& host, std::uint16_t port, int timeout_ms = 10'000);
 
-  bool connected() const { return fd_ >= 0; }
-  void close_peer();
+  bool connected() const override { return fd_ >= 0; }
+  void close_peer() override;
 
-  // Send one framed message. Returns false on a broken connection.
-  bool send(MsgType type, const void* payload, std::size_t len);
+  bool send(MsgType type, std::uint64_t epoch, const void* payload,
+            std::size_t len) override;
+  std::optional<Message> recv(int timeout_ms) override;
+  Error last_error() const override { return error_; }
 
-  // Receive the next message, waiting up to timeout_ms (-1 = forever).
-  // nullopt on timeout or a broken/corrupt stream (distinguish with
-  // last_error()).
-  std::optional<Message> recv(int timeout_ms);
-
-  enum class Error { kNone, kTimeout, kClosed, kCorrupt };
-  Error last_error() const { return error_; }
+  // Encode one frame exactly as send() would put it on the wire. Exposed so
+  // the fault injector can truncate or bit-flip real frames.
+  static std::vector<std::uint8_t> encode_frame(MsgType type, std::uint64_t epoch,
+                                                const void* payload, std::size_t len);
+  // Raw bytes, no framing. For fault injection and torn-frame tests only.
+  bool send_bytes(const void* bytes, std::size_t len);
 
  private:
   bool read_fully(void* buf, std::size_t len, int timeout_ms);

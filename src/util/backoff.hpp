@@ -1,0 +1,63 @@
+// Bounded exponential backoff with jitter, used by the primary's reconnect
+// loop. Pure logic over an injected RNG — callers do the sleeping — so tests
+// can verify the schedule without waiting on wall-clock time.
+//
+// Delay for attempt k is uniform in
+//   [d_k * (1 - jitter), d_k],  d_k = min(base * multiplier^k, max)
+// Full-range jitter (rather than +/- a few percent) is what prevents a herd
+// of reconnecting nodes from hammering a just-recovered peer in lockstep.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace vrep {
+
+class Backoff {
+ public:
+  struct Config {
+    std::int64_t base_ms = 10;
+    std::int64_t max_ms = 2'000;
+    double multiplier = 2.0;
+    double jitter = 0.5;    // fraction of the delay that may be shaved off
+    int max_attempts = 0;   // 0 = unbounded
+  };
+
+  explicit Backoff(const Config& config, std::uint64_t seed = 1)
+      : config_(config), rng_(seed) {
+    VREP_CHECK(config.base_ms > 0);
+    VREP_CHECK(config.max_ms >= config.base_ms);
+    VREP_CHECK(config.multiplier >= 1.0);
+    VREP_CHECK(config.jitter >= 0.0 && config.jitter <= 1.0);
+  }
+
+  // Delay to sleep before the next attempt; nullopt once attempts are
+  // exhausted (give up).
+  std::optional<std::int64_t> next_delay_ms() {
+    if (config_.max_attempts > 0 && attempts_ >= config_.max_attempts) return std::nullopt;
+    double d = static_cast<double>(config_.base_ms);
+    for (int i = 0; i < attempts_ && d < static_cast<double>(config_.max_ms); ++i) {
+      d *= config_.multiplier;
+    }
+    d = std::min(d, static_cast<double>(config_.max_ms));
+    const double shave = d * config_.jitter * rng_.next_double();
+    ++attempts_;
+    return static_cast<std::int64_t>(d - shave);
+  }
+
+  // Call after a successful attempt so the next failure starts cheap again.
+  void reset() { attempts_ = 0; }
+
+  int attempts() const { return attempts_; }
+
+ private:
+  Config config_;
+  Rng rng_;
+  int attempts_ = 0;
+};
+
+}  // namespace vrep

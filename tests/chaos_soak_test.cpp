@@ -1,0 +1,282 @@
+// Chaos soak: a primary/backup pair runs Debit-Credit under a randomized
+// (but seeded, reproducible) fault schedule — drops, delays, duplicates,
+// bit-flips, torn frames, spontaneous disconnects — through repeated
+// hard-kill failovers and rejoins. At the end, the survivor's database must
+// be byte-identical (CRC32) to a fault-free oracle run of the same
+// transaction sequence.
+//
+// Determinism across 1-safe loss: commit returns before the batch is on the
+// wire, so a crash loses the trailing transactions on purpose. The driver
+// snapshots the workload RNG before every transaction; after a failover at
+// survivor sequence K it rewinds to the snapshot for K+1 and re-executes the
+// lost tail on the new primary. Because the promoted store continues the
+// replicated sequence numbering (WireBackup::promote seeds committed_seq,
+// which the Debit-Credit history ring derives its slot from), the re-run is
+// bit-identical to what the oracle did — which is exactly the guarantee a
+// client-side retry log would give a real 1-safe deployment.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cluster/membership.hpp"
+#include "core/v3_inline_log.hpp"
+#include "net/fault_transport.hpp"
+#include "net/transport.hpp"
+#include "net/wire_repl.hpp"
+#include "util/backoff.hpp"
+#include "util/crc32.hpp"
+#include "util/rng.hpp"
+#include "workload/debit_credit.hpp"
+
+namespace vrep::net {
+namespace {
+
+constexpr std::size_t kDbSize = 1u << 20;
+constexpr int kTxns = 300;                       // >= 200 (acceptance floor)
+constexpr int kKillAt[] = {75, 150, 225};        // 3 failover/rejoin cycles
+constexpr std::uint64_t kWorkloadSeed = 20260806;
+
+FaultPlan soak_plan(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.drop = 0.03;
+  plan.delay = 0.02;
+  plan.max_delay_us = 500;
+  plan.duplicate = 0.03;
+  plan.bitflip = 0.01;
+  plan.truncate = 0.005;
+  plan.disconnect = 0.005;
+  plan.start_after_frames = 8;  // hello + four 256 KB image chunks + slack
+  return plan;
+}
+
+// One replica "process". The listener lives for the whole test (its port is
+// the node's stable address); everything else is rebuilt as the node changes
+// role, like a restarted process would.
+struct Node {
+  TcpTransport listener;
+  TcpTransport dial;
+  std::unique_ptr<FaultInjectingTransport> chaos;
+  std::unique_ptr<cluster::Membership> membership;
+  std::unique_ptr<rio::Arena> store_arena;    // primary role
+  std::unique_ptr<WirePrimary> primary;       // primary role
+  std::unique_ptr<rio::Arena> replica_arena;  // backup role
+  std::unique_ptr<WireBackup> backup;         // backup role
+};
+
+// Backup-side service loop: accept the primary, announce our applied
+// sequence, serve; ride out connection losses by re-accepting (the primary
+// reconnects with backoff), and declare the primary failed only when no
+// replacement connection shows up.
+void backup_session(WireBackup* backup, TcpTransport* transport, int node_id) {
+  (void)node_id;
+  if (!transport->accept_peer(10'000)) return;
+  backup->request_rejoin(*transport);
+  while (true) {
+    const auto result = backup->serve(*transport, WireBackup::ServeOptions{400, nullptr});
+    if (result == WireBackup::ServeResult::kConnectionLost) {
+      if (transport->accept_peer(1'500)) {
+        backup->request_rejoin(*transport);
+        continue;
+      }
+    }
+    return;  // kPrimaryFailed, or nobody reconnected: takeover time
+  }
+}
+
+TEST(ChaosSoak, SurvivorMatchesFaultFreeOracle) {
+  const core::StoreConfig config = wl::suggest_config(wl::WorkloadKind::kDebitCredit, kDbSize);
+  wl::DebitCredit bank(kDbSize);
+
+  // ---- Oracle: the same transaction sequence, no replication, no faults.
+  sim::MemBus oracle_bus;
+  rio::Arena oracle_arena =
+      rio::Arena::create(core::required_arena_size(core::VersionKind::kV3InlineLog, config));
+  core::InlineLogStore oracle(oracle_bus, oracle_arena, config, /*format=*/true);
+  bank.initialize(oracle);
+  {
+    Rng rng(kWorkloadSeed);
+    for (int i = 0; i < kTxns; ++i) bank.run_txn(oracle, rng);
+  }
+  ASSERT_EQ(bank.check_consistency(oracle), "");
+  const std::uint32_t oracle_crc = Crc32::of(oracle.db(), kDbSize);
+
+  // ---- Chaos run.
+  Node node[2];
+  ASSERT_TRUE(node[0].listener.listen(0));
+  ASSERT_TRUE(node[1].listener.listen(0));
+
+  // Node 0 boots as primary, node 1 as backup.
+  int cur = 0;
+  node[0].membership = std::make_unique<cluster::Membership>(0, cluster::Role::kPrimary);
+  node[0].store_arena = std::make_unique<rio::Arena>(
+      rio::Arena::create(core::required_arena_size(core::VersionKind::kV3InlineLog, config)));
+  node[0].chaos = std::make_unique<FaultInjectingTransport>(node[0].dial, soak_plan(1));
+  node[0].primary = std::make_unique<WirePrimary>(*node[0].store_arena, config, nullptr,
+                                                  /*format=*/true, node[0].membership.get());
+  bank.initialize(*node[0].primary);
+
+  node[1].membership = std::make_unique<cluster::Membership>(1, cluster::Role::kBackup);
+  node[1].replica_arena = std::make_unique<rio::Arena>(rio::Arena::create(kDbSize));
+  node[1].backup =
+      std::make_unique<WireBackup>(*node[1].replica_arena, node[1].membership.get(), 1);
+  std::thread server(backup_session, node[1].backup.get(), &node[1].listener, 1);
+
+  Backoff backoff({/*base_ms=*/5, /*max_ms=*/50, /*multiplier=*/2.0, /*jitter=*/0.5}, 99);
+  // Dial the backup and reattach after any fault-induced disconnect. One
+  // attempt per call; commits never wait on the link (1-safe).
+  auto ensure_link = [&](int other) {
+    WirePrimary& p = *node[cur].primary;
+    if (p.connection_alive()) return;
+    const auto delay = backoff.next_delay_ms();
+    usleep(static_cast<useconds_t>(*delay * 1000));
+    if (node[cur].dial.connect_to("127.0.0.1", node[other].listener.bound_port(), 300)) {
+      p.attach_transport(node[cur].chaos.get());
+      if (p.handle_rejoin(1'500)) backoff.reset();
+    }
+  };
+
+  // rng snapshots: snap[s] is the generator state just before the
+  // transaction that commits as sequence s.
+  std::vector<Rng> snap(static_cast<std::size_t>(kTxns) + 2, Rng(0));
+  Rng rng(kWorkloadSeed);
+  std::uint64_t next_seq = 1;
+  int failovers = 0;
+  std::uint64_t total_faults = 0;
+  std::vector<std::uint64_t> takeover_seqs;
+
+  std::vector<int> phases(std::begin(kKillAt), std::end(kKillAt));
+  phases.push_back(kTxns);  // final phase: run to the end, no kill
+  for (const int phase_end : phases) {
+    ensure_link(cur ^ 1);
+    while (next_seq <= static_cast<std::uint64_t>(phase_end)) {
+      snap[next_seq] = rng;
+      if (!node[cur].primary->connection_alive()) ensure_link(cur ^ 1);
+      bank.run_txn(*node[cur].primary, rng);
+      ++next_seq;
+      if (next_seq % 16 == 0) node[cur].primary->send_heartbeat();
+    }
+    // Also snapshot the state *after* the phase's last transaction: if the
+    // backup is fully caught up at the kill, the rewind target is
+    // snap[phase_end + 1], which no execution has recorded yet.
+    snap[next_seq] = rng;
+    if (phase_end == kTxns) break;
+
+    // ---- Hard-kill the primary: socket torn, process never heard from
+    // again. The backup's accept window expires and it takes over.
+    const int dead = cur;
+    const int heir = cur ^ 1;
+    total_faults += node[dead].chaos->stats().faults();
+    node[dead].chaos->close_peer();
+    server.join();
+
+    const std::uint64_t takeover_seq = node[heir].backup->applied_seq();
+    takeover_seqs.push_back(takeover_seq);
+    ASSERT_LE(takeover_seq, node[dead].primary->committed_seq());
+    ASSERT_GT(takeover_seq, 0u);
+    const std::uint64_t shared_epoch = node[heir].backup->state_epoch();
+
+    node[heir].membership->take_over();
+    node[heir].store_arena = std::make_unique<rio::Arena>(
+        rio::Arena::create(core::required_arena_size(core::VersionKind::kV3InlineLog, config)));
+    {
+      sim::MemBus scratch;
+      auto promoted = node[heir].backup->promote(scratch, *node[heir].store_arena, config);
+      ASSERT_EQ(promoted->committed_seq(), takeover_seq);
+    }
+    node[heir].chaos = std::make_unique<FaultInjectingTransport>(
+        node[heir].dial, soak_plan(100 + static_cast<std::uint64_t>(failovers)));
+    node[heir].primary = std::make_unique<WirePrimary>(
+        *node[heir].store_arena, config, nullptr, /*format=*/false, node[heir].membership.get(),
+        WirePrimary::Lineage{shared_epoch, takeover_seq});
+    node[heir].primary->recover();
+    node[heir].backup.reset();
+
+    // ---- The dead node "restarts" as a backup, keeping its on-disk image:
+    // it rejoins from its own last applied state. Its divergent 1-safe tail
+    // (committed locally, never replicated) makes the new primary ship a
+    // full image; had it died exactly in sync, a delta would do.
+    const std::uint64_t dead_epoch = node[dead].primary->epoch();
+    node[dead].membership = std::make_unique<cluster::Membership>(dead, cluster::Role::kBackup);
+    node[dead].replica_arena = std::make_unique<rio::Arena>(rio::Arena::create(kDbSize));
+    node[dead].backup =
+        std::make_unique<WireBackup>(*node[dead].replica_arena, node[dead].membership.get(),
+                                     static_cast<std::uint64_t>(dead));
+    node[dead].backup->seed(node[dead].primary->db(), kDbSize,
+                            node[dead].primary->committed_seq(), dead_epoch);
+    node[dead].primary.reset();
+    node[dead].store_arena.reset();
+    server = std::thread(backup_session, node[dead].backup.get(), &node[dead].listener, dead);
+
+    // ---- Resume the workload on the survivor: rewind the generator and
+    // re-execute the lost tail.
+    cur = heir;
+    next_seq = takeover_seq + 1;
+    rng = snap[next_seq];
+    backoff.reset();
+    ++failovers;
+  }
+
+  // ---- Converge: heartbeats carry the committed sequence, so a trailing
+  // gap triggers the backup's in-band resync; keep nudging (and healing the
+  // link) until it acknowledges everything.
+  for (int i = 0;
+       i < 8'000 && node[cur].primary->backup_acked_seq() < static_cast<std::uint64_t>(kTxns);
+       ++i) {
+    if (!node[cur].primary->connection_alive()) ensure_link(cur ^ 1);
+    node[cur].primary->send_heartbeat();
+    usleep(1'000);
+  }
+  EXPECT_EQ(node[cur].primary->backup_acked_seq(), static_cast<std::uint64_t>(kTxns));
+  node[cur].chaos->close_peer();
+  server.join();
+  total_faults += node[cur].chaos->stats().faults();
+
+  // ---- The acceptance bar: >=200 txns, >=3 failover/rejoin cycles, and the
+  // survivor's database is byte-identical to the fault-free oracle.
+  EXPECT_EQ(failovers, 3);
+  EXPECT_EQ(node[cur].primary->committed_seq(), static_cast<std::uint64_t>(kTxns));
+  EXPECT_EQ(bank.check_consistency(*node[cur].primary), "");
+  EXPECT_EQ(Crc32::of(node[cur].primary->db(), kDbSize), oracle_crc);
+  if (Crc32::of(node[cur].primary->db(), kDbSize) != oracle_crc) {
+    const std::uint8_t* got = node[cur].primary->db();
+    const std::uint8_t* want = oracle.db();
+    std::size_t diffs = 0;
+    for (std::size_t i = 0; i < kDbSize; ++i) {
+      if (got[i] != want[i] && diffs++ < 4) {
+        ADD_FAILURE() << "diff at off " << i << " got " << int(got[i]) << " want "
+                      << int(want[i]);
+      }
+    }
+    ADD_FAILURE() << diffs << " differing bytes of " << kDbSize;
+    // The history ring pins each sequence's (account, teller, branch,
+    // amount): compare per-seq records to see which txns diverged.
+    const std::size_t history_off = kDbSize - (kDbSize / 4);
+    int bad_seqs = 0;
+    for (int s = 1; s <= kTxns; ++s) {
+      const std::size_t off = history_off + static_cast<std::size_t>(s - 1) * 16;
+      if (std::memcmp(got + off, want + off, 16) != 0 && bad_seqs++ < 10) {
+        std::uint32_t ga, wa;
+        std::memcpy(&ga, got + off, 4);
+        std::memcpy(&wa, want + off, 4);
+        ADD_FAILURE() << "seq " << s << " diverged: account got " << ga << " want " << wa;
+      }
+    }
+    ADD_FAILURE() << bad_seqs << " diverged seqs";
+    for (std::size_t f = 0; f < takeover_seqs.size(); ++f) {
+      ADD_FAILURE() << "failover " << f << " took over at seq " << takeover_seqs[f];
+    }
+  }
+  // The rejoined backup tracked the survivor all the way, too.
+  EXPECT_EQ(node[cur ^ 1].backup->applied_seq(), static_cast<std::uint64_t>(kTxns));
+  EXPECT_EQ(std::memcmp(node[cur ^ 1].backup->db(), node[cur].primary->db(), kDbSize), 0);
+  // And the chaos was real: the schedule actually perturbed the stream.
+  EXPECT_GT(total_faults, 0u);
+}
+
+}  // namespace
+}  // namespace vrep::net

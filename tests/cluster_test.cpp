@@ -63,9 +63,69 @@ TEST(Membership, AdoptingANewBackupBumpsEpochAgain) {
   EXPECT_EQ(node.view().epoch, epoch + 1);
 }
 
+TEST(HeartbeatDetector, RejectsNonPositiveTimeout) {
+  // timeout_ms divides the observed silence; zero would divide by zero in
+  // missed_intervals and negative would suspect immediately.
+  EXPECT_DEATH(HeartbeatDetector(0), "CHECK");
+  EXPECT_DEATH(HeartbeatDetector(-5), "CHECK");
+  EXPECT_DEATH(HeartbeatDetector(100, 0), "CHECK");
+}
+
+TEST(HeartbeatDetector, BackwardsTimestampsDoNotRewindTheDetector) {
+  // A delayed reporting thread handing in an old receive time must not
+  // resurrect an already-silent peer...
+  HeartbeatDetector d(100);
+  d.heartbeat(1000);
+  d.heartbeat(400);  // stale: ignored
+  EXPECT_EQ(d.last_heartbeat_ms(), 1000);
+  EXPECT_TRUE(d.suspects(1100));
+  // ...and the very first heartbeat is always accepted, whatever its value.
+  HeartbeatDetector fresh(100);
+  fresh.heartbeat(-50);
+  EXPECT_EQ(fresh.last_heartbeat_ms(), -50);
+}
+
 TEST(Membership, OnlyBackupsTakeOver) {
   Membership primary(0, Role::kPrimary);
   EXPECT_DEATH(primary.take_over(), "CHECK");
+}
+
+TEST(Membership, RolesStartWithHalfEmptyViews) {
+  Membership primary(0, Role::kPrimary);
+  EXPECT_FALSE(primary.has_backup());
+  EXPECT_EQ(primary.view().primary, 0);
+  Membership backup(1, Role::kBackup);
+  EXPECT_EQ(backup.view().primary, -1);  // learned from the primary's hello
+  EXPECT_EQ(backup.view().backup, 1);
+}
+
+TEST(Membership, BackupFollowsEpochsForwardOnly) {
+  Membership backup(1, Role::kBackup);
+  backup.join_epoch(4);  // hello from a primary several takeovers ahead
+  EXPECT_EQ(backup.view().epoch, 4u);
+  backup.join_epoch(4);  // idempotent
+  EXPECT_DEATH(backup.join_epoch(3), "CHECK");
+}
+
+TEST(Membership, FencedPrimaryDemotesIntoTheFencingEpoch) {
+  Membership primary(0, Role::kPrimary);
+  EXPECT_DEATH(primary.demote_to_backup(1), "CHECK");  // not newer than ours
+  primary.demote_to_backup(3);
+  EXPECT_FALSE(primary.is_primary());
+  EXPECT_EQ(primary.view().epoch, 3u);
+  EXPECT_EQ(primary.view().backup, 0);
+  // Now a backup again, it can follow the new primary's epochs...
+  primary.join_epoch(4);
+  // ...and even take over in a later failover.
+  primary.take_over();
+  EXPECT_TRUE(primary.is_primary());
+  EXPECT_EQ(primary.view().epoch, 5u);
+}
+
+TEST(Membership, AdoptBackupRequiresPrimaryRole) {
+  Membership backup(1, Role::kBackup);
+  EXPECT_DEATH(backup.adopt_backup(0), "CHECK");
+  EXPECT_DEATH(backup.demote_to_backup(9), "CHECK");
 }
 
 }  // namespace

@@ -26,10 +26,11 @@ struct LoopbackPair {
 TEST(Transport, RoundTripsFramedMessages) {
   LoopbackPair pair;
   const char payload[] = "hello backup";
-  ASSERT_TRUE(pair.client.send(MsgType::kHeartbeat, payload, sizeof payload));
+  ASSERT_TRUE(pair.client.send(MsgType::kHeartbeat, /*epoch=*/7, payload, sizeof payload));
   auto msg = pair.server.recv(1000);
   ASSERT_TRUE(msg.has_value());
   EXPECT_EQ(msg->type, MsgType::kHeartbeat);
+  EXPECT_EQ(msg->epoch, 7u);
   ASSERT_EQ(msg->payload.size(), sizeof payload);
   EXPECT_EQ(std::memcmp(msg->payload.data(), payload, sizeof payload), 0);
 }
@@ -37,7 +38,7 @@ TEST(Transport, RoundTripsFramedMessages) {
 TEST(Transport, ManyMessagesArriveInOrder) {
   LoopbackPair pair;
   for (std::uint32_t i = 0; i < 500; ++i) {
-    ASSERT_TRUE(pair.client.send(MsgType::kRedoBatch, &i, 4));
+    ASSERT_TRUE(pair.client.send(MsgType::kRedoBatch, 1, &i, 4));
   }
   for (std::uint32_t i = 0; i < 500; ++i) {
     auto msg = pair.server.recv(1000);
@@ -53,11 +54,59 @@ TEST(Transport, LargePayload) {
   std::vector<std::uint8_t> big(3u << 20);
   Rng rng(5);
   for (auto& b : big) b = static_cast<std::uint8_t>(rng.next_u32());
-  std::thread sender([&] { pair.client.send(MsgType::kDbChunk, big.data(), big.size()); });
+  std::thread sender([&] { pair.client.send(MsgType::kDbChunk, 1, big.data(), big.size()); });
   auto msg = pair.server.recv(5000);
   sender.join();
   ASSERT_TRUE(msg.has_value());
   EXPECT_EQ(msg->payload, big);
+}
+
+TEST(Transport, PayloadCorruptionIsSkippableInStream) {
+  // A frame whose payload CRC fails must leave the stream aligned: the
+  // receiver reports kCorrupt but stays connected and can read the next
+  // frame.
+  LoopbackPair pair;
+  const char good[] = "intact";
+  auto bad = TcpTransport::encode_frame(MsgType::kRedoBatch, 1, good, sizeof good);
+  bad.back() ^= 0x01;  // flip a payload bit; header CRC still matches
+  ASSERT_TRUE(pair.client.send_bytes(bad.data(), bad.size()));
+  ASSERT_TRUE(pair.client.send(MsgType::kHeartbeat, 1, good, sizeof good));
+
+  auto first = pair.server.recv(1000);
+  EXPECT_FALSE(first.has_value());
+  EXPECT_EQ(pair.server.last_error(), TcpTransport::Error::kCorrupt);
+  EXPECT_TRUE(pair.server.connected());
+  auto second = pair.server.recv(1000);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->type, MsgType::kHeartbeat);
+}
+
+TEST(Transport, HeaderCorruptionClosesTheStream) {
+  // If the header CRC fails, the length field cannot be trusted and framing
+  // is lost for good: the transport reports kCorrupt and disconnects.
+  LoopbackPair pair;
+  const char payload[] = "doomed";
+  auto frame = TcpTransport::encode_frame(MsgType::kRedoBatch, 1, payload, sizeof payload);
+  frame[8] ^= 0x40;  // flip a bit in the length field
+  ASSERT_TRUE(pair.client.send_bytes(frame.data(), frame.size()));
+  auto msg = pair.server.recv(1000);
+  EXPECT_FALSE(msg.has_value());
+  EXPECT_EQ(pair.server.last_error(), TcpTransport::Error::kCorrupt);
+  EXPECT_FALSE(pair.server.connected());
+}
+
+TEST(Transport, TornFrameReportsClosedNotGarbage) {
+  // Kill the sender mid-frame: the receiver must report kClosed (torn
+  // stream), never hand out a partial message.
+  LoopbackPair pair;
+  std::vector<std::uint8_t> payload(4096, 0xab);
+  const auto frame =
+      TcpTransport::encode_frame(MsgType::kRedoBatch, 1, payload.data(), payload.size());
+  ASSERT_TRUE(pair.client.send_bytes(frame.data(), frame.size() / 2));
+  pair.client.close_peer();
+  auto msg = pair.server.recv(1000);
+  EXPECT_FALSE(msg.has_value());
+  EXPECT_EQ(pair.server.last_error(), TcpTransport::Error::kClosed);
 }
 
 TEST(Transport, RecvTimesOutWhenSilent) {

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "util/ascii_chart.hpp"
+#include "util/backoff.hpp"
 #include "util/cli.hpp"
 #include "util/crc32.hpp"
 #include "util/histogram.hpp"
@@ -147,6 +148,72 @@ TEST(Cli, DoubleValues) {
   const char* argv[] = {"prog", "--scale=2.5"};
   CliArgs args(2, const_cast<char**>(argv));
   EXPECT_DOUBLE_EQ(args.get_double("scale", 0), 2.5);
+}
+
+TEST(Backoff, DelaysGrowGeometricallyUpToTheCap) {
+  // jitter=0 makes the schedule exact: base * multiplier^k, clamped at max.
+  Backoff b({/*base_ms=*/10, /*max_ms=*/100, /*multiplier=*/2.0, /*jitter=*/0.0});
+  EXPECT_EQ(b.next_delay_ms(), 10);
+  EXPECT_EQ(b.next_delay_ms(), 20);
+  EXPECT_EQ(b.next_delay_ms(), 40);
+  EXPECT_EQ(b.next_delay_ms(), 80);
+  EXPECT_EQ(b.next_delay_ms(), 100);  // capped
+  EXPECT_EQ(b.next_delay_ms(), 100);  // stays capped
+}
+
+TEST(Backoff, JitterShavesAtMostTheConfiguredFraction) {
+  Backoff b({/*base_ms=*/100, /*max_ms=*/10'000, /*multiplier=*/2.0, /*jitter=*/0.5}, 99);
+  std::int64_t expected = 100;
+  for (int k = 0; k < 7; ++k) {
+    const auto d = b.next_delay_ms();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_GE(*d, expected / 2);  // never below d_k * (1 - jitter)
+    EXPECT_LE(*d, expected);      // never above the undithered delay
+    expected = std::min<std::int64_t>(expected * 2, 10'000);
+  }
+}
+
+TEST(Backoff, ResetRestartsTheScheduleCheap) {
+  Backoff b({/*base_ms=*/10, /*max_ms=*/1'000, /*multiplier=*/2.0, /*jitter=*/0.0});
+  b.next_delay_ms();
+  b.next_delay_ms();
+  EXPECT_EQ(b.attempts(), 2);
+  b.reset();
+  EXPECT_EQ(b.attempts(), 0);
+  EXPECT_EQ(b.next_delay_ms(), 10);  // back to base after a success
+}
+
+TEST(Backoff, GivesUpAfterMaxAttempts) {
+  Backoff b({/*base_ms=*/10, /*max_ms=*/1'000, /*multiplier=*/2.0, /*jitter=*/0.0,
+             /*max_attempts=*/3});
+  EXPECT_TRUE(b.next_delay_ms().has_value());
+  EXPECT_TRUE(b.next_delay_ms().has_value());
+  EXPECT_TRUE(b.next_delay_ms().has_value());
+  EXPECT_FALSE(b.next_delay_ms().has_value());  // exhausted: caller gives up
+  b.reset();
+  EXPECT_TRUE(b.next_delay_ms().has_value());  // a success re-arms the budget
+}
+
+TEST(Backoff, SameSeedYieldsIdenticalSchedule) {
+  const Backoff::Config config{/*base_ms=*/10, /*max_ms=*/2'000, /*multiplier=*/2.0,
+                               /*jitter=*/0.5};
+  Backoff a(config, 7), b(config, 7), c(config, 8);
+  bool diverged = false;
+  for (int i = 0; i < 20; ++i) {
+    const auto da = a.next_delay_ms(), db = b.next_delay_ms(), dc = c.next_delay_ms();
+    ASSERT_EQ(da, db);
+    diverged |= da != dc;
+  }
+  EXPECT_TRUE(diverged);  // jitter actually depends on the seed
+}
+
+TEST(Backoff, RejectsNonsenseConfigs) {
+  EXPECT_DEATH(Backoff({/*base_ms=*/0}), "CHECK");
+  EXPECT_DEATH(Backoff({/*base_ms=*/10, /*max_ms=*/5}), "CHECK");
+  EXPECT_DEATH(Backoff({/*base_ms=*/10, /*max_ms=*/100, /*multiplier=*/0.5}), "CHECK");
+  EXPECT_DEATH(Backoff({/*base_ms=*/10, /*max_ms=*/100, /*multiplier=*/2.0,
+                        /*jitter=*/1.5}),
+               "CHECK");
 }
 
 }  // namespace
