@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   Table table("Ablation: write-buffer coalescing (Debit-Credit, passive/active, TPS)");
   table.set_header({"scheme", "coalescing ON", "avg pkt", "coalescing OFF", "avg pkt",
                     "speedup from coalescing"});
+  bench::JsonReport report(args, "ablation_coalescing");
   for (const Scheme& s : schemes) {
     ExperimentConfig config;
     config.mode = s.mode;
@@ -36,8 +37,10 @@ int main(int argc, char** argv) {
     config.workload = wl::WorkloadKind::kDebitCredit;
     config.txns_per_stream = txns;
     const auto on = run_experiment(config);
+    report.add(std::string(s.name) + "/coalescing-on", config, on);
     config.cost.write_buffer_coalescing = false;
     const auto off = run_experiment(config);
+    report.add(std::string(s.name) + "/coalescing-off", config, off);
     table.add_row({s.name, bench::tps_cell(on.tps), Table::num(on.avg_packet_bytes, 1) + "B",
                    bench::tps_cell(off.tps), Table::num(off.avg_packet_bytes, 1) + "B",
                    bench::ratio_cell(on.tps, off.tps) + "x"});
@@ -45,5 +48,5 @@ int main(int argc, char** argv) {
   table.print();
   std::puts("Logging schemes owe their edge to coalescing; once every store is its own\n"
             "packet, they pay per-packet costs on every word just like mirroring does.");
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
 
   Table table("Ablation: adapter FIFO depth (Debit-Credit, passive backup, TPS)");
   table.set_header({"fifo depth", "V1 mirror-copy", "V3 inline-log", "V3 stall us/txn"});
+  bench::JsonReport report(args, "ablation_fifo_depth");
   for (const int depth : {1, 2, 3, 8, 32, 128}) {
     ExperimentConfig config;
     config.mode = Mode::kPassive;
@@ -25,8 +26,10 @@ int main(int argc, char** argv) {
     config.cost.fifo_depth = depth;
     config.version = core::VersionKind::kV1MirrorCopy;
     const auto v1 = run_experiment(config);
+    report.add("V1/depth-" + std::to_string(depth), config, v1);
     config.version = core::VersionKind::kV3InlineLog;
     const auto v3 = run_experiment(config);
+    report.add("V3/depth-" + std::to_string(depth), config, v3);
     char stall[32];
     std::snprintf(stall, sizeof stall, "%.2f",
                   v3.mc_stall_seconds * 1e6 / static_cast<double>(v3.committed));
@@ -34,5 +37,5 @@ int main(int argc, char** argv) {
                    stall});
   }
   table.print();
-  return 0;
+  return report.write() ? 0 : 1;
 }

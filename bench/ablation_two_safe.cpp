@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
 
   Table table("Extension: 1-safe vs 2-safe active commits");
   table.set_header({"benchmark", "safety", "TPS", "us/txn", "loss window"});
+  bench::JsonReport report(args, "ablation_two_safe");
   for (const auto workload :
        {wl::WorkloadKind::kDebitCredit, wl::WorkloadKind::kOrderEntry}) {
     for (const bool two_safe : {false, true}) {
@@ -28,6 +29,9 @@ int main(int argc, char** argv) {
       config.txns_per_stream = txns;
       config.two_safe = two_safe;
       const auto r = run_experiment(config);
+      report.add(std::string(wl::workload_name(workload)) + "/" +
+                     (two_safe ? "2-safe" : "1-safe"),
+                 config, r);
       char per_txn[32];
       std::snprintf(per_txn, sizeof per_txn, "%.2f", 1e6 / r.tps);
       table.add_row({wl::workload_name(workload), two_safe ? "2-safe" : "1-safe",
@@ -36,5 +40,5 @@ int main(int argc, char** argv) {
     }
   }
   table.print();
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   Table table("Ablation: shipping the mirror versions' range array (Debit-Credit, TPS)");
   table.set_header({"version", "range array local (paper)", "range array shipped",
                     "meta bytes/txn local", "meta bytes/txn shipped"});
+  bench::JsonReport report(args, "ablation_undo_shipping");
   for (const auto version :
        {core::VersionKind::kV1MirrorCopy, core::VersionKind::kV2MirrorDiff}) {
     ExperimentConfig config;
@@ -25,8 +26,11 @@ int main(int argc, char** argv) {
     config.workload = wl::WorkloadKind::kDebitCredit;
     config.txns_per_stream = txns;
     const auto local = run_experiment(config);
+    report.add(std::string(core::version_name(version)) + "/range-array-local", config, local);
     config.ship_everything_passive = true;
     const auto shipped = run_experiment(config);
+    report.add(std::string(core::version_name(version)) + "/range-array-shipped", config,
+               shipped);
     table.add_row(
         {core::version_name(version), bench::tps_cell(local.tps),
          bench::tps_cell(shipped.tps),
@@ -34,5 +38,5 @@ int main(int argc, char** argv) {
          Table::num(shipped.traffic.meta() / shipped.committed)});
   }
   table.print();
-  return 0;
+  return report.write() ? 0 : 1;
 }

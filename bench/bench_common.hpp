@@ -7,9 +7,12 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 
 #include "harness/experiment.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 
 namespace vrep::bench {
@@ -65,5 +68,90 @@ constexpr std::uint64_t kPaperTxnsOrderEntry = 457'000;
 inline std::uint64_t paper_txns(wl::WorkloadKind w) {
   return w == wl::WorkloadKind::kDebitCredit ? kPaperTxnsDebitCredit : kPaperTxnsOrderEntry;
 }
+
+// Machine-readable twin of the printed tables. Every bench binary owns one;
+// when the user passed `--json <path>` the per-cell measurements plus a
+// snapshot of the global metrics registry are written there on write().
+// Deliberately timestamp-free so regenerated files diff cleanly against the
+// committed BENCH_*.json baselines.
+class JsonReport {
+ public:
+  JsonReport(const CliArgs& args, std::string bench_name)
+      : path_(args.get_string("json", "")), root_(Json::object()) {
+    root_.set("bench", std::move(bench_name));
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  static Json histogram_json(const Histogram& h) {
+    Json j = Json::object();
+    j.set("count", Json(h.total_count()));
+    j.set("mean", Json(h.mean()));
+    j.set("p50", Json(h.percentile(0.50)));
+    j.set("p90", Json(h.percentile(0.90)));
+    j.set("p99", Json(h.percentile(0.99)));
+    j.set("max", Json(h.max_seen()));
+    return j;
+  }
+
+  // One experiment cell: config identity + the full ExperimentResult,
+  // including the per-class traffic breakdown and commit-latency percentiles.
+  void add(const std::string& name, const harness::ExperimentConfig& config,
+           const harness::ExperimentResult& r, double paper_tps = 0) {
+    Json cell = Json::object();
+    cell.set("name", name);
+    cell.set("version", core::version_name(config.version));
+    cell.set("mode", harness::mode_name(config.mode));
+    cell.set("workload", wl::workload_name(config.workload));
+    cell.set("streams", Json(config.streams));
+    cell.set("txns_per_stream", Json(config.txns_per_stream));
+    cell.set("committed", Json(r.committed));
+    cell.set("seconds", Json(r.seconds));
+    cell.set("tps", Json(r.tps));
+    if (paper_tps > 0) {
+      cell.set("paper_tps", Json(paper_tps));
+      cell.set("tps_ratio", Json(r.tps / paper_tps));
+    }
+    Json traffic = Json::object();
+    traffic.set("modified_bytes", Json(r.traffic.modified()));
+    traffic.set("undo_bytes", Json(r.traffic.undo()));
+    traffic.set("meta_bytes", Json(r.traffic.meta()));
+    traffic.set("total_bytes", Json(r.traffic.total()));
+    cell.set("traffic", std::move(traffic));
+    cell.set("packets", Json(r.packets));
+    cell.set("avg_packet_bytes", Json(r.avg_packet_bytes));
+    cell.set("link_utilization", Json(r.link_utilization));
+    cell.set("mc_stall_seconds", Json(r.mc_stall_seconds));
+    cell.set("flow_stall_seconds", Json(r.flow_stall_seconds));
+    cell.set("commit_latency_ns", histogram_json(r.commit_latency_ns));
+    add_cell(std::move(cell));
+  }
+
+  // Custom cells for benches that don't go through run_experiment (Figure 1
+  // bandwidth sweeps, recovery-time probes, ...).
+  void add_cell(Json cell) { cells_.push(std::move(cell)); }
+
+  // Attach the registry snapshot and write the file. No-op without --json.
+  bool write() {
+    if (!enabled()) return true;
+    root_.set("cells", std::move(cells_));
+    root_.set("metrics", metrics::Registry::global().snapshot().to_json());
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    const std::string text = root_.dump(2);
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    if (ok) std::fprintf(stderr, "wrote %s\n", path_.c_str());
+    return ok;
+  }
+
+ private:
+  std::string path_;
+  Json root_;
+  Json cells_ = Json::array();
+};
 
 }  // namespace vrep::bench

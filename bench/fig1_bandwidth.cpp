@@ -56,12 +56,21 @@ int main(int argc, char** argv) {
 
   Table table("Figure 1: Effective Memory Channel bandwidth vs packet size");
   table.set_header({"packet", "paper MB/s", "ours MB/s", "ratio"});
+  bench::JsonReport report(args, "fig1_bandwidth");
   std::vector<double> xs, ours;
   int i = 0;
   for (std::size_t chunk : {4, 8, 16, 32}) {
     const double bw = measure_bandwidth_mbs(chunk, total);
     xs.push_back(static_cast<double>(chunk));
     ours.push_back(bw);
+    Json cell = Json::object();
+    cell.set("name", std::to_string(chunk) + "B");
+    cell.set("packet_bytes", Json(static_cast<std::uint64_t>(chunk)));
+    cell.set("total_bytes", Json(static_cast<std::uint64_t>(total)));
+    cell.set("bandwidth_mbs", Json(bw));
+    cell.set("paper_mbs", Json(paper[i]));
+    cell.set("ratio", Json(bw / paper[i]));
+    report.add_cell(std::move(cell));
     table.add_row({std::to_string(chunk) + "B", Table::num(paper[i], 0), Table::num(bw, 1),
                    bench::ratio_cell(bw, paper[i])});
     ++i;
@@ -73,5 +82,5 @@ int main(int argc, char** argv) {
   chart.add_series("ours", ours);
   chart.add_series("paper", {14, 27, 48, 80});
   chart.print();
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
       {130'000, 150'000, 155'000, 160'000},    // Pass. Ver. 2
       {120'000, 140'000, 145'000, 150'000},    // Pass. Ver. 1
   };
+  bench::JsonReport report(args, "fig2_smp_debitcredit");
   bench::run_smp_figure("Figure 2: SMP primary, Debit-Credit",
-                        wl::WorkloadKind::kDebitCredit, paper, txns);
-  return 0;
+                        wl::WorkloadKind::kDebitCredit, paper, txns, report);
+  return report.write() ? 0 : 1;
 }

@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
       {51'000, 60'000, 62'000, 63'000},     // Pass. Ver. 2
       {49'000, 58'000, 60'000, 61'000},     // Pass. Ver. 1
   };
+  bench::JsonReport report(args, "fig3_smp_orderentry");
   bench::run_smp_figure("Figure 3: SMP primary, Order-Entry",
-                        wl::WorkloadKind::kOrderEntry, paper, txns);
-  return 0;
+                        wl::WorkloadKind::kOrderEntry, paper, txns, report);
+  return report.write() ? 0 : 1;
 }

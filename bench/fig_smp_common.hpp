@@ -19,7 +19,8 @@ struct SmpScheme {
 };
 
 inline void run_smp_figure(const char* title, wl::WorkloadKind workload,
-                           const double paper[4][4], std::uint64_t txns_per_stream) {
+                           const double paper[4][4], std::uint64_t txns_per_stream,
+                           JsonReport& report) {
   const SmpScheme schemes[] = {
       {"Active", harness::Mode::kActive, core::VersionKind::kV3InlineLog},
       {"Pass. Ver. 3", harness::Mode::kPassive, core::VersionKind::kV3InlineLog},
@@ -43,6 +44,8 @@ inline void run_smp_figure(const char* title, wl::WorkloadKind workload,
       config.streams = cpus;
       config.txns_per_stream = txns_per_stream;
       const auto r = run_experiment(config);
+      report.add(std::string(schemes[s].name) + "/" + std::to_string(cpus) + "cpu", config, r,
+                 paper[s][cpus - 1]);
       series.push_back(r.tps);
       char util[16];
       std::snprintf(util, sizeof util, "%.0f%%", r.link_utilization * 100);

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
            " normalised to the paper's transaction counts)");
   t2.set_header({"benchmark", "class", "paper", "ours", "ratio"});
 
+  bench::JsonReport report(args, "table1_straightforward");
   for (const PaperRow& row : rows) {
     ExperimentConfig config;
     config.version = core::VersionKind::kV0Vista;
@@ -38,8 +39,12 @@ int main(int argc, char** argv) {
 
     config.mode = Mode::kStandalone;
     const auto standalone = run_experiment(config);
+    report.add(std::string("standalone/") + wl::workload_name(row.workload), config, standalone,
+               row.single_paper);
     config.mode = Mode::kPassive;
     const auto pb = run_experiment(config);
+    report.add(std::string("primary-backup/") + wl::workload_name(row.workload), config, pb,
+               row.pb_paper);
 
     const char* name = wl::workload_name(row.workload);
     t1.add_row({name, "single machine", Table::num(row.single_paper, 0),
@@ -74,5 +79,5 @@ int main(int argc, char** argv) {
   t1.print();
   std::puts("");
   t2.print();
-  return 0;
+  return report.write() ? 0 : 1;
 }

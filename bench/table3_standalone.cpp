@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
 
   Table table("Table 3: Standalone transaction throughput of the restructured versions (TPS)");
   table.set_header({"version", "DC paper", "DC ours", "ratio", "OE paper", "OE ours", "ratio"});
+  bench::JsonReport report(args, "table3_standalone");
 
   for (int v = 0; v < 4; ++v) {
     ExperimentConfig config;
@@ -33,14 +34,18 @@ int main(int argc, char** argv) {
     config.workload = wl::WorkloadKind::kDebitCredit;
     config.txns_per_stream = scale.dc_txns;
     const auto dc = run_experiment(config);
+    report.add(std::string(core::version_name(versions[v])) + "/DebitCredit", config, dc,
+               paper[0][v]);
     config.workload = wl::WorkloadKind::kOrderEntry;
     config.txns_per_stream = scale.oe_txns;
     const auto oe = run_experiment(config);
+    report.add(std::string(core::version_name(versions[v])) + "/OrderEntry", config, oe,
+               paper[1][v]);
     table.add_row({core::version_name(versions[v]), Table::num(paper[0][v], 0),
                    bench::tps_cell(dc.tps), bench::ratio_cell(dc.tps, paper[0][v]),
                    Table::num(paper[1][v], 0), bench::tps_cell(oe.tps),
                    bench::ratio_cell(oe.tps, paper[1][v])});
   }
   table.print();
-  return 0;
+  return report.write() ? 0 : 1;
 }

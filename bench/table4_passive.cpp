@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
            " transaction counts)");
   t5.set_header({"benchmark", "version", "modified p/o", "undo p/o", "meta p/o", "total p/o"});
 
+  bench::JsonReport report(args, "table4_passive");
   harness::ExperimentResult results[2][4];
   for (int w = 0; w < 2; ++w) {
     for (int v = 0; v < 4; ++v) {
@@ -45,6 +46,9 @@ int main(int argc, char** argv) {
       config.workload = workloads[w];
       config.txns_per_stream = scale.txns(workloads[w]);
       results[w][v] = run_experiment(config);
+      report.add(std::string(core::version_name(versions[v])) + "/" +
+                     wl::workload_name(workloads[w]),
+                 config, results[w][v], paper_tps[w][v]);
     }
   }
 
@@ -76,5 +80,5 @@ int main(int argc, char** argv) {
   t4.print();
   std::puts("");
   t5.print();
-  return 0;
+  return report.write() ? 0 : 1;
 }

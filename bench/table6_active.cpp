@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   Table t7("Table 7: Data transferred, active vs best passive (MB, normalised)");
   t7.set_header({"benchmark", "config", "modified p/o", "undo p/o", "meta p/o", "total p/o"});
 
+  bench::JsonReport report(args, "table6_active");
   for (int w = 0; w < 2; ++w) {
     ExperimentConfig config;
     config.workload = workloads[w];
@@ -32,8 +33,12 @@ int main(int argc, char** argv) {
 
     config.mode = Mode::kPassive;
     const auto passive = run_experiment(config);
+    report.add(std::string("passive-v3/") + wl::workload_name(workloads[w]), config, passive,
+               paper_tps[w][0]);
     config.mode = Mode::kActive;
     const auto active = run_experiment(config);
+    report.add(std::string("active/") + wl::workload_name(workloads[w]), config, active,
+               paper_tps[w][1]);
 
     const char* name = wl::workload_name(workloads[w]);
     t6.add_row({name, "Best Passive (Version 3)", Table::num(paper_tps[w][0], 0),
@@ -62,5 +67,5 @@ int main(int argc, char** argv) {
   t6.print();
   std::puts("");
   t7.print();
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
 
   Table table("Table 8: Active backup throughput for increasing database sizes (TPS)");
   table.set_header({"benchmark", "db size", "paper", "ours", "ratio"});
+  bench::JsonReport report(args, "table8_dbsize");
   for (int w = 0; w < 2; ++w) {
     for (int s = 0; s < (full ? 3 : 2); ++s) {
       ExperimentConfig config;
@@ -33,11 +34,13 @@ int main(int argc, char** argv) {
       config.db_size = sizes[s];
       config.txns_per_stream = scale.txns(workloads[w]);
       const auto r = run_experiment(config);
+      report.add(std::string(wl::workload_name(workloads[w])) + "/" + size_names[s], config, r,
+                 paper[w][s]);
       table.add_row({wl::workload_name(workloads[w]), size_names[s],
                      Table::num(paper[w][s], 0), bench::tps_cell(r.tps),
                      bench::ratio_cell(r.tps, paper[w][s])});
     }
   }
   table.print();
-  return 0;
+  return report.write() ? 0 : 1;
 }

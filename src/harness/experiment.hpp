@@ -11,6 +11,7 @@
 #include "core/api.hpp"
 #include "sim/alpha_cost_model.hpp"
 #include "sim/traffic.hpp"
+#include "util/histogram.hpp"
 #include "workload/workload.hpp"
 
 namespace vrep::harness {
@@ -47,6 +48,8 @@ struct ExperimentResult {
   double link_utilization = 0;     // link busy time / elapsed time
   double mc_stall_seconds = 0;     // CPU stalled on a full adapter FIFO
   double flow_stall_seconds = 0;   // active: CPU blocked on a full redo ring
+  // Per-transaction virtual-time commit latency (ns), across all streams.
+  Histogram commit_latency_ns{};
 
   double traffic_mb() const { return static_cast<double>(traffic.total()) / 1e6; }
 };

@@ -2,7 +2,17 @@
 
 #include <unistd.h>
 
+#include "util/metrics.hpp"
+
 namespace vrep::net {
+
+namespace {
+// Mirror of Stats in the process-wide registry so chaos runs show up in
+// --json snapshots alongside the transport/wire counters.
+void count_fault(const char* which) {
+  metrics::counter(std::string("net.fault.") + which).add(1);
+}
+}  // namespace
 
 FaultInjectingTransport::Fault FaultInjectingTransport::roll() {
   // One uniform draw per frame, carved into cumulative bands so the schedule
@@ -38,9 +48,11 @@ bool FaultInjectingTransport::send(MsgType type, std::uint64_t epoch, const void
   switch (fault) {
     case Fault::kDrop:
       stats_.drops++;
+      count_fault("drops");
       return true;  // swallowed: the sender believes it went out
     case Fault::kDelay: {
       stats_.delays++;
+      count_fault("delays");
       const auto us = static_cast<useconds_t>(
           rng_.below(static_cast<std::uint64_t>(plan_.max_delay_us) + 1));
       ::usleep(us);
@@ -48,10 +60,12 @@ bool FaultInjectingTransport::send(MsgType type, std::uint64_t epoch, const void
     }
     case Fault::kDuplicate:
       stats_.duplicates++;
+      count_fault("duplicates");
       if (!inner_->send(type, epoch, payload, len)) return false;
       return inner_->send(type, epoch, payload, len);
     case Fault::kBitflip: {
       stats_.bitflips++;
+      count_fault("bitflips");
       auto frame = TcpTransport::encode_frame(type, epoch, payload, len);
       const std::uint64_t bit = rng_.below(frame.size() * 8);
       frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
@@ -61,6 +75,7 @@ bool FaultInjectingTransport::send(MsgType type, std::uint64_t epoch, const void
       // Torn frame: ship a strict prefix, then die mid-stream. The receiver
       // must report kClosed (or kCorrupt) without applying the partial batch.
       stats_.truncations++;
+      count_fault("truncations");
       const auto frame = TcpTransport::encode_frame(type, epoch, payload, len);
       const std::size_t cut = 1 + rng_.below(frame.size() - 1);
       inner_->send_bytes(frame.data(), cut);
@@ -69,6 +84,7 @@ bool FaultInjectingTransport::send(MsgType type, std::uint64_t epoch, const void
     }
     case Fault::kDisconnect:
       stats_.disconnects++;
+      count_fault("disconnects");
       inner_->close_peer();
       return false;
     case Fault::kNone:

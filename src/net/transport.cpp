@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "util/crc32.hpp"
+#include "util/metrics.hpp"
 
 namespace vrep::net {
 
@@ -75,6 +76,7 @@ bool TcpTransport::accept_peer(int timeout_ms) {
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   error_ = Error::kNone;
+  metrics::counter("net.transport.accepts").add(1);
   return true;
 }
 
@@ -92,6 +94,7 @@ bool TcpTransport::connect_to(const std::string& host, std::uint16_t port, int t
       const int one = 1;
       ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
       error_ = Error::kNone;
+      metrics::counter("net.transport.connects").add(1);
       return true;
     }
     ::close(fd_);
@@ -170,6 +173,10 @@ bool TcpTransport::send(MsgType type, std::uint64_t epoch, const void* payload,
     }
     sent += static_cast<std::size_t>(wrote);
   }
+  static metrics::Counter& frames = metrics::counter("net.transport.frames_sent");
+  static metrics::Counter& bytes = metrics::counter("net.transport.bytes_sent");
+  frames.add(1);
+  bytes.add(total);
   return true;
 }
 
@@ -211,6 +218,7 @@ std::optional<Message> TcpTransport::recv(int timeout_ms) {
     // The length field cannot be trusted: framing is lost for good. Close so
     // the peer reconnects and the protocol layer resyncs via rejoin.
     error_ = Error::kCorrupt;
+    metrics::counter("net.transport.corrupt_headers").add(1);
     close_peer();
     return std::nullopt;
   }
@@ -223,8 +231,13 @@ std::optional<Message> TcpTransport::recv(int timeout_ms) {
     // Payload bytes were consumed in full, so the stream stays aligned; the
     // receiver may skip this frame and resynchronise in-band.
     error_ = Error::kCorrupt;
+    metrics::counter("net.transport.corrupt_payloads").add(1);
     return std::nullopt;
   }
+  static metrics::Counter& frames = metrics::counter("net.transport.frames_received");
+  static metrics::Counter& bytes = metrics::counter("net.transport.bytes_received");
+  frames.add(1);
+  bytes.add(sizeof hdr + msg.payload.size());
   return msg;
 }
 

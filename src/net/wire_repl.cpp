@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 
 namespace vrep::net {
 
@@ -87,6 +88,7 @@ bool WirePrimary::serve_rejoin(std::uint64_t backup_seq, std::uint64_t node_id,
     membership_->adopt_backup(static_cast<int>(node_id));
   }
   stats_.rejoins_served++;
+  metrics::counter("net.wire.primary.rejoins_served").add(1);
   const std::uint64_t committed = local_->committed_seq();
   if (backup_seq > 0 && backup_seq <= committed && shared_lineage(backup_seq, state_epoch) &&
       history_covers(backup_seq)) {
@@ -108,11 +110,13 @@ bool WirePrimary::serve_rejoin(std::uint64_t backup_seq, std::uint64_t node_id,
     }
     alive_ = true;
     stats_.deltas_served++;
+    metrics::counter("net.wire.primary.deltas_served").add(1);
     return true;
   }
   // Gap unservable from history (fresh backup, evicted batches, or a
   // rejoiner claiming a future our lineage never had): full image.
   stats_.full_syncs_served++;
+  metrics::counter("net.wire.primary.full_syncs_served").add(1);
   return sync_backup();
 }
 
@@ -345,6 +349,7 @@ WireBackup::ServeResult WireBackup::serve(Transport& transport, const ServeOptio
           // aligned. Skip it; if it was a batch, the sequence gap triggers
           // an in-band resync from the last good sequence.
           stats_.corrupt_skipped++;
+          metrics::counter("net.wire.backup.corrupt_skipped").add(1);
           maybe_request_resync(transport);
           continue;
         default:
@@ -359,6 +364,7 @@ WireBackup::ServeResult WireBackup::serve(Transport& transport, const ServeOptio
         // Stale-epoch traffic — a fenced old primary still shipping. Drop
         // it and tell the sender which epoch rules now.
         stats_.stale_fenced++;
+        metrics::counter("net.wire.backup.stale_fenced").add(1);
         transport.send(MsgType::kEpochFence, cur, &cur, 8);
         continue;
       }
@@ -388,6 +394,7 @@ WireBackup::ServeResult WireBackup::serve(Transport& transport, const ServeOptio
       case MsgType::kDbChunk: {
         if (msg->payload.size() < 8) {
           stats_.corrupt_skipped++;
+          metrics::counter("net.wire.backup.corrupt_skipped").add(1);
           maybe_request_resync(transport);
           break;
         }
@@ -396,12 +403,14 @@ WireBackup::ServeResult WireBackup::serve(Transport& transport, const ServeOptio
         const std::size_t len = msg->payload.size() - 8;
         if (off < image_next_off_) {
           stats_.duplicates_ignored++;  // replayed chunk (duplicate fault)
+          metrics::counter("net.wire.backup.duplicates_ignored").add(1);
           break;
         }
         if (off > image_next_off_) {
           // A chunk went missing: the image has a hole only a fresh full
           // sync can fill.
           stats_.gaps_detected++;
+          metrics::counter("net.wire.backup.gaps_detected").add(1);
           maybe_request_resync(transport);
           break;
         }
@@ -411,6 +420,7 @@ WireBackup::ServeResult WireBackup::serve(Transport& transport, const ServeOptio
         if (image_complete() && awaiting_resync_) {
           awaiting_resync_ = false;
           stats_.resyncs++;
+          metrics::counter("net.wire.backup.resyncs").add(1);
         }
         break;
       }
@@ -423,6 +433,7 @@ WireBackup::ServeResult WireBackup::serve(Transport& transport, const ServeOptio
         }
         if (msg->payload.size() < 8) {
           stats_.corrupt_skipped++;
+          metrics::counter("net.wire.backup.corrupt_skipped").add(1);
           maybe_request_resync(transport);
           break;
         }
@@ -430,15 +441,18 @@ WireBackup::ServeResult WireBackup::serve(Transport& transport, const ServeOptio
         std::memcpy(&seq, msg->payload.data(), 8);
         if (seq <= applied_seq_) {
           stats_.duplicates_ignored++;  // duplicate fault or delta overlap
+          metrics::counter("net.wire.backup.duplicates_ignored").add(1);
           break;
         }
         if (seq == applied_seq_ + 1) {
           if (!apply_batch(*msg, &applied_seq_)) {
             stats_.corrupt_skipped++;
+            metrics::counter("net.wire.backup.corrupt_skipped").add(1);
             maybe_request_resync(transport);
             break;
           }
           stats_.batches_applied++;
+          metrics::counter("net.wire.backup.batches_applied").add(1);
           state_epoch_ = msg->epoch;
           // Acknowledge periodically (flow control / monitoring); per-batch
           // acks would just pressure the primary's receive buffer.
@@ -450,6 +464,7 @@ WireBackup::ServeResult WireBackup::serve(Transport& transport, const ServeOptio
         // Sequence gap: a batch was dropped or skipped as corrupt. Resync
         // from the last good sequence instead of giving up.
         stats_.gaps_detected++;
+        metrics::counter("net.wire.backup.gaps_detected").add(1);
         maybe_request_resync(transport);
         break;
       }
@@ -463,6 +478,7 @@ WireBackup::ServeResult WireBackup::serve(Transport& transport, const ServeOptio
           // already hold are ignored as duplicates.
           awaiting_resync_ = false;
           stats_.resyncs++;
+          metrics::counter("net.wire.backup.resyncs").add(1);
         } else {
           // Unusable delta (should not happen): re-request from where we
           // actually are.
@@ -481,6 +497,7 @@ WireBackup::ServeResult WireBackup::serve(Transport& transport, const ServeOptio
           std::memcpy(&committed, msg->payload.data(), 8);
           if (committed > applied_seq_) {
             stats_.gaps_detected++;
+            metrics::counter("net.wire.backup.gaps_detected").add(1);
             // Heartbeats double as the resync retry timer: if a previous
             // request (or the delta answering it) was itself lost, re-arm
             // instead of waiting forever on a reply that will never come.
@@ -499,6 +516,7 @@ WireBackup::ServeResult WireBackup::serve(Transport& transport, const ServeOptio
       default:
         // Unknown frame type with valid CRCs: version skew. Skip it.
         stats_.corrupt_skipped++;
+        metrics::counter("net.wire.backup.corrupt_skipped").add(1);
         break;
     }
   }

@@ -5,6 +5,7 @@
 
 #include "util/check.hpp"
 #include "util/crc32.hpp"
+#include "util/metrics.hpp"
 
 namespace vrep::repl {
 
@@ -133,6 +134,7 @@ sim::SimTime ActiveBackup::next_visibility_after(sim::SimTime t) const {
 }
 
 std::uint64_t ActiveBackup::takeover(sim::SimTime crash_time) {
+  metrics::counter("repl.active.takeovers").add(1);
   fabric_->crash_at(crash_time);
   cpu_->clock().advance_to(crash_time);
   while (try_apply_one()) {
@@ -219,6 +221,10 @@ void ActivePrimary::reserve_ring_space(std::uint64_t bytes) {
                     bus_->mc()->fabric()->model().propagation_ns);
       continue;
     }
+    static metrics::Counter& stalls = metrics::counter("repl.active.flow_stalls");
+    static metrics::Counter& stall_ns = metrics::counter("repl.active.flow_stall_ns");
+    stalls.add(1);
+    stall_ns.add(static_cast<std::uint64_t>(resume - now));
     flow_stall_ns_ += resume - now;
     bus_->clock()->advance_to(resume);
   }
@@ -303,6 +309,12 @@ void ActivePrimary::ship_redo() {
   backup_->poll(bus_->mc()->fabric()->link().free_at +
                 bus_->mc()->fabric()->model().propagation_ns);
 
+  static metrics::Counter& shipped = metrics::counter("repl.active.txns_shipped");
+  static metrics::Gauge& occupancy = metrics::gauge("repl.active.ring_occupancy_peak");
+  shipped.add(1);
+  occupancy.update_max(static_cast<std::int64_t>(
+      producer_ - backup_->consumer_visible(bus_->clock()->now())));
+
   staged_.clear();
   staging_bytes_.clear();
 }
@@ -321,6 +333,8 @@ void ActivePrimary::commit_transaction() {
       if (backup_->consumer_visible(now) >= producer_) break;
       const sim::SimTime resume = backup_->next_visibility_after(now);
       VREP_CHECK(resume != ActiveBackup::kNever && "backup never acknowledged");
+      static metrics::Counter& wait_ns = metrics::counter("repl.active.two_safe_wait_ns");
+      wait_ns.add(static_cast<std::uint64_t>(resume - now));
       two_safe_wait_ns_ += resume - now;
       bus_->clock()->advance_to(resume);
     }

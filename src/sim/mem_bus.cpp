@@ -1,6 +1,7 @@
 #include "sim/mem_bus.hpp"
 
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 
 namespace vrep::sim {
 
@@ -79,6 +80,12 @@ void MemBus::write_through(const Region* r, const void* dst, const void* src, st
     }
   }
   if (r == nullptr || !r->replicated || mc_ == nullptr) return;
+  static metrics::Counter* const by_class[kNumTrafficClasses] = {
+      &metrics::counter("sim.bus.shipped_bytes.modified"),
+      &metrics::counter("sim.bus.shipped_bytes.undo"),
+      &metrics::counter("sim.bus.shipped_bytes.meta"),
+  };
+  by_class[static_cast<std::size_t>(cls)]->add(len);
   const std::uint64_t io = r->io_base + (reinterpret_cast<std::uintptr_t>(dst) - r->lo);
   mc_->io_write(io, src, len, cls);
 }

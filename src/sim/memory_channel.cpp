@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 
 namespace vrep::sim {
 
@@ -85,10 +86,18 @@ void McInterface::on_packet(const Packet& pkt) {
   if (fifo_.size() >= fifo_depth_) {
     // Adapter full: the CPU stalls until the oldest queued packet departs.
     const SimTime resume = fifo_.front();
+    static metrics::Counter& stall_events = metrics::counter("sim.mc.fifo_stalls");
+    static metrics::Counter& stall_ns = metrics::counter("sim.mc.fifo_stall_ns");
+    stall_events.add(1);
+    stall_ns.add(static_cast<std::uint64_t>(resume - now));
     stall_ns_ += resume - now;
     clk_->advance_to(resume);
     fifo_.pop_front();
   }
+  static metrics::Counter& packets = metrics::counter("sim.mc.packets");
+  static metrics::Counter& packet_bytes = metrics::counter("sim.mc.packet_bytes");
+  packets.add(1);
+  packet_bytes.add(pkt.len);
   fabric_->count_packet(pkt);
   const SimTime completion =
       fabric_->link().serve(clk_->now(), fabric_->model().packet_time(pkt.len));

@@ -3,8 +3,29 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <limits>
 
 namespace vrep {
+
+namespace {
+
+// Inclusive bounds of bucket i. Bucket 0 holds values <= 1 (see bucket_of);
+// bucket 63's upper bound is UINT64_MAX — computing it as (1 << 64) - 1 would
+// be undefined, so it is special-cased rather than shifted.
+std::uint64_t bucket_lo(std::size_t i) { return i == 0 ? 0 : 1ull << i; }
+
+std::uint64_t bucket_hi(std::size_t i) {
+  if (i >= 63) return std::numeric_limits<std::uint64_t>::max();
+  return (1ull << (i + 1)) - 1;
+}
+
+std::uint64_t saturating_add_u64(std::uint64_t a, unsigned __int128 b) {
+  const unsigned __int128 sum = static_cast<unsigned __int128>(a) + b;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  return sum > kMax ? kMax : static_cast<std::uint64_t>(sum);
+}
+
+}  // namespace
 
 int Histogram::bucket_of(std::uint64_t v) {
   if (v <= 1) return 0;
@@ -14,7 +35,10 @@ int Histogram::bucket_of(std::uint64_t v) {
 void Histogram::add(std::uint64_t value, std::uint64_t count) {
   buckets_[static_cast<std::size_t>(bucket_of(value))] += count;
   total_count_ += count;
-  total_sum_ += value * count;
+  // ns-scale sums overflow u64 in long runs; saturate instead of wrapping so
+  // mean() degrades to an underestimate rather than garbage.
+  total_sum_ =
+      saturating_add_u64(total_sum_, static_cast<unsigned __int128>(value) * count);
   max_seen_ = std::max(max_seen_, value);
 }
 
@@ -28,10 +52,21 @@ std::uint64_t Histogram::percentile(double fraction) const {
   const auto target = static_cast<std::uint64_t>(fraction * static_cast<double>(total_count_));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
     seen += buckets_[i];
-    if (seen > target) return 1ull << (i + 1);
+    if (seen <= target) continue;
+    // The sample with rank `target` lands in this bucket. Interpolate
+    // linearly between the bucket's bounds, clamping the upper bound to the
+    // largest value actually recorded — a non-empty bucket guarantees
+    // max_seen_ >= lo, so the clamp never inverts the range.
+    const std::uint64_t lo = bucket_lo(i);
+    const std::uint64_t hi = std::min(bucket_hi(i), max_seen_);
+    const std::uint64_t rank_in_bucket = target - (seen - buckets_[i]);
+    const double frac_in_bucket =
+        static_cast<double>(rank_in_bucket) / static_cast<double>(buckets_[i]);
+    return lo + static_cast<std::uint64_t>(static_cast<double>(hi - lo) * frac_in_bucket);
   }
-  return max_seen_;
+  return max_seen_;  // fraction >= 1.0
 }
 
 std::string Histogram::to_string(const char* unit) const {
@@ -45,9 +80,9 @@ std::string Histogram::to_string(const char* unit) const {
   out += line;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     if (buckets_[i] == 0) continue;
-    std::snprintf(line, sizeof line, "  [%llu, %llu): %llu\n",
-                  static_cast<unsigned long long>(i == 0 ? 0 : (1ull << i)),
-                  static_cast<unsigned long long>(1ull << (i + 1)),
+    std::snprintf(line, sizeof line, "  [%llu, %llu]: %llu\n",
+                  static_cast<unsigned long long>(bucket_lo(i)),
+                  static_cast<unsigned long long>(std::min(bucket_hi(i), max_seen_)),
                   static_cast<unsigned long long>(buckets_[i]));
     out += line;
   }
@@ -57,7 +92,7 @@ std::string Histogram::to_string(const char* unit) const {
 void Histogram::merge(const Histogram& other) {
   for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
   total_count_ += other.total_count_;
-  total_sum_ += other.total_sum_;
+  total_sum_ = saturating_add_u64(total_sum_, other.total_sum_);
   max_seen_ = std::max(max_seen_, other.max_seen_);
 }
 

@@ -7,14 +7,17 @@
 
 namespace vrep {
 
-// Buckets are [2^i, 2^(i+1)); value 0 lands in bucket 0 together with 1.
+// Bucket 0 holds values <= 1; bucket i (i >= 1) holds [2^i, 2^(i+1)).
 class Histogram {
  public:
+  // total_sum_ saturates at UINT64_MAX instead of wrapping.
   void add(std::uint64_t value, std::uint64_t count = 1);
   std::uint64_t total_count() const { return total_count_; }
   std::uint64_t total_sum() const { return total_sum_; }
   double mean() const;
-  // Value below which `fraction` (0..1) of samples fall (bucket upper bound).
+  // Value at rank floor(fraction * total_count), linearly interpolated within
+  // its bucket; bucket upper bounds are clamped to max_seen(). fraction >= 1
+  // returns max_seen() exactly.
   std::uint64_t percentile(double fraction) const;
   std::uint64_t max_seen() const { return max_seen_; }
   std::string to_string(const char* unit = "") const;

@@ -1,0 +1,362 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace vrep {
+
+Json& Json::set(const std::string& key, Json value) {
+  VREP_CHECK(type_ == Type::kObject);
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  obj_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  VREP_CHECK(type_ == Type::kArray);
+  arr_.push_back(std::move(value));
+  return *this;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Json::number() const {
+  switch (num_kind_) {
+    case NumKind::kDouble:
+      return dbl_;
+    case NumKind::kU64:
+      return static_cast<double>(u64_);
+    case NumKind::kI64:
+      return static_cast<double>(i64_);
+  }
+  return 0;
+}
+
+std::uint64_t Json::u64() const {
+  switch (num_kind_) {
+    case NumKind::kDouble:
+      return dbl_ <= 0 ? 0 : static_cast<std::uint64_t>(dbl_);
+    case NumKind::kU64:
+      return u64_;
+    case NumKind::kI64:
+      return i64_ <= 0 ? 0 : static_cast<std::uint64_t>(i64_);
+  }
+  return 0;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  char buf[40];
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      switch (num_kind_) {
+        case NumKind::kU64:
+          std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(u64_));
+          break;
+        case NumKind::kI64:
+          std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(i64_));
+          break;
+        case NumKind::kDouble:
+          if (std::isfinite(dbl_)) {
+            // %.17g round-trips doubles but litters dumps with digits; %.10g
+            // is plenty for throughput/latency figures and diffs cleanly.
+            std::snprintf(buf, sizeof buf, "%.10g", dbl_);
+          } else {
+            std::snprintf(buf, sizeof buf, "null");  // JSON has no inf/nan
+          }
+          break;
+      }
+      out += buf;
+      return;
+    case Type::kString:
+      append_escaped(out, str_);
+      return;
+    case Type::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        append_newline_indent(out, indent, depth + 1);
+        append_escaped(out, k);
+        out += indent > 0 ? ": " : ":";
+        v.dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+    case Type::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      bool first = true;
+      for (const Json& v : arr_) {
+        if (!first) out += ',';
+        first = false;
+        append_newline_indent(out, indent, depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  char peek() {
+    skip_ws();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  Json value();
+  Json string_value();
+  Json number_value();
+};
+
+Json Parser::string_value() {
+  std::string out;
+  ++pos;  // opening quote
+  while (pos < text.size()) {
+    const char c = text[pos++];
+    if (c == '"') return Json(std::move(out));
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (pos >= text.size()) break;
+    const char esc = text[pos++];
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (pos + 4 > text.size()) {
+          ok = false;
+          return Json();
+        }
+        const unsigned long cp = std::strtoul(std::string(text.substr(pos, 4)).c_str(),
+                                              nullptr, 16);
+        pos += 4;
+        // Only the ASCII range is decoded; our own dumps never emit more.
+        out += cp <= 0x7F ? static_cast<char>(cp) : '?';
+        break;
+      }
+      default:
+        ok = false;
+        return Json();
+    }
+  }
+  ok = false;
+  return Json();
+}
+
+Json Parser::number_value() {
+  const std::size_t start = pos;
+  bool integral = true;
+  if (pos < text.size() && text[pos] == '-') ++pos;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      ++pos;
+    } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+      integral = false;
+      ++pos;
+    } else {
+      break;
+    }
+  }
+  const std::string tok(text.substr(start, pos - start));
+  if (tok.empty() || tok == "-") {
+    ok = false;
+    return Json();
+  }
+  if (integral) {
+    errno = 0;
+    if (tok[0] == '-') {
+      const long long v = std::strtoll(tok.c_str(), nullptr, 10);
+      if (errno == 0) return Json(static_cast<std::int64_t>(v));
+    } else {
+      const unsigned long long v = std::strtoull(tok.c_str(), nullptr, 10);
+      if (errno == 0) return Json(static_cast<std::uint64_t>(v));
+    }
+  }
+  return Json(std::strtod(tok.c_str(), nullptr));
+}
+
+Json Parser::value() {
+  skip_ws();
+  if (pos >= text.size()) {
+    ok = false;
+    return Json();
+  }
+  const char c = text[pos];
+  if (c == '{') {
+    ++pos;
+    Json obj = Json::object();
+    if (consume('}')) return obj;
+    while (ok) {
+      skip_ws();
+      if (peek() != '"') {
+        ok = false;
+        break;
+      }
+      Json key = string_value();
+      if (!ok || !consume(':')) {
+        ok = false;
+        break;
+      }
+      obj.set(key.str(), value());
+      if (consume('}')) return obj;
+      if (!consume(',')) {
+        ok = false;
+        break;
+      }
+    }
+    return Json();
+  }
+  if (c == '[') {
+    ++pos;
+    Json arr = Json::array();
+    if (consume(']')) return arr;
+    while (ok) {
+      arr.push(value());
+      if (consume(']')) return arr;
+      if (!consume(',')) {
+        ok = false;
+        break;
+      }
+    }
+    return Json();
+  }
+  if (c == '"') return string_value();
+  if (text.compare(pos, 4, "true") == 0) {
+    pos += 4;
+    return Json(true);
+  }
+  if (text.compare(pos, 5, "false") == 0) {
+    pos += 5;
+    return Json(false);
+  }
+  if (text.compare(pos, 4, "null") == 0) {
+    pos += 4;
+    return Json();
+  }
+  if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) return number_value();
+  ok = false;
+  return Json();
+}
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  Parser p{text};
+  Json v = p.value();
+  p.skip_ws();
+  if (!p.ok || p.pos != text.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace vrep

@@ -1,0 +1,83 @@
+// Minimal JSON value: build, serialize, parse. Exists so the bench binaries
+// can emit machine-readable trajectories (BENCH_*.json) and the tests can
+// round-trip them without an external dependency. Deliberately small: the
+// subset the emitter produces (null/bool/number/string/object/array, UTF-8
+// passed through verbatim, \uXXXX parsed only for code points <= 0x7F).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vrep {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Json() = default;  // null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double d) : type_(Type::kNumber), num_kind_(NumKind::kDouble), dbl_(d) {}
+  Json(std::uint64_t u) : type_(Type::kNumber), num_kind_(NumKind::kU64), u64_(u) {}
+  Json(std::int64_t i) : type_(Type::kNumber), num_kind_(NumKind::kI64), i64_(i) {}
+  Json(int i) : Json(static_cast<std::int64_t>(i)) {}
+  Json(unsigned u) : Json(static_cast<std::uint64_t>(u)) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  // ---- building -----------------------------------------------------------
+  // Object insertion preserves order (stable dumps, stable diffs).
+  Json& set(const std::string& key, Json value);
+  Json& push(Json value);
+
+  // ---- access -------------------------------------------------------------
+  const Json* find(const std::string& key) const;  // objects; nullptr if absent
+  const Json& at(std::size_t i) const { return arr_[i]; }
+  std::size_t size() const { return type_ == Type::kObject ? obj_.size() : arr_.size(); }
+  const std::vector<std::pair<std::string, Json>>& items() const { return obj_; }
+
+  bool boolean() const { return bool_; }
+  double number() const;           // any numeric representation, as double
+  std::uint64_t u64() const;       // truncates doubles; clamps negatives to 0
+  const std::string& str() const { return str_; }
+
+  // ---- serialize / parse --------------------------------------------------
+  // indent == 0: single line; indent > 0: pretty-printed with that step.
+  std::string dump(int indent = 0) const;
+  static std::optional<Json> parse(std::string_view text);
+
+ private:
+  enum class NumKind : std::uint8_t { kDouble, kU64, kI64 };
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  NumKind num_kind_ = NumKind::kDouble;
+  double dbl_ = 0;
+  std::uint64_t u64_ = 0;
+  std::int64_t i64_ = 0;
+  std::string str_;
+  std::vector<std::pair<std::string, Json>> obj_;
+  std::vector<Json> arr_;
+};
+
+}  // namespace vrep

@@ -1,0 +1,77 @@
+#include "util/metrics.hpp"
+
+#include "util/json.hpp"
+
+namespace vrep {
+namespace metrics {
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: outlives static-destruction order
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Timer& Registry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = timers_[name];
+  if (!slot) slot = std::make_unique<Timer>();
+  return *slot;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  snap.timers.reserve(timers_.size());
+  for (const auto& [name, t] : timers_) snap.timers.emplace_back(name, t->snapshot());
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, t] : timers_) t->reset();
+}
+
+Json Snapshot::to_json() const {
+  Json root = Json::object();
+  Json jc = Json::object();
+  for (const auto& [name, v] : counters) jc.set(name, Json(v));
+  root.set("counters", std::move(jc));
+  Json jg = Json::object();
+  for (const auto& [name, v] : gauges) jg.set(name, Json(v));
+  root.set("gauges", std::move(jg));
+  Json jt = Json::object();
+  for (const auto& [name, h] : timers) {
+    Json jh = Json::object();
+    jh.set("count", Json(h.total_count()));
+    jh.set("mean", Json(h.mean()));
+    jh.set("p50", Json(h.percentile(0.50)));
+    jh.set("p90", Json(h.percentile(0.90)));
+    jh.set("p99", Json(h.percentile(0.99)));
+    jh.set("max", Json(h.max_seen()));
+    jt.set(name, std::move(jh));
+  }
+  root.set("timers", std::move(jt));
+  return root;
+}
+
+}  // namespace metrics
+}  // namespace vrep

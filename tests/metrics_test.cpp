@@ -1,0 +1,239 @@
+// Metrics registry (counters/gauges/timers, snapshot/reset, thread safety),
+// the minimal JSON value class, and the bench JsonReport emitter: the --json
+// file must round-trip through Json::parse and agree with the numbers the
+// binary printed.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harness/experiment.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+
+namespace vrep {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Json
+// ---------------------------------------------------------------------------
+
+TEST(Json, BuildDumpParseRoundTrip) {
+  Json root = Json::object();
+  root.set("name", "table3");
+  root.set("tps", 123456.789);
+  root.set("count", std::uint64_t{18446744073709551615ull});
+  root.set("delta", std::int64_t{-42});
+  root.set("ok", true);
+  root.set("nothing", Json());
+  Json arr = Json::array();
+  arr.push(1).push(2).push("three");
+  root.set("cells", std::move(arr));
+
+  for (const int indent : {0, 2}) {
+    const std::string text = root.dump(indent);
+    const auto parsed = Json::parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(parsed->find("name")->str(), "table3");
+    EXPECT_NEAR(parsed->find("tps")->number(), 123456.789, 1e-3);
+    // u64 values survive exactly (not through double).
+    EXPECT_EQ(parsed->find("count")->u64(), 18446744073709551615ull);
+    EXPECT_EQ(static_cast<std::int64_t>(parsed->find("delta")->number()), -42);
+    EXPECT_TRUE(parsed->find("ok")->boolean());
+    EXPECT_EQ(parsed->find("nothing")->type(), Json::Type::kNull);
+    ASSERT_EQ(parsed->find("cells")->size(), 3u);
+    EXPECT_EQ(parsed->find("cells")->at(2).str(), "three");
+  }
+}
+
+TEST(Json, ObjectPreservesInsertionOrderAndOverwrites) {
+  Json j = Json::object();
+  j.set("z", 1).set("a", 2).set("z", 3);
+  ASSERT_EQ(j.size(), 2u);
+  EXPECT_EQ(j.items()[0].first, "z");
+  EXPECT_EQ(j.items()[0].second.u64(), 3u);
+  EXPECT_EQ(j.items()[1].first, "a");
+}
+
+TEST(Json, EscapesStrings) {
+  Json j = Json::object();
+  j.set("s", "a\"b\\c\nd");
+  const std::string text = j.dump();
+  const auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.has_value()) << text;
+  EXPECT_EQ(parsed->find("s")->str(), "a\"b\\c\nd");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("treu").has_value());
+  EXPECT_FALSE(Json::parse("{} trailing").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CounterGaugeTimerBasics) {
+  metrics::Registry reg;
+  reg.counter("c").add(3);
+  reg.counter("c").add();
+  EXPECT_EQ(reg.counter("c").value(), 4u);
+
+  reg.gauge("g").set(-5);
+  reg.gauge("g").add(2);
+  EXPECT_EQ(reg.gauge("g").value(), -3);
+  reg.gauge("peak").update_max(10);
+  reg.gauge("peak").update_max(7);  // lower value must not regress the max
+  EXPECT_EQ(reg.gauge("peak").value(), 10);
+
+  reg.timer("t").record(100, 5);
+  EXPECT_EQ(reg.timer("t").snapshot().total_count(), 5u);
+}
+
+TEST(Metrics, InstrumentReferencesSurviveReset) {
+  metrics::Registry reg;
+  metrics::Counter& c = reg.counter("stable");
+  c.add(7);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // zeroed, not destroyed
+  c.add(1);
+  EXPECT_EQ(reg.counter("stable").value(), 1u);  // same instrument
+  EXPECT_EQ(&reg.counter("stable"), &c);
+}
+
+TEST(Metrics, SnapshotIsSortedAndComplete) {
+  metrics::Registry reg;
+  reg.counter("b").add(2);
+  reg.counter("a").add(1);
+  reg.gauge("g").set(9);
+  reg.timer("t").record(64);
+  const metrics::Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a");
+  EXPECT_EQ(snap.counters[1].first, "b");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, 9);
+  ASSERT_EQ(snap.timers.size(), 1u);
+  EXPECT_EQ(snap.timers[0].second.total_count(), 1u);
+
+  const Json j = snap.to_json();
+  EXPECT_EQ(j.find("counters")->find("a")->u64(), 1u);
+  EXPECT_EQ(j.find("gauges")->find("g")->u64(), 9u);
+  EXPECT_EQ(j.find("timers")->find("t")->find("count")->u64(), 1u);
+}
+
+TEST(Metrics, ConcurrentUpdatesAreLossFree) {
+  // Mimics the SMP harness path: several streams hammering the same named
+  // instruments through the global accessors' code path.
+  metrics::Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.counter("shared.count").add(1);
+        reg.gauge("shared.peak").update_max(t * kPerThread + i);
+        if (i % 100 == 0) reg.timer("shared.lat").record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(reg.counter("shared.count").value(), kThreads * kPerThread);
+  EXPECT_EQ(reg.gauge("shared.peak").value(), kThreads * kPerThread - 1);
+  EXPECT_EQ(reg.timer("shared.lat").snapshot().total_count(),
+            kThreads * (kPerThread / 100));
+}
+
+TEST(Metrics, GlobalAccessorsShareOneRegistry) {
+  metrics::counter("test.global").add(5);
+  EXPECT_EQ(metrics::Registry::global().counter("test.global").value(), 5u);
+  metrics::Registry::global().reset();
+  EXPECT_EQ(metrics::counter("test.global").value(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// JsonReport: the --json output matches what run_experiment measured (and
+// hence what the bench binary prints), and round-trips through the parser.
+// ---------------------------------------------------------------------------
+
+TEST(JsonReport, RoundTripsAndMatchesMeasuredResult) {
+  metrics::Registry::global().reset();
+
+  harness::ExperimentConfig config;
+  config.mode = harness::Mode::kPassive;
+  config.workload = wl::WorkloadKind::kDebitCredit;
+  config.txns_per_stream = 2'000;
+  const harness::ExperimentResult r = run_experiment(config);
+  ASSERT_GT(r.tps, 0);
+  ASSERT_GT(r.traffic.total(), 0u);
+  ASSERT_EQ(r.commit_latency_ns.total_count(), r.committed);
+
+  const std::string path = testing::TempDir() + "vrep_metrics_test.json";
+  const char* argv[] = {"bench", "--json", path.c_str()};
+  CliArgs args(3, const_cast<char**>(argv));
+  bench::JsonReport report(args, "metrics_test");
+  ASSERT_TRUE(report.enabled());
+  report.add("V3/DebitCredit", config, r, 38735.0);
+  ASSERT_TRUE(report.write());
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  const auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("bench")->str(), "metrics_test");
+  const Json* cells = parsed->find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->size(), 1u);
+  const Json& cell = cells->at(0);
+
+  // The serialized cell is the same data the printed table is built from.
+  EXPECT_EQ(cell.find("name")->str(), "V3/DebitCredit");
+  EXPECT_EQ(cell.find("mode")->str(), "passive backup");
+  EXPECT_EQ(cell.find("committed")->u64(), r.committed);
+  EXPECT_NEAR(cell.find("tps")->number(), r.tps, r.tps * 1e-9);
+  EXPECT_EQ(cell.find("traffic")->find("modified_bytes")->u64(), r.traffic.modified());
+  EXPECT_EQ(cell.find("traffic")->find("undo_bytes")->u64(), r.traffic.undo());
+  EXPECT_EQ(cell.find("traffic")->find("meta_bytes")->u64(), r.traffic.meta());
+  EXPECT_EQ(cell.find("packets")->u64(), r.packets);
+  const Json* lat = cell.find("commit_latency_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->find("count")->u64(), r.commit_latency_ns.total_count());
+  EXPECT_EQ(lat->find("p50")->u64(), r.commit_latency_ns.percentile(0.5));
+  EXPECT_EQ(lat->find("p99")->u64(), r.commit_latency_ns.percentile(0.99));
+  EXPECT_GT(lat->find("p50")->u64(), 0u);
+
+  // The registry snapshot rode along: the experiment instrumented the sim
+  // layers, and the registry's view of shipped bytes equals the result's.
+  const Json* metrics_json = parsed->find("metrics");
+  ASSERT_NE(metrics_json, nullptr);
+  const Json* counters = metrics_json->find("counters");
+  ASSERT_NE(counters, nullptr);
+  const std::uint64_t shipped = counters->find("sim.bus.shipped_bytes.modified")->u64() +
+                                counters->find("sim.bus.shipped_bytes.undo")->u64() +
+                                counters->find("sim.bus.shipped_bytes.meta")->u64();
+  EXPECT_EQ(shipped, r.traffic.total());
+  EXPECT_EQ(counters->find("sim.mc.packets")->u64(), r.packets);
+  EXPECT_EQ(metrics_json->find("timers")
+                ->find("harness.commit_latency_ns")
+                ->find("count")
+                ->u64(),
+            r.committed);
+}
+
+}  // namespace
+}  // namespace vrep

@@ -1,6 +1,7 @@
 // Utility layer: RNG, CRC, histogram, table/chart rendering, CLI parsing.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "util/ascii_chart.hpp"
@@ -95,6 +96,78 @@ TEST(Histogram, MergeAddsCounts) {
   b.add(4, 5);
   a.merge(b);
   EXPECT_EQ(a.total_count(), 15u);
+}
+
+TEST(Histogram, PercentileOfUniformValueIsExact) {
+  // All samples equal: every percentile must clamp to max_seen, never a
+  // power-of-two bucket bound (the old exclusive-bound code returned 16).
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.add(8);
+  for (const double f : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(h.percentile(f), 8u) << "fraction " << f;
+  }
+}
+
+TEST(Histogram, PercentileInterpolatesWithinBucket) {
+  // 50x100 (bucket [64,127]) + 50x1000 (bucket [512,1023], hi clamped to
+  // 1000). Pinned values from the interpolation formula
+  //   lo + (hi - lo) * rank_in_bucket / bucket_count.
+  Histogram h;
+  h.add(100, 50);
+  h.add(1000, 50);
+  EXPECT_EQ(h.percentile(0.25), 95u);   // 64 + 63 * 25/50
+  EXPECT_EQ(h.percentile(0.75), 756u);  // 512 + 488 * 25/50
+  EXPECT_EQ(h.percentile(1.0), 1000u);
+}
+
+TEST(Histogram, TopBucketHasNoUndefinedShift) {
+  // UINT64_MAX lands in bucket 63; the old code computed 1ull << 64 (UB)
+  // for its upper bound. Runs under the UBSan preset.
+  Histogram h;
+  h.add(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.percentile(0.5), 1ull << 63);  // lo of bucket 63, rank 0
+  EXPECT_EQ(h.percentile(1.0), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.max_seen(), std::numeric_limits<std::uint64_t>::max());
+  // to_string used to print the same shifted bound; bounds are inclusive and
+  // clamped to max_seen now.
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("18446744073709551615]"), std::string::npos) << s;
+}
+
+TEST(Histogram, ZeroAndOneShareBucketZeroRange) {
+  // bucket_of sends 0 and 1 both to bucket 0; the printed range must agree
+  // (the old code printed "[0, 2)" while only values <= 1 landed there).
+  Histogram h;
+  h.add(0);
+  h.add(1);
+  EXPECT_EQ(h.percentile(1.0), 1u);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("[0, 1]: 2"), std::string::npos) << s;
+}
+
+TEST(Histogram, SumSaturatesInsteadOfWrapping) {
+  Histogram h;
+  h.add(std::numeric_limits<std::uint64_t>::max(), 2);  // product overflows u64
+  EXPECT_EQ(h.total_sum(), std::numeric_limits<std::uint64_t>::max());
+  h.add(1);  // further adds keep it pinned, no wrap to small values
+  EXPECT_EQ(h.total_sum(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.total_count(), 3u);
+
+  Histogram a, b;
+  a.add(std::numeric_limits<std::uint64_t>::max());
+  b.add(std::numeric_limits<std::uint64_t>::max());
+  a.merge(b);
+  EXPECT_EQ(a.total_sum(), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Histogram, ExistingBoundsStillHold) {
+  // The original coarse-bound expectations, kept as a shape check on the
+  // interpolated values: p50 of 99x8 + 1x1024 is 11, p999 is exactly 1024.
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.add(8);
+  h.add(1024);
+  EXPECT_EQ(h.percentile(0.5), 11u);    // 8 + 7 * 50/99
+  EXPECT_EQ(h.percentile(0.999), 1024u);
 }
 
 TEST(Table, RendersAlignedColumns) {
