@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Compare a regenerated BENCH_*.json against its committed baseline.
+
+Usage: check_drift.py BASELINE FRESH [--rtol 1e-6]
+
+The virtual-time co-simulation is deterministic, so a regenerated baseline
+must reproduce every numeric cell exactly (up to --rtol for float printing).
+Only the 'cells' section is compared: the process-wide metrics registry
+snapshot may legitimately gain counters as instrumentation grows, but the
+measured numbers — tps, traffic bytes, packet counts, latency percentiles —
+may not move without an intentional, reviewed baseline update.
+
+Exit status: 0 when within tolerance, 1 on drift (each drifting path is
+printed), 2 on usage/shape errors.
+"""
+import argparse
+import json
+import sys
+
+
+def walk(path, a, b, rtol, drifts):
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a or key not in b:
+                drifts.append(f"{path}.{key}: only in {'baseline' if key in a else 'fresh'}")
+                continue
+            walk(f"{path}.{key}", a[key], b[key], rtol, drifts)
+    elif isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            drifts.append(f"{path}: length {len(a)} -> {len(b)}")
+            return
+        for i, (x, y) in enumerate(zip(a, b)):
+            walk(f"{path}[{i}]", x, y, rtol, drifts)
+    elif isinstance(a, bool) or isinstance(b, bool):
+        if a != b:
+            drifts.append(f"{path}: {a} -> {b}")
+    elif isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        scale = max(abs(a), abs(b))
+        if scale > 0 and abs(a - b) / scale > rtol:
+            drifts.append(f"{path}: {a} -> {b}")
+    elif a != b:
+        drifts.append(f"{path}: {a!r} -> {b!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--rtol", type=float, default=1e-6)
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+    if "cells" not in baseline or "cells" not in fresh:
+        print("missing 'cells' section", file=sys.stderr)
+        return 2
+
+    drifts = []
+    walk("cells", baseline["cells"], fresh["cells"], args.rtol, drifts)
+    if drifts:
+        print(f"{args.baseline}: {len(drifts)} drifting value(s):")
+        for d in drifts[:50]:
+            print(f"  {d}")
+        if len(drifts) > 50:
+            print(f"  ... and {len(drifts) - 50} more")
+        return 1
+    print(f"{args.baseline}: cells match within rtol={args.rtol}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include "net/frame.hpp"
 #include "util/metrics.hpp"
 
 namespace vrep::net {
@@ -66,7 +67,7 @@ bool FaultInjectingTransport::send(MsgType type, std::uint64_t epoch, const void
     case Fault::kBitflip: {
       stats_.bitflips++;
       count_fault("bitflips");
-      auto frame = TcpTransport::encode_frame(type, epoch, payload, len);
+      auto frame = encode_frame(type, epoch, payload, len);
       const std::uint64_t bit = rng_.below(frame.size() * 8);
       frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
       return inner_->send_bytes(frame.data(), frame.size());
@@ -76,7 +77,7 @@ bool FaultInjectingTransport::send(MsgType type, std::uint64_t epoch, const void
       // must report kClosed (or kCorrupt) without applying the partial batch.
       stats_.truncations++;
       count_fault("truncations");
-      const auto frame = TcpTransport::encode_frame(type, epoch, payload, len);
+      const auto frame = encode_frame(type, epoch, payload, len);
       const std::size_t cut = 1 + rng_.below(frame.size() - 1);
       inner_->send_bytes(frame.data(), cut);
       inner_->close_peer();

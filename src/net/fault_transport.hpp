@@ -1,4 +1,4 @@
-// Fault-injecting decorator over a TcpTransport.
+// Fault-injecting decorator over any Transport (TCP or in-process loopback).
 //
 // Wraps the sender side of a connection and perturbs outgoing frames on a
 // deterministic seeded schedule: drop, delay, duplicate, bit-flip, truncate
@@ -36,7 +36,7 @@ struct FaultPlan {
 
 class FaultInjectingTransport final : public Transport {
  public:
-  FaultInjectingTransport(TcpTransport& inner, const FaultPlan& plan)
+  FaultInjectingTransport(Transport& inner, const FaultPlan& plan)
       : inner_(&inner), plan_(plan), rng_(plan.seed) {}
 
   struct Stats {
@@ -58,15 +58,18 @@ class FaultInjectingTransport final : public Transport {
   TransportError last_error() const override { return inner_->last_error(); }
   bool connected() const override { return inner_->connected(); }
   void close_peer() override { inner_->close_peer(); }
+  bool send_bytes(const void* bytes, std::size_t len) override {
+    return inner_->send_bytes(bytes, len);
+  }
 
   const Stats& stats() const { return stats_; }
-  TcpTransport& inner() { return *inner_; }
+  Transport& inner() { return *inner_; }
 
  private:
   enum class Fault { kNone, kDrop, kDelay, kDuplicate, kBitflip, kTruncate, kDisconnect };
   Fault roll();
 
-  TcpTransport* inner_;
+  Transport* inner_;
   FaultPlan plan_;
   Rng rng_;
   Stats stats_;

@@ -1,0 +1,56 @@
+// Wire-frame layout shared by every framed byte-stream transport (TCP,
+// in-process loopback, and the fault injector that perturbs encoded frames).
+//
+// Frame format (24-byte header, then payload):
+//   [u64 epoch | u32 payload_len | u32 payload_crc | u32 header_crc |
+//    u8 type | u8 pad[3]] payload
+//
+// The two CRCs split corruption into recoverable and fatal classes (see
+// transport.hpp); every transport that parses this layout must apply the
+// same rules so the protocol layer sees identical error semantics on all
+// backends.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "util/crc32.hpp"
+
+namespace vrep::net {
+
+struct FrameHeader {
+  std::uint64_t epoch;
+  std::uint32_t len;
+  std::uint32_t payload_crc;
+  std::uint32_t header_crc;  // over epoch, len, type
+  std::uint8_t type;
+  std::uint8_t pad[3];
+};
+static_assert(sizeof(FrameHeader) == 24);
+
+inline std::uint32_t frame_header_crc(const FrameHeader& hdr) {
+  Crc32 c;
+  c.update(&hdr.epoch, sizeof hdr.epoch);
+  c.update(&hdr.len, sizeof hdr.len);
+  c.update(&hdr.type, sizeof hdr.type);
+  return c.value();
+}
+
+// Encode one frame exactly as a transport's send() would put it on the wire.
+inline std::vector<std::uint8_t> encode_frame(MsgType type, std::uint64_t epoch,
+                                              const void* payload, std::size_t len) {
+  FrameHeader hdr{};
+  hdr.epoch = epoch;
+  hdr.len = static_cast<std::uint32_t>(len);
+  hdr.type = static_cast<std::uint8_t>(type);
+  hdr.payload_crc = Crc32::of(payload, len);
+  hdr.header_crc = frame_header_crc(hdr);
+  std::vector<std::uint8_t> frame(sizeof hdr + len);
+  std::memcpy(frame.data(), &hdr, sizeof hdr);
+  if (len > 0) std::memcpy(frame.data() + sizeof hdr, payload, len);
+  return frame;
+}
+
+}  // namespace vrep::net

@@ -10,30 +10,11 @@
 #include <cerrno>
 #include <cstring>
 
+#include "net/frame.hpp"
 #include "util/crc32.hpp"
 #include "util/metrics.hpp"
 
 namespace vrep::net {
-
-namespace {
-struct FrameHeader {
-  std::uint64_t epoch;
-  std::uint32_t len;
-  std::uint32_t payload_crc;
-  std::uint32_t header_crc;  // over epoch, len, type
-  std::uint8_t type;
-  std::uint8_t pad[3];
-};
-static_assert(sizeof(FrameHeader) == 24);
-
-std::uint32_t header_crc_of(const FrameHeader& hdr) {
-  Crc32 c;
-  c.update(&hdr.epoch, sizeof hdr.epoch);
-  c.update(&hdr.len, sizeof hdr.len);
-  c.update(&hdr.type, sizeof hdr.type);
-  return c.value();
-}
-}  // namespace
 
 TcpTransport::~TcpTransport() {
   close_peer();
@@ -107,16 +88,7 @@ bool TcpTransport::connect_to(const std::string& host, std::uint16_t port, int t
 
 std::vector<std::uint8_t> TcpTransport::encode_frame(MsgType type, std::uint64_t epoch,
                                                      const void* payload, std::size_t len) {
-  FrameHeader hdr{};
-  hdr.epoch = epoch;
-  hdr.len = static_cast<std::uint32_t>(len);
-  hdr.type = static_cast<std::uint8_t>(type);
-  hdr.payload_crc = Crc32::of(payload, len);
-  hdr.header_crc = header_crc_of(hdr);
-  std::vector<std::uint8_t> frame(sizeof hdr + len);
-  std::memcpy(frame.data(), &hdr, sizeof hdr);
-  if (len > 0) std::memcpy(frame.data() + sizeof hdr, payload, len);
-  return frame;
+  return vrep::net::encode_frame(type, epoch, payload, len);
 }
 
 bool TcpTransport::send_bytes(const void* bytes, std::size_t len) {
@@ -143,7 +115,7 @@ bool TcpTransport::send(MsgType type, std::uint64_t epoch, const void* payload,
   hdr.len = static_cast<std::uint32_t>(len);
   hdr.type = static_cast<std::uint8_t>(type);
   hdr.payload_crc = Crc32::of(payload, len);
-  hdr.header_crc = header_crc_of(hdr);
+  hdr.header_crc = frame_header_crc(hdr);
   iovec iov[2] = {{&hdr, sizeof hdr}, {const_cast<void*>(payload), len}};
   std::size_t total = sizeof hdr + len;
   std::size_t sent = 0;
@@ -214,7 +186,7 @@ std::optional<Message> TcpTransport::recv(int timeout_ms) {
   error_ = Error::kNone;
   FrameHeader hdr;
   if (!read_fully(&hdr, sizeof hdr, timeout_ms)) return std::nullopt;
-  if (header_crc_of(hdr) != hdr.header_crc || hdr.len > (64u << 20)) {
+  if (frame_header_crc(hdr) != hdr.header_crc || hdr.len > (64u << 20)) {
     // The length field cannot be trusted: framing is lost for good. Close so
     // the peer reconnects and the protocol layer resyncs via rejoin.
     error_ = Error::kCorrupt;

@@ -69,6 +69,11 @@ class Transport {
   virtual TransportError last_error() const = 0;
   virtual bool connected() const = 0;
   virtual void close_peer() = 0;
+
+  // Raw bytes, no framing. For fault injection and torn-frame tests only:
+  // lets a decorator ship a deliberately corrupted or truncated encoded
+  // frame (see net/frame.hpp) through any backend.
+  virtual bool send_bytes(const void* bytes, std::size_t len) = 0;
 };
 
 // Blocking, single-peer TCP transport. Deliberately minimal: the examples
@@ -100,12 +105,11 @@ class TcpTransport final : public Transport {
   std::optional<Message> recv(int timeout_ms) override;
   Error last_error() const override { return error_; }
 
-  // Encode one frame exactly as send() would put it on the wire. Exposed so
-  // the fault injector can truncate or bit-flip real frames.
+  // Encode one frame exactly as send() would put it on the wire (legacy
+  // spelling; the canonical encoder is net::encode_frame in frame.hpp).
   static std::vector<std::uint8_t> encode_frame(MsgType type, std::uint64_t epoch,
                                                 const void* payload, std::size_t len);
-  // Raw bytes, no framing. For fault injection and torn-frame tests only.
-  bool send_bytes(const void* bytes, std::size_t len);
+  bool send_bytes(const void* bytes, std::size_t len) override;
 
  private:
   bool read_fully(void* buf, std::size_t len, int timeout_ms);

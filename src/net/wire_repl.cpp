@@ -9,14 +9,6 @@
 namespace vrep::net {
 
 namespace {
-constexpr std::size_t kDbChunkBytes = 256 * 1024;
-
-void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  const std::size_t at = out.size();
-  out.resize(at + 4);
-  std::memcpy(out.data() + at, &v, 4);
-}
-
 std::int64_t now_ms() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -27,138 +19,19 @@ std::int64_t now_ms() {
 WirePrimary::WirePrimary(rio::Arena& arena, const core::StoreConfig& config,
                          Transport* transport, bool format, cluster::Membership* membership,
                          Lineage lineage, std::size_t redo_history_bytes)
-    : transport_(transport), membership_(membership), lineage_(lineage),
-      history_capacity_(redo_history_bytes) {
-  local_ = std::make_unique<core::InlineLogStore>(bus_, arena, config, format);
+    : local_(std::make_unique<core::InlineLogStore>(bus_, arena, config, format)),
+      link_(transport),
+      pipeline_(static_cast<repl::RedoPipeline::Source&>(*this), &link_, membership, lineage,
+                redo_history_bytes) {
   bus_.set_capture(local_->db(), local_->db_size(), this);
-  alive_ = transport_ != nullptr && transport_->connected();
-}
-
-bool WirePrimary::sync_backup() {
-  if (fenced_ || transport_ == nullptr) return false;
-  std::uint8_t hello[16];
-  const std::uint64_t size = local_->db_size();
-  const std::uint64_t seq = local_->committed_seq();
-  std::memcpy(hello, &size, 8);
-  std::memcpy(hello + 8, &seq, 8);
-  if (!transport_->send(MsgType::kHello, epoch(), hello, sizeof hello)) {
-    alive_ = false;
-    return false;
-  }
-  std::vector<std::uint8_t> chunk;
-  for (std::size_t off = 0; off < local_->db_size(); off += kDbChunkBytes) {
-    const std::size_t len = std::min(kDbChunkBytes, local_->db_size() - off);
-    chunk.clear();
-    chunk.resize(8);
-    const std::uint64_t off64 = off;
-    std::memcpy(chunk.data(), &off64, 8);
-    chunk.insert(chunk.end(), local_->db() + off, local_->db() + off + len);
-    if (!transport_->send(MsgType::kDbChunk, epoch(), chunk.data(), chunk.size())) {
-      alive_ = false;
-      return false;
-    }
-  }
-  alive_ = true;
-  return true;
-}
-
-bool WirePrimary::history_covers(std::uint64_t from_seq) const {
-  const std::uint64_t committed = local_->committed_seq();
-  if (from_seq == committed) return true;  // nothing to replay
-  return !history_.empty() && history_.front().seq <= from_seq + 1 &&
-         history_.back().seq == committed;
-}
-
-bool WirePrimary::shared_lineage(std::uint64_t backup_seq, std::uint64_t state_epoch) const {
-  // Same epoch: the requester has been following this primary, its state is
-  // a prefix of ours. Pre-takeover epoch: only the prefix up to the
-  // takeover floor is shared — a fenced straggler may have committed past
-  // it into a lineage we never saw. Anything older is unverifiable.
-  if (state_epoch == epoch()) return true;
-  return lineage_.prev_epoch != 0 && state_epoch == lineage_.prev_epoch &&
-         backup_seq <= lineage_.takeover_floor;
-}
-
-bool WirePrimary::serve_rejoin(std::uint64_t backup_seq, std::uint64_t node_id,
-                               std::uint64_t state_epoch) {
-  if (fenced_) return false;
-  // A *new* backup joining the view is a membership change (epoch bump); a
-  // reconnect of the current backup is not.
-  if (membership_ != nullptr && membership_->is_primary() && !membership_->has_backup()) {
-    membership_->adopt_backup(static_cast<int>(node_id));
-  }
-  stats_.rejoins_served++;
-  metrics::counter("net.wire.primary.rejoins_served").add(1);
-  const std::uint64_t committed = local_->committed_seq();
-  if (backup_seq > 0 && backup_seq <= committed && shared_lineage(backup_seq, state_epoch) &&
-      history_covers(backup_seq)) {
-    std::uint8_t delta[16];
-    const std::uint64_t count = committed - backup_seq;
-    std::memcpy(delta, &backup_seq, 8);
-    std::memcpy(delta + 8, &count, 8);
-    if (!transport_->send(MsgType::kRejoinDelta, epoch(), delta, sizeof delta)) {
-      alive_ = false;
-      return false;
-    }
-    for (const auto& entry : history_) {
-      if (entry.seq <= backup_seq) continue;
-      if (!transport_->send(MsgType::kRedoBatch, epoch(), entry.batch.data(),
-                            entry.batch.size())) {
-        alive_ = false;
-        return false;
-      }
-    }
-    alive_ = true;
-    stats_.deltas_served++;
-    metrics::counter("net.wire.primary.deltas_served").add(1);
-    return true;
-  }
-  // Gap unservable from history (fresh backup, evicted batches, or a
-  // rejoiner claiming a future our lineage never had): full image.
-  stats_.full_syncs_served++;
-  metrics::counter("net.wire.primary.full_syncs_served").add(1);
-  return sync_backup();
-}
-
-bool WirePrimary::handle_rejoin(int timeout_ms) {
-  if (transport_ == nullptr || !transport_->connected()) return false;
-  while (true) {
-    auto msg = transport_->recv(timeout_ms);
-    if (!msg.has_value()) {
-      if (transport_->last_error() == TransportError::kCorrupt && transport_->connected()) {
-        continue;  // aligned corrupt frame: the peer will re-request
-      }
-      alive_ = false;
-      return false;
-    }
-    if (msg->type != MsgType::kRejoinRequest || msg->payload.size() != 24) continue;
-    if (membership_ != nullptr && msg->epoch > epoch()) {
-      // The requester has seen a newer epoch than ours: we are the stale
-      // node here. Step aside instead of serving.
-      fenced_ = true;
-      fenced_by_epoch_ = msg->epoch;
-      alive_ = false;
-      return false;
-    }
-    std::uint64_t seq, node, state_epoch;
-    std::memcpy(&seq, msg->payload.data(), 8);
-    std::memcpy(&node, msg->payload.data() + 8, 8);
-    std::memcpy(&state_epoch, msg->payload.data() + 16, 8);
-    return serve_rejoin(seq, node, state_epoch);
-  }
 }
 
 void WirePrimary::on_captured_store(std::uint64_t off, const void* src, std::size_t len) {
-  append_u32(batch_, static_cast<std::uint32_t>(off));
-  append_u32(batch_, static_cast<std::uint32_t>(len));
-  const std::size_t at = batch_.size();
-  batch_.resize(at + len);
-  std::memcpy(batch_.data() + at, src, len);
+  pipeline_.stage(off, src, len);
 }
 
 void WirePrimary::begin_transaction() {
-  batch_.clear();
-  batch_.resize(8);  // sequence filled in at commit
+  pipeline_.begin();
   local_->begin_transaction();
 }
 
@@ -166,170 +39,33 @@ void WirePrimary::set_range(void* base, std::size_t len) { local_->set_range(bas
 
 void WirePrimary::abort_transaction() {
   local_->abort_transaction();
-  batch_.clear();
-}
-
-void WirePrimary::push_history(std::uint64_t seq) {
-  history_.push_back({seq, batch_});
-  history_bytes_ += batch_.size();
-  while (history_bytes_ > history_capacity_ && !history_.empty()) {
-    history_bytes_ -= history_.front().batch.size();
-    history_.pop_front();
-  }
-}
-
-void WirePrimary::drain_acks() {
-  // Consume whatever the backup sent back: acks (flow control), in-band
-  // rejoin requests (sequence-gap resync), and epoch fences. Leaving them
-  // unread would eventually fill the socket buffers and, on close, make the
-  // kernel RST the connection under the backup's feet.
-  while (alive_) {
-    auto msg = transport_->recv(0);
-    if (!msg.has_value()) {
-      if (transport_->last_error() == TransportError::kCorrupt && transport_->connected()) {
-        continue;  // skip an aligned corrupt inbound frame
-      }
-      if (transport_->last_error() == TransportError::kClosed) alive_ = false;
-      break;
-    }
-    switch (msg->type) {
-      case MsgType::kConsumerAck:
-        if (msg->payload.size() == 8 && (membership_ == nullptr || msg->epoch == epoch())) {
-          std::uint64_t v;
-          std::memcpy(&v, msg->payload.data(), 8);
-          if (v > acked_seq_) acked_seq_ = v;
-        }
-        break;
-      case MsgType::kEpochFence: {
-        if (msg->payload.size() != 8) break;
-        std::uint64_t e;
-        std::memcpy(&e, msg->payload.data(), 8);
-        if (e > epoch()) {
-          // Someone took over in a newer epoch while we were out: stop
-          // shipping immediately; the caller demotes us and rejoins.
-          fenced_ = true;
-          fenced_by_epoch_ = e;
-          alive_ = false;
-        }
-        break;
-      }
-      case MsgType::kRejoinRequest: {
-        if (msg->payload.size() != 24) break;
-        if (membership_ != nullptr && msg->epoch > epoch()) {
-          fenced_ = true;
-          fenced_by_epoch_ = msg->epoch;
-          alive_ = false;
-          break;
-        }
-        std::uint64_t seq, node, state_epoch;
-        std::memcpy(&seq, msg->payload.data(), 8);
-        std::memcpy(&node, msg->payload.data() + 8, 8);
-        std::memcpy(&state_epoch, msg->payload.data() + 16, 8);
-        serve_rejoin(seq, node, state_epoch);
-        break;
-      }
-      default:
-        break;
-    }
-  }
+  pipeline_.discard();
 }
 
 void WirePrimary::commit_transaction() {
   local_->commit_transaction();
-  const std::uint64_t seq = local_->committed_seq();
-  std::memcpy(batch_.data(), &seq, 8);
-  // Retain the batch even while the link is down or we are fenced: a later
-  // rejoin (ours or the backup's) replays from this history.
-  push_history(seq);
-  // 1-safe: fire and forget; a send failure marks the backup link down but
-  // never blocks or fails the local commit.
-  if (alive_ && !fenced_ &&
-      !transport_->send(MsgType::kRedoBatch, epoch(), batch_.data(), batch_.size())) {
-    alive_ = false;
-  }
-  if (alive_) drain_acks();
-  batch_.clear();
+  pipeline_.commit(local_->committed_seq());
 }
 
 int WirePrimary::recover() {
-  batch_.clear();
+  pipeline_.discard();
   return local_->recover();
-}
-
-bool WirePrimary::send_heartbeat() {
-  const std::uint64_t seq = local_->committed_seq();
-  if (alive_ && !fenced_ && !transport_->send(MsgType::kHeartbeat, epoch(), &seq, 8)) {
-    alive_ = false;
-  }
-  if (alive_) drain_acks();
-  return alive_;
 }
 
 // ---------------------------------------------------------------------------
 
-bool WireBackup::request_rejoin(Transport& transport) {
-  std::uint8_t req[24];
-  // An incomplete image cannot be repaired by a sequence delta: ask from 0,
-  // which the primary always answers with a full image sync.
-  const std::uint64_t from = image_complete() ? applied_seq_ : 0;
-  std::memcpy(req, &from, 8);
-  std::memcpy(req + 8, &node_id_, 8);
-  std::memcpy(req + 16, &state_epoch_, 8);
-  return transport.send(MsgType::kRejoinRequest, epoch(), req, sizeof req);
-}
-
-void WireBackup::seed(const std::uint8_t* db, std::size_t size, std::uint64_t applied_seq,
-                      std::uint64_t state_epoch) {
-  VREP_CHECK(size <= arena_->size());
-  std::memcpy(arena_->data(), db, size);
-  db_size_ = size;
-  image_next_off_ = size;
-  applied_seq_ = applied_seq;
-  state_epoch_ = state_epoch;
-  awaiting_resync_ = false;
-}
-
-void WireBackup::maybe_request_resync(Transport& transport) {
-  if (awaiting_resync_) return;
-  if (request_rejoin(transport)) awaiting_resync_ = true;
-}
-
-bool WireBackup::apply_batch(const Message& msg, std::uint64_t* out_seq) {
-  if (msg.payload.size() < 8) return false;
-  // First pass: validate the whole batch so a malformed frame is never
-  // applied partially (the backup's image must only ever hold whole
-  // transactions).
-  std::size_t at = 8;
-  while (at < msg.payload.size()) {
-    if (at + 8 > msg.payload.size()) return false;
-    std::uint32_t off, len;
-    std::memcpy(&off, msg.payload.data() + at, 4);
-    std::memcpy(&len, msg.payload.data() + at + 4, 4);
-    at += 8;
-    if (at + len > msg.payload.size() || off + std::uint64_t{len} > db_size_) return false;
-    at += len;
-  }
-  // Second pass: apply.
-  at = 8;
-  while (at < msg.payload.size()) {
-    std::uint32_t off, len;
-    std::memcpy(&off, msg.payload.data() + at, 4);
-    std::memcpy(&len, msg.payload.data() + at + 4, 4);
-    at += 8;
-    std::memcpy(arena_->data() + off, msg.payload.data() + at, len);
-    at += len;
-  }
-  std::memcpy(out_seq, msg.payload.data(), 8);
-  return true;
+void WireBackup::write(std::uint64_t off, const void* src, std::size_t len) {
+  std::memcpy(arena_->data() + off, src, len);
 }
 
 WireBackup::ServeResult WireBackup::serve(Transport& transport, const ServeOptions& options) {
+  TransportLink link(&transport);
   while (true) {
-    auto msg = transport.recv(options.idle_timeout_ms);
+    auto frame = link.recv(options.idle_timeout_ms);
     const std::int64_t now = now_ms();
-    if (!msg.has_value()) {
-      switch (transport.last_error()) {
-        case TransportError::kTimeout:
+    if (!frame.has_value()) {
+      switch (link.last_error()) {
+        case repl::LinkError::kTimeout:
           // Silence. Without a detector the idle timeout *is* the failure
           // budget (legacy behaviour); with one, only a tripped
           // missed-interval threshold fails the primary.
@@ -337,10 +73,10 @@ WireBackup::ServeResult WireBackup::serve(Transport& transport, const ServeOptio
             return ServeResult::kPrimaryFailed;
           }
           continue;
-        case TransportError::kClosed:
+        case repl::LinkError::kClosed:
           return ServeResult::kConnectionLost;
-        case TransportError::kCorrupt:
-          if (!transport.connected()) {
+        case repl::LinkError::kCorrupt:
+          if (!link.connected()) {
             // Header corruption: framing is lost, the transport closed the
             // stream. Recovery is reconnect + rejoin.
             return ServeResult::kConnectionLost;
@@ -348,176 +84,15 @@ WireBackup::ServeResult WireBackup::serve(Transport& transport, const ServeOptio
           // Payload corruption: the frame was consumed whole, the stream is
           // aligned. Skip it; if it was a batch, the sequence gap triggers
           // an in-band resync from the last good sequence.
-          stats_.corrupt_skipped++;
-          metrics::counter("net.wire.backup.corrupt_skipped").add(1);
-          maybe_request_resync(transport);
+          applier_.note_corrupt_skipped(link);
           continue;
         default:
           return ServeResult::kCorrupt;
       }
     }
     if (options.detector != nullptr) options.detector->heartbeat(now);
-
-    if (membership_ != nullptr) {
-      const std::uint64_t cur = membership_->view().epoch;
-      if (msg->epoch < cur) {
-        // Stale-epoch traffic — a fenced old primary still shipping. Drop
-        // it and tell the sender which epoch rules now.
-        stats_.stale_fenced++;
-        metrics::counter("net.wire.backup.stale_fenced").add(1);
-        transport.send(MsgType::kEpochFence, cur, &cur, 8);
-        continue;
-      }
-      if (msg->epoch > cur) {
-        // A newer primary only introduces itself through a sync start.
-        if (msg->type == MsgType::kHello || msg->type == MsgType::kRejoinDelta ||
-            msg->type == MsgType::kEpochFence) {
-          membership_->join_epoch(msg->epoch);
-        } else {
-          continue;
-        }
-      }
-    }
-
-    switch (msg->type) {
-      case MsgType::kHello: {
-        if (msg->payload.size() != 16) return ServeResult::kCorrupt;
-        std::uint64_t size;
-        std::memcpy(&size, msg->payload.data(), 8);
-        std::memcpy(&applied_seq_, msg->payload.data() + 8, 8);
-        if (size > arena_->size()) return ServeResult::kCorrupt;
-        db_size_ = size;
-        image_next_off_ = 0;  // image transfer restarts
-        state_epoch_ = msg->epoch;
-        break;
-      }
-      case MsgType::kDbChunk: {
-        if (msg->payload.size() < 8) {
-          stats_.corrupt_skipped++;
-          metrics::counter("net.wire.backup.corrupt_skipped").add(1);
-          maybe_request_resync(transport);
-          break;
-        }
-        std::uint64_t off;
-        std::memcpy(&off, msg->payload.data(), 8);
-        const std::size_t len = msg->payload.size() - 8;
-        if (off < image_next_off_) {
-          stats_.duplicates_ignored++;  // replayed chunk (duplicate fault)
-          metrics::counter("net.wire.backup.duplicates_ignored").add(1);
-          break;
-        }
-        if (off > image_next_off_) {
-          // A chunk went missing: the image has a hole only a fresh full
-          // sync can fill.
-          stats_.gaps_detected++;
-          metrics::counter("net.wire.backup.gaps_detected").add(1);
-          maybe_request_resync(transport);
-          break;
-        }
-        if (off + len > db_size_) return ServeResult::kCorrupt;
-        std::memcpy(arena_->data() + off, msg->payload.data() + 8, len);
-        image_next_off_ = off + len;
-        if (image_complete() && awaiting_resync_) {
-          awaiting_resync_ = false;
-          stats_.resyncs++;
-          metrics::counter("net.wire.backup.resyncs").add(1);
-        }
-        break;
-      }
-      case MsgType::kRedoBatch: {
-        if (!image_complete()) {
-          // No image yet (or a holed one): batches are unusable until a
-          // full sync lands.
-          maybe_request_resync(transport);
-          break;
-        }
-        if (msg->payload.size() < 8) {
-          stats_.corrupt_skipped++;
-          metrics::counter("net.wire.backup.corrupt_skipped").add(1);
-          maybe_request_resync(transport);
-          break;
-        }
-        std::uint64_t seq;
-        std::memcpy(&seq, msg->payload.data(), 8);
-        if (seq <= applied_seq_) {
-          stats_.duplicates_ignored++;  // duplicate fault or delta overlap
-          metrics::counter("net.wire.backup.duplicates_ignored").add(1);
-          break;
-        }
-        if (seq == applied_seq_ + 1) {
-          if (!apply_batch(*msg, &applied_seq_)) {
-            stats_.corrupt_skipped++;
-            metrics::counter("net.wire.backup.corrupt_skipped").add(1);
-            maybe_request_resync(transport);
-            break;
-          }
-          stats_.batches_applied++;
-          metrics::counter("net.wire.backup.batches_applied").add(1);
-          state_epoch_ = msg->epoch;
-          // Acknowledge periodically (flow control / monitoring); per-batch
-          // acks would just pressure the primary's receive buffer.
-          if (applied_seq_ % 32 == 0) {
-            transport.send(MsgType::kConsumerAck, epoch(), &applied_seq_, 8);
-          }
-          break;
-        }
-        // Sequence gap: a batch was dropped or skipped as corrupt. Resync
-        // from the last good sequence instead of giving up.
-        stats_.gaps_detected++;
-        metrics::counter("net.wire.backup.gaps_detected").add(1);
-        maybe_request_resync(transport);
-        break;
-      }
-      case MsgType::kRejoinDelta: {
-        if (msg->payload.size() != 16) break;
-        std::uint64_t from, count;
-        std::memcpy(&from, msg->payload.data(), 8);
-        std::memcpy(&count, msg->payload.data() + 8, 8);
-        if (from <= applied_seq_ && image_complete()) {
-          // The replay that follows is contiguous from `from`; batches we
-          // already hold are ignored as duplicates.
-          awaiting_resync_ = false;
-          stats_.resyncs++;
-          metrics::counter("net.wire.backup.resyncs").add(1);
-        } else {
-          // Unusable delta (should not happen): re-request from where we
-          // actually are.
-          awaiting_resync_ = false;
-          maybe_request_resync(transport);
-        }
-        break;
-      }
-      case MsgType::kHeartbeat: {
-        // Liveness (the detector was fed above) — but the heartbeat also
-        // carries the primary's committed sequence, which closes the
-        // trailing-drop window: a gap with no batch behind it would
-        // otherwise go unnoticed until the next commit.
-        if (msg->payload.size() == 8 && image_complete()) {
-          std::uint64_t committed;
-          std::memcpy(&committed, msg->payload.data(), 8);
-          if (committed > applied_seq_) {
-            stats_.gaps_detected++;
-            metrics::counter("net.wire.backup.gaps_detected").add(1);
-            // Heartbeats double as the resync retry timer: if a previous
-            // request (or the delta answering it) was itself lost, re-arm
-            // instead of waiting forever on a reply that will never come.
-            awaiting_resync_ = false;
-            maybe_request_resync(transport);
-          } else {
-            // All caught up: acknowledge so the primary's acked watermark
-            // converges even between the periodic batch acks.
-            transport.send(MsgType::kConsumerAck, epoch(), &applied_seq_, 8);
-          }
-        }
-        break;
-      }
-      case MsgType::kEpochFence:
-        break;  // epoch already adopted above (if newer)
-      default:
-        // Unknown frame type with valid CRCs: version skew. Skip it.
-        stats_.corrupt_skipped++;
-        metrics::counter("net.wire.backup.corrupt_skipped").add(1);
-        break;
+    if (applier_.on_frame(*frame, link) == repl::RedoApplier::FrameResult::kCorrupt) {
+      return ServeResult::kCorrupt;
     }
   }
 }
@@ -525,13 +100,14 @@ WireBackup::ServeResult WireBackup::serve(Transport& transport, const ServeOptio
 std::unique_ptr<core::TransactionStore> WireBackup::promote(sim::MemBus& bus,
                                                             rio::Arena& new_arena,
                                                             const core::StoreConfig& config) {
-  VREP_CHECK(config.db_size == db_size_);
+  VREP_CHECK(config.db_size == applier_.db_size());
+  metrics::counter("repl.backup.takeovers").add(1);
   auto store = std::make_unique<core::InlineLogStore>(bus, new_arena, config, /*format=*/true);
-  std::memcpy(store->db(), arena_->data(), db_size_);
+  std::memcpy(store->db(), arena_->data(), applier_.db_size());
   // Continue the replicated sequence numbering: rejoin deltas, and any
   // workload state derived from committed_seq (e.g. the Debit-Credit
   // history ring cursor), depend on it.
-  store->seed_committed_seq(applied_seq_);
+  store->seed_committed_seq(applier_.applied_seq());
   return store;
 }
 

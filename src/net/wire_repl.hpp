@@ -3,7 +3,15 @@
 // Used by the bank_failover example, the chaos soak and the integration
 // tests.
 //
-// Protocol (all frames CRC-protected and epoch-stamped by the transport):
+// All protocol logic — sequencing, batching, the bounded redo history,
+// rejoin/delta-vs-full-image decisions, epoch fencing, 1-safe/2-safe commit
+// modes — lives in repl::RedoPipeline / repl::RedoApplier (repl/pipeline.hpp).
+// This file is pure composition: it binds the engine to a local Version 3
+// store (primary) or a replica arena (backup) and to a net::Transport via
+// net::TransportLink.
+//
+// Frame payloads (all frames CRC-protected and epoch-stamped by the
+// transport; kinds in repl/link.hpp):
 //   kHello         u64 db_size | u64 committed_seq     (primary -> backup)
 //   kDbChunk       u64 offset  | bytes                 full image transfer
 //   kRedoBatch     u64 seq | { u32 db_off, u32 len, bytes }*  one transaction
@@ -17,37 +25,17 @@
 // 1-safety: commit returns after the local commit; the batch send is not
 // awaited. A primary crash can lose the trailing transactions, but a batch
 // frame is applied atomically (framing + CRC), so the backup never holds a
-// torn transaction.
+// torn transaction. set_two_safe(true) upgrades commits to wait for the
+// backup's covering acknowledgment.
 //
-// Fault tolerance on top of the 1-safe stream:
-//   * Epoch fencing. When constructed with a cluster::Membership, every
-//     frame carries the sender's epoch; the receiver drops stale-epoch
-//     frames and answers kEpochFence, and a fenced primary stops shipping
-//     (fenced()) so the caller can demote it. This closes the split-brain
-//     window where a paused-then-resumed primary keeps writing after the
-//     backup promoted.
-//   * In-band resync. A dropped or payload-corrupt batch shows up as a
-//     sequence gap; the backup requests a rejoin on the same connection and
-//     the primary replays the missing batches from its bounded redo
-//     history (kRejoinDelta) without restarting the image transfer.
-//   * Reconnect + rejoin. After a disconnect (torn frame, socket loss) the
-//     primary redials with util/backoff and the backup re-enters at its
-//     last applied sequence; only when the gap is unservable from history
-//     does the primary fall back to a full kHello + kDbChunk image.
-//
-// Rejoin safety across failovers: a sequence number alone cannot tell a
-// shared prefix from a divergent one (a fenced primary may have committed
-// transactions past the takeover point that the promoted node never saw).
-// Rejoin requests therefore carry the *state epoch* — the epoch under which
-// the requester's last applied state was produced. A delta replay is served
-// only when the state epoch matches the primary's current epoch (same
-// lineage), or matches the epoch fenced at the last takeover AND the
-// requester's sequence is at or below the takeover floor (the shared prefix
-// boundary). Anything else gets the full image.
+// Fault tolerance on top of the 1-safe stream: epoch fencing (split-brain
+// defense), in-band resync of dropped/corrupt batches from the redo
+// history, and reconnect + rejoin (delta or full image) — see
+// repl/pipeline.hpp for the rules, README "Failover, fencing, and chaos
+// testing" for the story.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -56,26 +44,21 @@
 #include "core/api.hpp"
 #include "core/v3_inline_log.hpp"
 #include "net/transport.hpp"
+#include "net/transport_link.hpp"
+#include "repl/pipeline.hpp"
 #include "rio/arena.hpp"
 #include "sim/mem_bus.hpp"
 
 namespace vrep::net {
 
-class WirePrimary final : public core::TransactionStore, private sim::MemBus::CaptureSink {
+class WirePrimary final : public core::TransactionStore,
+                          private sim::MemBus::CaptureSink,
+                          private repl::RedoPipeline::Source {
  public:
-  // Bytes of committed redo batches retained for rejoin catch-up. Gaps
-  // larger than what fits fall back to a full image sync.
-  static constexpr std::size_t kDefaultRedoHistoryBytes = 4u << 20;
-
-  // Where this primary's lineage came from. A node promoted from backup
-  // passes the epoch its replica state was produced under and the applied
-  // sequence at takeover (the shared-prefix boundary with any fenced
-  // straggler); a from-scratch primary leaves the default (no pre-takeover
-  // lineage, so only same-epoch rejoiners get deltas).
-  struct Lineage {
-    std::uint64_t prev_epoch = 0;
-    std::uint64_t takeover_floor = 0;
-  };
+  static constexpr std::size_t kDefaultRedoHistoryBytes =
+      repl::RedoPipeline::kDefaultRedoHistoryBytes;
+  using Lineage = repl::RedoPipeline::Lineage;
+  using Stats = repl::RedoPipeline::Stats;
 
   // The local store runs Version 3 on a pass-through bus over `arena`.
   // `format=false` attaches to existing state (e.g. an arena a promoted
@@ -88,19 +71,23 @@ class WirePrimary final : public core::TransactionStore, private sim::MemBus::Ca
               std::size_t redo_history_bytes = kDefaultRedoHistoryBytes);
 
   // Ship the current database image + sequence so a (fresh) backup can join.
-  bool sync_backup();
+  bool sync_backup() { return pipeline_.sync_backup(); }
 
   // Await the backup's kRejoinRequest after a (re)connect and serve it:
   // a kRejoinDelta replay from the redo history when the gap is servable,
   // a full image sync otherwise. Returns false on timeout/disconnect or if
   // this primary has been fenced.
-  bool handle_rejoin(int timeout_ms);
+  bool handle_rejoin(int timeout_ms) { return pipeline_.handle_rejoin(timeout_ms); }
 
   // Point at a new transport after a reconnect (same or different object).
   void attach_transport(Transport* transport) {
-    transport_ = transport;
-    alive_ = transport != nullptr && transport->connected();
+    link_.attach(transport);
+    pipeline_.attach_link(&link_);
   }
+
+  // 2-safe commits (off by default, matching the paper's 1-safe design).
+  void set_two_safe(bool enabled) { pipeline_.set_two_safe(enabled); }
+  bool two_safe() const { return pipeline_.two_safe(); }
 
   void begin_transaction() override;
   void set_range(void* base, std::size_t len) override;
@@ -117,58 +104,35 @@ class WirePrimary final : public core::TransactionStore, private sim::MemBus::Ca
   std::vector<core::StoreRegion> regions() const override { return local_->regions(); }
   sim::MemBus& bus() override { return bus_; }
 
-  struct Stats {
-    std::uint64_t rejoins_served = 0;
-    std::uint64_t deltas_served = 0;      // incremental catch-up from history
-    std::uint64_t full_syncs_served = 0;  // gap unservable: whole image shipped
-  };
-  const Stats& stats() const { return stats_; }
+  const Stats& stats() const { return pipeline_.stats(); }
 
-  bool send_heartbeat();
-  bool connection_alive() const { return alive_; }
+  bool send_heartbeat() { return pipeline_.send_heartbeat(); }
+  bool connection_alive() const { return pipeline_.connection_alive(); }
   // A newer epoch fenced us: stop acting as primary (demote + rejoin).
-  bool fenced() const { return fenced_; }
+  bool fenced() const { return pipeline_.fenced(); }
   // The epoch that fenced us (valid when fenced() is true); feed it to
   // cluster::Membership::demote_to_backup.
-  std::uint64_t fenced_by_epoch() const { return fenced_by_epoch_; }
-  std::uint64_t epoch() const { return membership_ != nullptr ? membership_->view().epoch : 1; }
+  std::uint64_t fenced_by_epoch() const { return pipeline_.fenced_by_epoch(); }
+  std::uint64_t epoch() const { return pipeline_.epoch(); }
   // Highest applied sequence the backup has acknowledged (drained on commit).
-  std::uint64_t backup_acked_seq() const { return acked_seq_; }
+  std::uint64_t backup_acked_seq() const { return pipeline_.backup_acked_seq(); }
 
  private:
-  struct HistoryEntry {
-    std::uint64_t seq;
-    std::vector<std::uint8_t> batch;  // kRedoBatch payload (seq-prefixed)
-  };
-
   void on_captured_store(std::uint64_t off, const void* src, std::size_t len) override;
-  void drain_acks();
-  void push_history(std::uint64_t seq);
-  bool serve_rejoin(std::uint64_t backup_seq, std::uint64_t node_id,
-                    std::uint64_t state_epoch);
-  bool history_covers(std::uint64_t from_seq) const;
-  bool shared_lineage(std::uint64_t backup_seq, std::uint64_t state_epoch) const;
 
   sim::MemBus bus_;  // pass-through (wall-clock deployment)
   std::unique_ptr<core::InlineLogStore> local_;
-
-  Transport* transport_;
-  cluster::Membership* membership_;
-  Lineage lineage_;
-  std::vector<std::uint8_t> batch_;  // staged redo payload for this txn
-  std::deque<HistoryEntry> history_;
-  std::size_t history_bytes_ = 0;
-  std::size_t history_capacity_;
-  std::uint64_t acked_seq_ = 0;
-  std::uint64_t fenced_by_epoch_ = 0;
-  Stats stats_;
-  bool alive_ = true;
-  bool fenced_ = false;
+  TransportLink link_;
+  repl::RedoPipeline pipeline_;
 };
 
 // Backup-side replica state: a database image plus the applied sequence.
-class WireBackup {
+// The protocol state machine is repl::RedoApplier; this class supplies the
+// arena as the apply target and runs the receive loop.
+class WireBackup : private repl::RedoApplier::Target {
  public:
+  using Stats = repl::RedoApplier::Stats;
+
   // `arena` must hold at least the hello'd db_size bytes (file-backed in the
   // failover example so the image survives the process). With a
   // `membership`, stale-epoch frames are fenced and the epoch follows the
@@ -176,12 +140,12 @@ class WireBackup {
   // requests so the primary can adopt it into the view.
   explicit WireBackup(rio::Arena& arena, cluster::Membership* membership = nullptr,
                       std::uint64_t node_id = 1)
-      : arena_(&arena), membership_(membership), node_id_(node_id) {}
+      : arena_(&arena), applier_(*this, membership, node_id) {}
 
   enum class ServeResult {
-    kPrimaryFailed,    // sustained silence: declare the primary dead, take over
-    kConnectionLost,   // socket closed or framing lost: reconnect + rejoin
-    kCorrupt,          // unrecoverable protocol violation (should not happen)
+    kPrimaryFailed,   // sustained silence: declare the primary dead, take over
+    kConnectionLost,  // socket closed or framing lost: reconnect + rejoin
+    kCorrupt,         // unrecoverable protocol violation (should not happen)
   };
 
   struct ServeOptions {
@@ -191,15 +155,6 @@ class WireBackup {
     // Optional debounce: silence only fails the primary once the detector's
     // missed-interval threshold trips (fed from every received frame).
     cluster::HeartbeatDetector* detector = nullptr;
-  };
-
-  struct Stats {
-    std::uint64_t batches_applied = 0;
-    std::uint64_t duplicates_ignored = 0;  // seq <= applied (fault-injected dups, replays)
-    std::uint64_t gaps_detected = 0;       // seq > applied+1 (dropped/corrupt batch)
-    std::uint64_t corrupt_skipped = 0;     // payload-CRC frames skipped in-stream
-    std::uint64_t stale_fenced = 0;        // stale-epoch frames rejected
-    std::uint64_t resyncs = 0;             // completed kRejoinDelta / kHello resyncs
   };
 
   // Receive and apply until the primary fails, the connection drops, or the
@@ -215,7 +170,10 @@ class WireBackup {
   // Announce our applied sequence after a (re)connect; the primary answers
   // with a delta replay or a full image sync. A fresh backup (nothing
   // applied, no image) asks from sequence 0, which always yields the image.
-  bool request_rejoin(Transport& transport);
+  bool request_rejoin(Transport& transport) {
+    TransportLink link(&transport);
+    return applier_.request_rejoin(link);
+  }
 
   // Seed the replica from an existing database image (e.g. a demoted
   // primary rejoining with its own last state), so rejoin can catch up
@@ -223,14 +181,16 @@ class WireBackup {
   // is the epoch under which that state was produced — the primary uses it
   // to decide whether a delta is safe.
   void seed(const std::uint8_t* db, std::size_t size, std::uint64_t applied_seq,
-            std::uint64_t state_epoch);
+            std::uint64_t state_epoch) {
+    applier_.seed(db, size, applied_seq, state_epoch);
+  }
 
-  std::uint64_t applied_seq() const { return applied_seq_; }
+  std::uint64_t applied_seq() const { return applier_.applied_seq(); }
   // Epoch under which the last applied state (image or batch) was produced.
-  std::uint64_t state_epoch() const { return state_epoch_; }
-  std::size_t db_size() const { return db_size_; }
+  std::uint64_t state_epoch() const { return applier_.state_epoch(); }
+  std::size_t db_size() const { return applier_.db_size(); }
   const std::uint8_t* db() const { return arena_->data(); }
-  const Stats& stats() const { return stats_; }
+  const Stats& stats() const { return applier_.stats(); }
 
   // Promote to a standalone primary: build a fresh Version 3 store in
   // `new_arena` seeded with the replica's database image. The store
@@ -240,24 +200,12 @@ class WireBackup {
                                                   const core::StoreConfig& config);
 
  private:
-  bool apply_batch(const Message& msg, std::uint64_t* out_seq);
-  void maybe_request_resync(Transport& transport);
-  // The image transfer ships chunks sequentially from offset 0; a replica
-  // is only usable once a contiguous prefix covers the whole database.
-  bool image_complete() const { return db_size_ > 0 && image_next_off_ >= db_size_; }
-  std::uint64_t epoch() const {
-    return membership_ != nullptr ? membership_->view().epoch : 1;
-  }
+  // RedoApplier::Target: replica bytes land straight in the arena.
+  void write(std::uint64_t off, const void* src, std::size_t len) override;
+  std::size_t capacity() const override { return arena_->size(); }
 
   rio::Arena* arena_;
-  cluster::Membership* membership_;
-  std::uint64_t node_id_;
-  std::size_t db_size_ = 0;
-  std::size_t image_next_off_ = 0;
-  std::uint64_t applied_seq_ = 0;
-  std::uint64_t state_epoch_ = 0;
-  bool awaiting_resync_ = false;
-  Stats stats_;
+  repl::RedoApplier applier_;
 };
 
 }  // namespace vrep::net

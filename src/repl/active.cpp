@@ -26,12 +26,26 @@ ActiveBackupLayout ActiveBackupLayout::make(std::size_t db_size, std::size_t rin
 // ---------------------------------------------------------------------------
 
 ActiveBackup::ActiveBackup(sim::Cpu& cpu, rio::Arena& arena, const ActiveBackupLayout& layout,
-                           sim::McFabric& fabric)
-    : cpu_(&cpu), arena_(&arena), layout_(layout), fabric_(&fabric) {
+                           sim::McFabric& fabric, cluster::Membership* membership,
+                           std::uint64_t node_id)
+    : cpu_(&cpu), arena_(&arena), layout_(layout), fabric_(&fabric),
+      applier_(*this, membership, node_id) {
   VREP_CHECK(arena.size() >= layout.arena_bytes());
   data_ = arena.data() + layout.ring_offset;
   cpu_->bus().register_region(data_, layout.ring_capacity);
   cpu_->bus().register_region(db(), layout.db_size);
+  // The replica image is installed out-of-band (the harness formats both
+  // arenas identically before enabling replication).
+  applier_.adopt_image(layout.db_size, 0, applier_.epoch());
+}
+
+void ActiveBackup::write(std::uint64_t off, const void* src, std::size_t len) {
+  // The busy-wait parse + apply is the backup CPU's only job (Section 6.1:
+  // "it can easily keep up"). Entry-header parse cost, then the copy from
+  // the ring replica into the database copy through the cache model.
+  sim::MemBus& bus = cpu_->bus();
+  bus.charge(bus.cost().access_base_ns * 4);
+  bus.copy(db() + off, static_cast<const std::uint8_t*>(src), len, TrafficClass::kModified);
 }
 
 std::uint32_t ActiveBackup::ring_crc(std::uint64_t from, std::uint64_t to) const {
@@ -54,10 +68,13 @@ bool ActiveBackup::try_apply_one() {
   sim::MemBus& bus = cpu_->bus();
   const std::uint64_t cap = layout_.ring_capacity;
 
-  // First pass: walk the entry stream looking for this transaction's commit
-  // marker. Nothing is applied unless the marker has arrived (1-safety:
-  // all-or-nothing per transaction).
-  std::vector<std::uint64_t> entries;  // cursor positions of data entries
+  // First pass: decode the ring wire format, walking the entry stream up to
+  // this transaction's commit marker. Nothing is applied unless the marker
+  // has arrived (1-safety: all-or-nothing per transaction). The sequencing
+  // rule itself belongs to the applier — the expected-seq check here is the
+  // decoder's stale-lap early-out, identical to the rule apply_decoded
+  // re-checks.
+  std::vector<RedoChunk> chunks;
   std::uint64_t pos = consumer_;
   bool found = false;
   while (pos - consumer_ < cap) {
@@ -77,7 +94,7 @@ bool ActiveBackup::try_apply_one() {
       if (hdr.len != 8 || kCommitMarkerBytes > cap - phys) break;  // torn / stale
       std::uint32_t seq;
       std::memcpy(&seq, data_ + phys + sizeof hdr, 4);
-      if (seq != static_cast<std::uint32_t>(applied_seq_ + 1)) break;  // stale lap
+      if (seq != static_cast<std::uint32_t>(applier_.next_expected_seq())) break;  // stale lap
       std::uint32_t crc;
       std::memcpy(&crc, data_ + phys + sizeof hdr + 4, 4);
       if (crc != ring_crc(consumer_, pos)) break;  // torn: bytes still in flight
@@ -87,22 +104,18 @@ bool ActiveBackup::try_apply_one() {
     }
     if (hdr.db_off + std::uint64_t{hdr.len} > layout_.db_size || hdr.len == 0) break;
     if (redo_entry_bytes(hdr.len) > cap - phys) break;  // would straddle: stale bytes
-    entries.push_back(pos);
+    chunks.push_back(RedoChunk{hdr.db_off, hdr.len, data_ + phys + sizeof hdr});
     pos += redo_entry_bytes(hdr.len);
   }
   if (!found) return false;
 
-  // Second pass: apply. The busy-wait parse + apply is the backup CPU's only
-  // job (Section 6.1: "it can easily keep up").
-  for (const std::uint64_t entry : entries) {
-    const std::uint64_t phys = entry % cap;
-    RedoEntryHeader hdr;
-    std::memcpy(&hdr, data_ + phys, sizeof hdr);
-    bus.charge(bus.cost().access_base_ns * 4);
-    bus.copy(db() + hdr.db_off, data_ + phys + sizeof hdr, hdr.len, TrafficClass::kModified);
+  // Second pass: hand the decoded batch to the shared protocol engine,
+  // which applies it through our Target (charging the cache model).
+  if (!applier_.apply_decoded(applier_.next_expected_seq(), chunks.data(), chunks.size(),
+                              applier_.epoch())) {
+    return false;
   }
   consumer_ = pos;
-  applied_seq_ += 1;
   return true;
 }
 
@@ -114,37 +127,53 @@ void ActiveBackup::poll(sim::SimTime t) {
   if (applied) {
     // The cursor write-back reaches the primary one propagation delay after
     // the apply finishes.
-    visibility_.emplace_back(cpu_->clock().now() + cpu_->cost().link.propagation_ns, consumer_);
+    visibility_.push_back(Visibility{cpu_->clock().now() + cpu_->cost().link.propagation_ns,
+                                     consumer_, applier_.applied_seq()});
   }
 }
 
 std::uint64_t ActiveBackup::consumer_visible(sim::SimTime t) const {
-  while (!visibility_.empty() && visibility_.front().first <= t) {
-    last_visible_ = visibility_.front().second;
+  while (!visibility_.empty() && visibility_.front().at <= t) {
+    last_visible_ = visibility_.front().cursor;
+    last_visible_seq_ = visibility_.front().seq;
     visibility_.pop_front();
   }
   return last_visible_;
 }
 
+std::uint64_t ActiveBackup::applied_visible(sim::SimTime t) const {
+  consumer_visible(t);
+  return last_visible_seq_;
+}
+
 sim::SimTime ActiveBackup::next_visibility_after(sim::SimTime t) const {
-  for (const auto& [at, value] : visibility_) {
-    if (at > t) return at;
+  for (const auto& v : visibility_) {
+    if (v.at > t) return v.at;
   }
   return kNever;
 }
 
 std::uint64_t ActiveBackup::takeover(sim::SimTime crash_time) {
-  metrics::counter("repl.active.takeovers").add(1);
+  metrics::counter("repl.backup.takeovers").add(1);
   fabric_->crash_at(crash_time);
   cpu_->clock().advance_to(crash_time);
   while (try_apply_one()) {
   }
-  return applied_seq_;
+  return applier_.applied_seq();
 }
 
 // ---------------------------------------------------------------------------
 // ActivePrimary
 // ---------------------------------------------------------------------------
+
+namespace {
+std::uint8_t* ring_shadow(rio::Arena& primary_arena, const core::StoreConfig& config) {
+  // The local V3 store occupies the front of the primary arena; the shadow
+  // copy of the ring (local halves of the doubled writes) sits behind it.
+  const std::size_t local_bytes = core::InlineLogStore::arena_bytes(config);
+  return primary_arena.data() + ((local_bytes + 63) & ~std::size_t{63});
+}
+}  // namespace
 
 std::size_t ActivePrimary::primary_arena_bytes(const core::StoreConfig& config,
                                                const ActiveBackupLayout& layout) {
@@ -153,17 +182,16 @@ std::size_t ActivePrimary::primary_arena_bytes(const core::StoreConfig& config,
 
 ActivePrimary::ActivePrimary(sim::MemBus& bus, rio::Arena& primary_arena,
                              rio::Arena& backup_arena, const core::StoreConfig& config,
-                             const ActiveBackupLayout& layout, ActiveBackup* backup, bool format)
-    : bus_(&bus), layout_(layout), backup_(backup) {
-  // The local V3 store occupies the front of the primary arena; the shadow
-  // copy of the ring (local halves of the doubled writes) sits behind it.
-  const std::size_t local_bytes = core::InlineLogStore::arena_bytes(config);
+                             const ActiveBackupLayout& layout, ActiveBackup* backup, bool format,
+                             cluster::Membership* membership, RedoPipeline::Lineage lineage)
+    : bus_(&bus),
+      local_(std::make_unique<core::InlineLogStore>(bus, primary_arena, config, format)),
+      link_(bus, ring_shadow(primary_arena, config), layout.ring_capacity, backup),
+      pipeline_(static_cast<RedoPipeline::Source&>(*this), &link_, membership, lineage) {
   VREP_CHECK(primary_arena.size() >= primary_arena_bytes(config, layout));
-  local_ = std::make_unique<core::InlineLogStore>(bus, primary_arena, config, format);
-
-  ring_data_ = primary_arena.data() + ((local_bytes + 63) & ~std::size_t{63});
-  bus.register_region(ring_data_, layout.ring_capacity);
-  bus.replicate_region(ring_data_, backup_arena.data() + layout.ring_offset);
+  std::uint8_t* ring_data = ring_shadow(primary_arena, config);
+  bus.register_region(ring_data, layout.ring_capacity);
+  bus.replicate_region(ring_data, backup_arena.data() + layout.ring_offset);
   bus.set_capture(local_->db(), local_->db_size(), this);
 }
 
@@ -173,24 +201,11 @@ void ActivePrimary::on_captured_store(std::uint64_t off, const void* src, std::s
   bus_->charge(bus_->cost().io_store_base_ns +
                static_cast<sim::SimTime>(static_cast<double>(len) *
                                          bus_->cost().io_store_byte_ns));
-  const auto* p = static_cast<const std::uint8_t*>(src);
-  while (len > 0) {  // chunks exceeding the u16 length field are split
-    const std::size_t piece = len < kMaxRedoChunk ? len : kMaxRedoChunk;
-    Staged s;
-    s.off = off;
-    s.len = static_cast<std::uint32_t>(piece);
-    s.data_pos = static_cast<std::uint32_t>(staging_bytes_.size());
-    staging_bytes_.insert(staging_bytes_.end(), p, p + piece);
-    staged_.push_back(s);
-    off += piece;
-    p += piece;
-    len -= piece;
-  }
+  pipeline_.stage(off, src, len);
 }
 
 void ActivePrimary::begin_transaction() {
-  staged_.clear();
-  staging_bytes_.clear();
+  pipeline_.begin();
   local_->begin_transaction();
 }
 
@@ -198,152 +213,16 @@ void ActivePrimary::set_range(void* base, std::size_t len) { local_->set_range(b
 
 void ActivePrimary::abort_transaction() {
   local_->abort_transaction();
-  staged_.clear();
-  staging_bytes_.clear();
-}
-
-void ActivePrimary::reserve_ring_space(std::uint64_t bytes) {
-  VREP_CHECK(bytes <= layout_.ring_capacity);
-  bool flushed = false;
-  while (true) {
-    const sim::SimTime now = bus_->clock()->now();
-    if (producer_ + bytes <= backup_->consumer_visible(now) + layout_.ring_capacity) return;
-    // Ring full as far as the primary can see: block ("the primary processor
-    // must block", Section 6.1) until a newer cursor write-back arrives.
-    const sim::SimTime resume = backup_->next_visibility_after(now);
-    if (resume == ActiveBackup::kNever) {
-      // Unapplied commits may still sit in the write buffers; push them out
-      // and let the backup catch up once.
-      VREP_CHECK(!flushed && "redo ring smaller than one transaction");
-      flushed = true;
-      bus_->mc()->flush();
-      backup_->poll(bus_->mc()->fabric()->link().free_at +
-                    bus_->mc()->fabric()->model().propagation_ns);
-      continue;
-    }
-    static metrics::Counter& stalls = metrics::counter("repl.active.flow_stalls");
-    static metrics::Counter& stall_ns = metrics::counter("repl.active.flow_stall_ns");
-    stalls.add(1);
-    stall_ns.add(static_cast<std::uint64_t>(resume - now));
-    flow_stall_ns_ += resume - now;
-    bus_->clock()->advance_to(resume);
-  }
-}
-
-void ActivePrimary::ring_write(const void* src, std::size_t len, TrafficClass cls) {
-  const std::uint64_t phys = producer_ % layout_.ring_capacity;
-  VREP_CHECK(phys + len <= layout_.ring_capacity);
-  bus_->write(ring_data_ + phys, src, len, cls);
-  producer_ += len;
-}
-
-void ActivePrimary::ship_redo() {
-  auto emit = [this](const RedoEntryHeader& hdr, const void* payload, std::size_t payload_len) {
-    const std::uint64_t need = sizeof hdr + ((payload_len + 1u) & ~std::size_t{1});
-    const std::uint64_t phys = producer_ % layout_.ring_capacity;
-    const std::uint64_t remaining = layout_.ring_capacity - phys;
-    if (remaining < need) {
-      reserve_ring_space(remaining + need);
-      if (remaining >= sizeof hdr) {
-        const RedoEntryHeader pad{RedoEntryHeader::kPadMarker, 0};
-        bus_->write(ring_data_ + phys, &pad, sizeof pad, TrafficClass::kMeta);
-      }
-      producer_ += remaining;  // < 6 bytes: both sides treat it as implicit pad
-    } else {
-      reserve_ring_space(need);
-    }
-    ring_write(&hdr, sizeof hdr, TrafficClass::kMeta);
-    if (payload_len > 0) {
-      const bool is_data = hdr.db_off < RedoEntryHeader::kCommitMarker;
-      ring_write(payload, payload_len, is_data ? TrafficClass::kModified : TrafficClass::kMeta);
-      const std::uint64_t slack = need - sizeof hdr - payload_len;
-      if (slack > 0) {
-        static const std::uint8_t kZero[8] = {};
-        ring_write(kZero, slack, TrafficClass::kMeta);
-      }
-    }
-  };
-
-  const std::uint64_t txn_start = producer_;
-  for (const Staged& s : staged_) {
-    emit(RedoEntryHeader{static_cast<std::uint32_t>(s.off), static_cast<std::uint16_t>(s.len)},
-         staging_bytes_.data() + s.data_pos, s.len);
-  }
-  // Pre-pad if the marker would wrap, so the checksummed range ends exactly
-  // at the marker header on both sides.
-  {
-    const std::uint64_t phys = producer_ % layout_.ring_capacity;
-    const std::uint64_t remaining = layout_.ring_capacity - phys;
-    if (remaining < kCommitMarkerBytes) {
-      reserve_ring_space(remaining + kCommitMarkerBytes);
-      if (remaining >= sizeof(RedoEntryHeader)) {
-        const RedoEntryHeader pad{RedoEntryHeader::kPadMarker, 0};
-        bus_->write(ring_data_ + phys, &pad, sizeof pad, TrafficClass::kMeta);
-      }
-      producer_ += remaining;
-    }
-  }
-  // Checksum the transaction's ring bytes (see redo_ring.hpp for why).
-  Crc32 crc;
-  {
-    const std::uint64_t cap = layout_.ring_capacity;
-    std::uint64_t pos = txn_start;
-    while (pos < producer_) {
-      const std::uint64_t phys = pos % cap;
-      const std::uint64_t chunk = std::min(producer_ - pos, cap - phys);
-      crc.update(ring_data_ + phys, chunk);
-      pos += chunk;
-    }
-    bus_->charge(static_cast<sim::SimTime>(
-        static_cast<double>(producer_ - txn_start) * bus_->cost().checksum_byte_ns));
-  }
-  struct {
-    std::uint32_t seq;
-    std::uint32_t crc;
-  } marker{static_cast<std::uint32_t>(local_->committed_seq()), crc.value()};
-  emit(RedoEntryHeader{RedoEntryHeader::kCommitMarker, 8}, &marker, 8);
-
-  // No barrier, no pointer write: the sequential stream self-describes, so
-  // the write buffers emit full 32-byte packets. Poll the (busy-waiting)
-  // backup at the time the traffic generated so far lands.
-  backup_->poll(bus_->mc()->fabric()->link().free_at +
-                bus_->mc()->fabric()->model().propagation_ns);
-
-  static metrics::Counter& shipped = metrics::counter("repl.active.txns_shipped");
-  static metrics::Gauge& occupancy = metrics::gauge("repl.active.ring_occupancy_peak");
-  shipped.add(1);
-  occupancy.update_max(static_cast<std::int64_t>(
-      producer_ - backup_->consumer_visible(bus_->clock()->now())));
-
-  staged_.clear();
-  staging_bytes_.clear();
+  pipeline_.discard();
 }
 
 void ActivePrimary::commit_transaction() {
   local_->commit_transaction();
-  ship_redo();
-  if (two_safe_) {
-    // Push the trailing partial packet out, let the backup apply, and block
-    // until its cursor write-back (covering everything shipped) arrives.
-    bus_->mc()->flush();
-    backup_->poll(bus_->mc()->fabric()->link().free_at +
-                  bus_->mc()->fabric()->model().propagation_ns);
-    while (true) {
-      const sim::SimTime now = bus_->clock()->now();
-      if (backup_->consumer_visible(now) >= producer_) break;
-      const sim::SimTime resume = backup_->next_visibility_after(now);
-      VREP_CHECK(resume != ActiveBackup::kNever && "backup never acknowledged");
-      static metrics::Counter& wait_ns = metrics::counter("repl.active.two_safe_wait_ns");
-      wait_ns.add(static_cast<std::uint64_t>(resume - now));
-      two_safe_wait_ns_ += resume - now;
-      bus_->clock()->advance_to(resume);
-    }
-  }
+  pipeline_.commit(local_->committed_seq());
 }
 
 int ActivePrimary::recover() {
-  staged_.clear();
-  staging_bytes_.clear();
+  pipeline_.discard();
   return local_->recover();
 }
 

@@ -8,25 +8,34 @@
 // writes its consumer cursor back; the primary blocks only if the ring
 // fills.
 //
+// Protocol logic (sequencing, batch encoding, epoch fencing, 1-safe/2-safe
+// commits, rejoin decisions) lives in repl::RedoPipeline / repl::RedoApplier
+// (pipeline.hpp) — the same engine the TCP and loopback deployments use.
+// This file supplies the simulated Memory Channel specifics: ActivePrimary
+// composes the engine over a McRingLink (mc_ring_link.hpp), and
+// ActiveBackup decodes the ring wire format, charging its own cache model,
+// before handing decoded batches to its RedoApplier.
+//
 // In the simulated environment the backup is co-simulated deterministically:
 // after each commit the primary polls the backup with the virtual time at
 // which the Memory Channel traffic it just generated lands; the ActiveBackup
 // advances its own clock, parses whatever complete transactions have
 // physically arrived in its replica, applies them (charging its own cache
 // model), and records when its consumer cursor becomes visible to the
-// primary for flow control. The same redo entry format is reused by the TCP
-// transport in net/ for real two-process failover.
+// primary for flow control.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <limits>
 #include <memory>
-#include <utility>
 #include <vector>
 
+#include "cluster/membership.hpp"
 #include "core/api.hpp"
 #include "core/v3_inline_log.hpp"
+#include "repl/mc_ring_link.hpp"
+#include "repl/pipeline.hpp"
 #include "repl/redo_ring.hpp"
 #include "rio/arena.hpp"
 #include "sim/node.hpp"
@@ -44,25 +53,31 @@ struct ActiveBackupLayout {
   std::size_t arena_bytes() const { return db_offset + db_size; }
 };
 
-class ActiveBackup {
+class ActiveBackup : private RedoApplier::Target {
  public:
   // `cpu` is the backup's CPU (own clock + cache); `arena` its physical
-  // memory holding the ring replica and the database copy.
+  // memory holding the ring replica and the database copy. With a
+  // `membership`, the applier fences stale-epoch traffic (split-brain
+  // defense across takeovers); without one, everything runs in epoch 1.
   ActiveBackup(sim::Cpu& cpu, rio::Arena& arena, const ActiveBackupLayout& layout,
-               sim::McFabric& fabric);
+               sim::McFabric& fabric, cluster::Membership* membership = nullptr,
+               std::uint64_t node_id = 2);
 
   // Busy-wait iteration: bring the backup to virtual time `t`, deliver what
   // has physically arrived, and apply every complete transaction found.
   void poll(sim::SimTime t);
 
   std::uint64_t consumer() const { return consumer_; }
-  std::uint64_t applied_seq() const { return applied_seq_; }
+  std::uint64_t applied_seq() const { return applier_.applied_seq(); }
 
   // Flow control as the *primary* experiences it: after applying a batch the
   // backup writes its cursor through to the primary, which therefore sees
   // the value one propagation delay after the apply finishes.
   static constexpr sim::SimTime kNever = std::numeric_limits<sim::SimTime>::max();
   std::uint64_t consumer_visible(sim::SimTime t) const;
+  // Highest applied sequence whose cursor write-back is visible at `t` (the
+  // McRingLink synthesizes kConsumerAck frames from this).
+  std::uint64_t applied_visible(sim::SimTime t) const;
   sim::SimTime next_visibility_after(sim::SimTime t) const;
 
   std::uint8_t* db() { return arena_->data() + layout_.db_offset; }
@@ -75,8 +90,17 @@ class ActiveBackup {
   std::uint64_t takeover(sim::SimTime crash_time);
 
   sim::Cpu& cpu() { return *cpu_; }
+  // Protocol state machine (sequencing, fencing, stats) — shared with the
+  // TCP/loopback backups.
+  RedoApplier& applier() { return applier_; }
+  const RedoApplier& applier() const { return applier_; }
 
  private:
+  // RedoApplier::Target: replica bytes land in the database copy through the
+  // instrumented bus, charging the backup's own cache model.
+  void write(std::uint64_t off, const void* src, std::size_t len) override;
+  std::size_t capacity() const override { return layout_.db_size; }
+
   // Parse one complete transaction starting at consumer_; returns true and
   // applies it if its commit marker (matching seq and checksum) has arrived.
   bool try_apply_one();
@@ -87,31 +111,44 @@ class ActiveBackup {
   ActiveBackupLayout layout_;
   sim::McFabric* fabric_;
   std::uint8_t* data_;
+  RedoApplier applier_;
   std::uint64_t consumer_ = 0;
-  std::uint64_t applied_seq_ = 0;
-  // (visible_at, cursor) pairs, oldest first; pruned as the primary reads.
-  mutable std::deque<std::pair<sim::SimTime, std::uint64_t>> visibility_;
+  struct Visibility {
+    sim::SimTime at;
+    std::uint64_t cursor;
+    std::uint64_t seq;
+  };
+  // Cursor write-back events, oldest first; pruned as the primary reads.
+  mutable std::deque<Visibility> visibility_;
   mutable std::uint64_t last_visible_ = 0;
+  mutable std::uint64_t last_visible_seq_ = 0;
 };
 
 // Decorator around an InlineLogStore: same TransactionStore interface (so
-// workloads run unchanged), plus redo shipping at commit.
-class ActivePrimary final : public core::TransactionStore, private sim::MemBus::CaptureSink {
+// workloads run unchanged), plus redo shipping at commit via the shared
+// RedoPipeline engine over a McRingLink.
+class ActivePrimary final : public core::TransactionStore,
+                            private sim::MemBus::CaptureSink,
+                            private RedoPipeline::Source {
  public:
   // `primary_arena` hosts the local V3 store plus the local halves of the
   // doubled ring writes; `backup` owns the replica arena whose ring region
-  // is reached through `bus`'s MC interface.
+  // is reached through `bus`'s MC interface. With a `membership`, shipped
+  // batches carry its epoch and a takeover elsewhere fences this primary
+  // (fenced()); `lineage` seeds the rejoin delta-vs-full-image rule for a
+  // primary promoted from backup.
   ActivePrimary(sim::MemBus& bus, rio::Arena& primary_arena, rio::Arena& backup_arena,
                 const core::StoreConfig& config, const ActiveBackupLayout& layout,
-                ActiveBackup* backup, bool format);
+                ActiveBackup* backup, bool format, cluster::Membership* membership = nullptr,
+                RedoPipeline::Lineage lineage = RedoPipeline::Lineage{0, 0});
 
   // 2-safe commit (extension beyond the paper's 1-safe design): commit does
   // not return until the backup has durably applied the transaction and its
   // acknowledgment has reached the primary. Closes the window of
   // vulnerability at the price of one round trip per commit.
-  void set_two_safe(bool enabled) { two_safe_ = enabled; }
-  bool two_safe() const { return two_safe_; }
-  sim::SimTime two_safe_wait_ns() const { return two_safe_wait_ns_; }
+  void set_two_safe(bool enabled) { pipeline_.set_two_safe(enabled); }
+  bool two_safe() const { return pipeline_.two_safe(); }
+  sim::SimTime two_safe_wait_ns() const { return link_.two_safe_wait_ns(); }
 
   void begin_transaction() override;
   void set_range(void* base, std::size_t len) override;
@@ -127,34 +164,25 @@ class ActivePrimary final : public core::TransactionStore, private sim::MemBus::
   std::vector<core::StoreRegion> regions() const override { return local_->regions(); }
   sim::MemBus& bus() override { return *bus_; }
 
-  sim::SimTime flow_stall_ns() const { return flow_stall_ns_; }
+  sim::SimTime flow_stall_ns() const { return link_.flow_stall_ns(); }
+
+  // Epoch fencing (shared engine state; see repl/pipeline.hpp).
+  bool fenced() const { return pipeline_.fenced(); }
+  std::uint64_t fenced_by_epoch() const { return pipeline_.fenced_by_epoch(); }
+  std::uint64_t epoch() const { return pipeline_.epoch(); }
+  const RedoPipeline::Stats& stats() const { return pipeline_.stats(); }
+  RedoPipeline& pipeline() { return pipeline_; }
 
   static std::size_t primary_arena_bytes(const core::StoreConfig& config,
                                          const ActiveBackupLayout& layout);
 
  private:
   void on_captured_store(std::uint64_t off, const void* src, std::size_t len) override;
-  void ship_redo();
-  void reserve_ring_space(std::uint64_t bytes);
-  void ring_write(const void* src, std::size_t len, sim::TrafficClass cls);
 
   sim::MemBus* bus_;
   std::unique_ptr<core::InlineLogStore> local_;
-  ActiveBackupLayout layout_;
-  ActiveBackup* backup_;
-  std::uint8_t* ring_data_;  // local (shadow) half of the doubled writes
-  std::uint64_t producer_ = 0;
-
-  struct Staged {
-    std::uint64_t off;
-    std::uint32_t len;
-    std::uint32_t data_pos;  // into staging_bytes_
-  };
-  std::vector<Staged> staged_;
-  std::vector<std::uint8_t> staging_bytes_;
-  sim::SimTime flow_stall_ns_ = 0;
-  bool two_safe_ = false;
-  sim::SimTime two_safe_wait_ns_ = 0;
+  McRingLink link_;
+  RedoPipeline pipeline_;
 };
 
 }  // namespace vrep::repl

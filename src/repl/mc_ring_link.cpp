@@ -1,0 +1,227 @@
+#include "repl/mc_ring_link.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "repl/active.hpp"
+#include "repl/pipeline.hpp"
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+#include "util/metrics.hpp"
+
+namespace vrep::repl {
+
+using sim::TrafficClass;
+
+namespace {
+// Reply path for co-simulated control frames: the backup's applier answers
+// (fences) straight into the primary link's inbound queue.
+class QueueLink final : public ReplicationLink {
+ public:
+  explicit QueueLink(std::deque<Frame>* queue) : queue_(queue) {}
+  bool send(FrameKind kind, std::uint64_t epoch, const void* payload,
+            std::size_t len) override {
+    const auto* p = static_cast<const std::uint8_t*>(payload);
+    queue_->push_back(Frame{kind, epoch, std::vector<std::uint8_t>(p, p + len)});
+    return true;
+  }
+  std::optional<Frame> recv(int) override { return std::nullopt; }
+  LinkError last_error() const override { return LinkError::kTimeout; }
+  bool connected() const override { return true; }
+
+ private:
+  std::deque<Frame>* queue_;
+};
+}  // namespace
+
+McRingLink::McRingLink(sim::MemBus& bus, std::uint8_t* ring_data, std::size_t ring_capacity,
+                       ActiveBackup* backup)
+    : bus_(&bus), ring_data_(ring_data), ring_capacity_(ring_capacity), backup_(backup) {}
+
+bool McRingLink::send(FrameKind kind, std::uint64_t epoch, const void* payload,
+                      std::size_t len) {
+  if (backup_->applier().epoch() > epoch) {
+    // Stale-epoch traffic after a takeover: the backup's applier fences it
+    // (counting repl.backup.stale_fenced) and its kEpochFence reply lands in
+    // our inbound queue for the engine's next drain.
+    const auto* p = static_cast<const std::uint8_t*>(payload);
+    const Frame frame{kind, epoch, std::vector<std::uint8_t>(p, p + len)};
+    QueueLink reply(&inbound_);
+    backup_->applier().on_frame(frame, reply);
+    return true;
+  }
+  switch (kind) {
+    case FrameKind::kRedoBatch:
+      encode_batch(static_cast<const std::uint8_t*>(payload), len);
+      return true;
+    default:
+      // Heartbeats are meaningless between co-simulated nodes (the backup is
+      // polled synchronously at exact virtual times), and image transfer /
+      // rejoin happen out-of-band (the harness seeds replica arenas by
+      // direct copy). Accept and drop.
+      return true;
+  }
+}
+
+std::optional<Frame> McRingLink::recv(int timeout_ms) {
+  if (!inbound_.empty()) {
+    Frame frame = std::move(inbound_.front());
+    inbound_.pop_front();
+    error_ = LinkError::kNone;
+    return frame;
+  }
+  const sim::SimTime now = bus_->clock()->now();
+  std::uint64_t visible = backup_->applied_visible(now);
+  if (visible <= last_reported_ack_ && timeout_ms != 0) {
+    // Block until the backup's next cursor write-back arrives — this is the
+    // 2-safe commit's round-trip wait, paid in virtual time.
+    const sim::SimTime resume = backup_->next_visibility_after(now);
+    VREP_CHECK(resume != ActiveBackup::kNever && "backup never acknowledged");
+    static metrics::Counter& wait_ns = metrics::counter("repl.link.two_safe_wait_ns");
+    wait_ns.add(static_cast<std::uint64_t>(resume - now));
+    two_safe_wait_ns_ += resume - now;
+    bus_->clock()->advance_to(resume);
+    visible = backup_->applied_visible(resume);
+  }
+  if (visible > last_reported_ack_) {
+    last_reported_ack_ = visible;
+    Frame frame{FrameKind::kConsumerAck, backup_->applier().epoch(), std::vector<std::uint8_t>(8)};
+    std::memcpy(frame.payload.data(), &visible, 8);
+    error_ = LinkError::kNone;
+    return frame;
+  }
+  error_ = LinkError::kTimeout;
+  return std::nullopt;
+}
+
+void McRingLink::flush() {
+  bus_->mc()->flush();
+  backup_->poll(bus_->mc()->fabric()->link().free_at +
+                bus_->mc()->fabric()->model().propagation_ns);
+}
+
+void McRingLink::reserve_ring_space(std::uint64_t bytes) {
+  VREP_CHECK(bytes <= ring_capacity_);
+  bool flushed = false;
+  while (true) {
+    const sim::SimTime now = bus_->clock()->now();
+    if (producer_ + bytes <= backup_->consumer_visible(now) + ring_capacity_) return;
+    // Ring full as far as the primary can see: block ("the primary processor
+    // must block", Section 6.1) until a newer cursor write-back arrives.
+    const sim::SimTime resume = backup_->next_visibility_after(now);
+    if (resume == ActiveBackup::kNever) {
+      // Unapplied commits may still sit in the write buffers; push them out
+      // and let the backup catch up once.
+      VREP_CHECK(!flushed && "redo ring smaller than one transaction");
+      flushed = true;
+      bus_->mc()->flush();
+      backup_->poll(bus_->mc()->fabric()->link().free_at +
+                    bus_->mc()->fabric()->model().propagation_ns);
+      continue;
+    }
+    static metrics::Counter& stalls = metrics::counter("repl.link.flow_stalls");
+    static metrics::Counter& stall_ns = metrics::counter("repl.link.flow_stall_ns");
+    stalls.add(1);
+    stall_ns.add(static_cast<std::uint64_t>(resume - now));
+    flow_stall_ns_ += resume - now;
+    bus_->clock()->advance_to(resume);
+  }
+}
+
+void McRingLink::ring_write(const void* src, std::size_t len, TrafficClass cls) {
+  const std::uint64_t phys = producer_ % ring_capacity_;
+  VREP_CHECK(phys + len <= ring_capacity_);
+  bus_->write(ring_data_ + phys, src, len, cls);
+  producer_ += len;
+}
+
+void McRingLink::emit_entry(const RedoEntryHeader& hdr, const void* payload,
+                            std::size_t payload_len) {
+  const std::uint64_t need = sizeof hdr + ((payload_len + 1u) & ~std::size_t{1});
+  const std::uint64_t phys = producer_ % ring_capacity_;
+  const std::uint64_t remaining = ring_capacity_ - phys;
+  if (remaining < need) {
+    reserve_ring_space(remaining + need);
+    if (remaining >= sizeof hdr) {
+      const RedoEntryHeader pad{RedoEntryHeader::kPadMarker, 0};
+      bus_->write(ring_data_ + phys, &pad, sizeof pad, TrafficClass::kMeta);
+    }
+    producer_ += remaining;  // < 6 bytes: both sides treat it as implicit pad
+  } else {
+    reserve_ring_space(need);
+  }
+  ring_write(&hdr, sizeof hdr, TrafficClass::kMeta);
+  if (payload_len > 0) {
+    const bool is_data = hdr.db_off < RedoEntryHeader::kCommitMarker;
+    ring_write(payload, payload_len, is_data ? TrafficClass::kModified : TrafficClass::kMeta);
+    const std::uint64_t slack = need - sizeof hdr - payload_len;
+    if (slack > 0) {
+      static const std::uint8_t kZero[8] = {};
+      ring_write(kZero, slack, TrafficClass::kMeta);
+    }
+  }
+}
+
+void McRingLink::encode_batch(const std::uint8_t* payload, std::size_t len) {
+  const std::uint64_t txn_start = producer_;
+  BatchReader reader(payload, len);
+  RedoChunk chunk;
+  while (reader.next(&chunk)) {
+    std::uint64_t off = chunk.db_off;
+    const std::uint8_t* p = chunk.data;
+    std::size_t remaining = chunk.len;
+    while (remaining > 0) {  // chunks exceeding the u16 length field are split
+      const std::size_t piece = remaining < kMaxRedoChunk ? remaining : kMaxRedoChunk;
+      emit_entry(
+          RedoEntryHeader{static_cast<std::uint32_t>(off), static_cast<std::uint16_t>(piece)},
+          p, piece);
+      off += piece;
+      p += piece;
+      remaining -= piece;
+    }
+  }
+  // Pre-pad if the marker would wrap, so the checksummed range ends exactly
+  // at the marker header on both sides.
+  {
+    const std::uint64_t phys = producer_ % ring_capacity_;
+    const std::uint64_t remaining = ring_capacity_ - phys;
+    if (remaining < kCommitMarkerBytes) {
+      reserve_ring_space(remaining + kCommitMarkerBytes);
+      if (remaining >= sizeof(RedoEntryHeader)) {
+        const RedoEntryHeader pad{RedoEntryHeader::kPadMarker, 0};
+        bus_->write(ring_data_ + phys, &pad, sizeof pad, TrafficClass::kMeta);
+      }
+      producer_ += remaining;
+    }
+  }
+  // Checksum the transaction's ring bytes (see redo_ring.hpp for why).
+  Crc32 crc;
+  {
+    std::uint64_t pos = txn_start;
+    while (pos < producer_) {
+      const std::uint64_t phys = pos % ring_capacity_;
+      const std::uint64_t chunk_len = std::min(producer_ - pos, ring_capacity_ - phys);
+      crc.update(ring_data_ + phys, chunk_len);
+      pos += chunk_len;
+    }
+    bus_->charge(static_cast<sim::SimTime>(
+        static_cast<double>(producer_ - txn_start) * bus_->cost().checksum_byte_ns));
+  }
+  struct {
+    std::uint32_t seq;
+    std::uint32_t crc;
+  } marker{static_cast<std::uint32_t>(batch_seq(payload)), crc.value()};
+  emit_entry(RedoEntryHeader{RedoEntryHeader::kCommitMarker, 8}, &marker, 8);
+
+  // No barrier, no pointer write: the sequential stream self-describes, so
+  // the write buffers emit full 32-byte packets. Poll the (busy-waiting)
+  // backup at the time the traffic generated so far lands.
+  backup_->poll(bus_->mc()->fabric()->link().free_at +
+                bus_->mc()->fabric()->model().propagation_ns);
+
+  static metrics::Gauge& occupancy = metrics::gauge("repl.link.ring_occupancy_peak");
+  occupancy.update_max(static_cast<std::int64_t>(
+      producer_ - backup_->consumer_visible(bus_->clock()->now())));
+}
+
+}  // namespace vrep::repl

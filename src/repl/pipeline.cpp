@@ -1,0 +1,600 @@
+#include "repl/pipeline.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.hpp"
+#include "util/metrics.hpp"
+
+namespace vrep::repl {
+
+namespace {
+constexpr std::size_t kDbChunkBytes = 256 * 1024;
+
+// A 2-safe commit probes with heartbeats while waiting for the covering
+// acknowledgment; sustained silence degrades the commit to 1-safe (the
+// transaction is locally durable either way) and marks the link down.
+constexpr int kTwoSafeRecvTimeoutMs = 250;
+constexpr int kTwoSafeMaxProbes = 20;
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + 4);
+  std::memcpy(out.data() + at, &v, 4);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Batch codec
+// ---------------------------------------------------------------------------
+
+bool batch_valid(const std::uint8_t* payload, std::size_t size, std::size_t db_size) {
+  if (size < 8) return false;
+  std::size_t at = 8;
+  while (at < size) {
+    if (at + 8 > size) return false;
+    std::uint32_t off, len;
+    std::memcpy(&off, payload + at, 4);
+    std::memcpy(&len, payload + at + 4, 4);
+    at += 8;
+    if (at + len > size || off + std::uint64_t{len} > db_size) return false;
+    at += len;
+  }
+  return true;
+}
+
+std::uint64_t batch_seq(const std::uint8_t* payload) {
+  std::uint64_t seq;
+  std::memcpy(&seq, payload, 8);
+  return seq;
+}
+
+bool BatchReader::next(RedoChunk* out) {
+  if (at_ + 8 > size_) return false;
+  std::uint32_t off, len;
+  std::memcpy(&off, payload_ + at_, 4);
+  std::memcpy(&len, payload_ + at_ + 4, 4);
+  at_ += 8;
+  out->db_off = off;
+  out->len = len;
+  out->data = payload_ + at_;
+  at_ += len;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// RedoPipeline
+// ---------------------------------------------------------------------------
+
+RedoPipeline::RedoPipeline(Source& source, ReplicationLink* link,
+                           cluster::Membership* membership, Lineage lineage,
+                           std::size_t redo_history_bytes)
+    : source_(source), link_(link), membership_(membership), lineage_(lineage),
+      history_capacity_(redo_history_bytes) {
+  alive_ = link_ != nullptr && link_->connected();
+}
+
+void RedoPipeline::attach_link(ReplicationLink* link) {
+  link_ = link;
+  alive_ = link != nullptr && link->connected();
+}
+
+bool RedoPipeline::link_send(FrameKind kind, const void* payload, std::size_t len) {
+  if (link_ == nullptr) return false;
+  return link_->send(kind, epoch(), payload, len);
+}
+
+void RedoPipeline::begin() {
+  batch_.clear();
+  batch_.resize(8);  // sequence filled in at commit
+}
+
+void RedoPipeline::stage(std::uint64_t off, const void* src, std::size_t len) {
+  append_u32(batch_, static_cast<std::uint32_t>(off));
+  append_u32(batch_, static_cast<std::uint32_t>(len));
+  const std::size_t at = batch_.size();
+  batch_.resize(at + len);
+  std::memcpy(batch_.data() + at, src, len);
+}
+
+void RedoPipeline::discard() { batch_.clear(); }
+
+void RedoPipeline::fence(std::uint64_t newer_epoch) {
+  fenced_ = true;
+  fenced_by_epoch_ = newer_epoch;
+  alive_ = false;
+  metrics::counter("repl.primary.fenced").add(1);
+}
+
+void RedoPipeline::on_control_frame(const Frame& frame) {
+  switch (frame.kind) {
+    case FrameKind::kConsumerAck:
+      if (frame.payload.size() == 8 && (membership_ == nullptr || frame.epoch == epoch())) {
+        std::uint64_t v;
+        std::memcpy(&v, frame.payload.data(), 8);
+        if (v > acked_seq_) acked_seq_ = v;
+      }
+      break;
+    case FrameKind::kEpochFence: {
+      if (frame.payload.size() != 8) break;
+      std::uint64_t e;
+      std::memcpy(&e, frame.payload.data(), 8);
+      if (e > epoch()) {
+        // Someone took over in a newer epoch while we were out: stop
+        // shipping immediately; the caller demotes us and rejoins.
+        fence(e);
+      }
+      break;
+    }
+    case FrameKind::kRejoinRequest: {
+      if (frame.payload.size() != 24) break;
+      if (membership_ != nullptr && frame.epoch > epoch()) {
+        fence(frame.epoch);
+        break;
+      }
+      std::uint64_t seq, node, state_epoch;
+      std::memcpy(&seq, frame.payload.data(), 8);
+      std::memcpy(&node, frame.payload.data() + 8, 8);
+      std::memcpy(&state_epoch, frame.payload.data() + 16, 8);
+      serve_rejoin(seq, node, state_epoch);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void RedoPipeline::drain() {
+  // Consume whatever the backup sent back: acks (flow control), in-band
+  // rejoin requests (sequence-gap resync), and epoch fences. Leaving them
+  // unread would eventually fill the carrier's buffers and, on close, make
+  // a TCP kernel RST the connection under the backup's feet.
+  while (alive_) {
+    auto frame = link_->recv(0);
+    if (!frame.has_value()) {
+      if (link_->last_error() == LinkError::kCorrupt && link_->connected()) {
+        continue;  // skip an aligned corrupt inbound frame
+      }
+      if (link_->last_error() == LinkError::kClosed) alive_ = false;
+      break;
+    }
+    on_control_frame(*frame);
+  }
+}
+
+void RedoPipeline::wait_acked(std::uint64_t seq) {
+  if (link_ == nullptr) return;
+  // Push the batch all the way onto the carrier, then probe: the heartbeat
+  // carries our committed sequence, and a caught-up backup answers it with
+  // an immediate ack (a behind one requests resync, which serve_rejoin
+  // repairs right here in the wait loop).
+  link_->flush();
+  const auto probe = [&] {
+    const std::uint64_t committed = source_.committed_seq();
+    if (alive_ && !fenced_ && !link_send(FrameKind::kHeartbeat, &committed, 8)) alive_ = false;
+  };
+  probe();
+  int silent = 0;
+  while (alive_ && !fenced_ && acked_seq_ < seq) {
+    auto frame = link_->recv(kTwoSafeRecvTimeoutMs);
+    if (!frame.has_value()) {
+      switch (link_->last_error()) {
+        case LinkError::kTimeout:
+          // The probe (or the ack answering it) may have been lost.
+          if (++silent > kTwoSafeMaxProbes) {
+            alive_ = false;
+            break;
+          }
+          probe();
+          continue;
+        case LinkError::kCorrupt:
+          if (link_->connected()) continue;
+          alive_ = false;
+          break;
+        default:
+          alive_ = false;
+          break;
+      }
+      continue;
+    }
+    silent = 0;
+    on_control_frame(*frame);
+  }
+}
+
+void RedoPipeline::push_history(std::uint64_t seq) {
+  history_.push_back({seq, batch_});
+  history_bytes_ += batch_.size();
+  while (history_bytes_ > history_capacity_ && !history_.empty()) {
+    history_bytes_ -= history_.front().batch.size();
+    history_.pop_front();
+  }
+}
+
+void RedoPipeline::commit(std::uint64_t seq) {
+  std::memcpy(batch_.data(), &seq, 8);
+  // Retain the batch even while the link is down or we are fenced: a later
+  // rejoin (ours or the backup's) replays from this history.
+  push_history(seq);
+  // 1-safe: fire and forget; a send failure marks the backup link down but
+  // never blocks or fails the local commit.
+  if (alive_ && !fenced_) {
+    if (link_send(FrameKind::kRedoBatch, batch_.data(), batch_.size())) {
+      stats_.txns_shipped++;
+      metrics::counter("repl.primary.txns_shipped").add(1);
+    } else {
+      alive_ = false;
+    }
+  }
+  if (alive_) drain();
+  // 2-safe: additionally hold the commit until the backup's acknowledgment
+  // covers this transaction.
+  if (two_safe_) wait_acked(seq);
+  batch_.clear();
+}
+
+bool RedoPipeline::sync_backup() {
+  if (fenced_ || link_ == nullptr) return false;
+  std::uint8_t hello[16];
+  const std::uint64_t size = source_.db_size();
+  const std::uint64_t seq = source_.committed_seq();
+  std::memcpy(hello, &size, 8);
+  std::memcpy(hello + 8, &seq, 8);
+  if (!link_send(FrameKind::kHello, hello, sizeof hello)) {
+    alive_ = false;
+    return false;
+  }
+  std::vector<std::uint8_t> chunk;
+  for (std::size_t off = 0; off < source_.db_size(); off += kDbChunkBytes) {
+    const std::size_t len = std::min(kDbChunkBytes, source_.db_size() - off);
+    chunk.clear();
+    chunk.resize(8);
+    const std::uint64_t off64 = off;
+    std::memcpy(chunk.data(), &off64, 8);
+    chunk.insert(chunk.end(), source_.db() + off, source_.db() + off + len);
+    if (!link_send(FrameKind::kDbChunk, chunk.data(), chunk.size())) {
+      alive_ = false;
+      return false;
+    }
+  }
+  alive_ = true;
+  return true;
+}
+
+bool RedoPipeline::history_covers(std::uint64_t from_seq) const {
+  const std::uint64_t committed = source_.committed_seq();
+  if (from_seq == committed) return true;  // nothing to replay
+  return !history_.empty() && history_.front().seq <= from_seq + 1 &&
+         history_.back().seq == committed;
+}
+
+bool RedoPipeline::shared_lineage(std::uint64_t backup_seq, std::uint64_t state_epoch) const {
+  // Same epoch: the requester has been following this primary, its state is
+  // a prefix of ours. Pre-takeover epoch: only the prefix up to the
+  // takeover floor is shared — a fenced straggler may have committed past
+  // it into a lineage we never saw. Anything older is unverifiable.
+  if (state_epoch == epoch()) return true;
+  return lineage_.prev_epoch != 0 && state_epoch == lineage_.prev_epoch &&
+         backup_seq <= lineage_.takeover_floor;
+}
+
+RedoPipeline::RejoinDecision RedoPipeline::decide_rejoin(std::uint64_t backup_seq,
+                                                         std::uint64_t state_epoch) const {
+  const std::uint64_t committed = source_.committed_seq();
+  if (backup_seq > 0 && backup_seq <= committed && shared_lineage(backup_seq, state_epoch) &&
+      history_covers(backup_seq)) {
+    return RejoinDecision::kDelta;
+  }
+  // Gap unservable from history (fresh backup, evicted batches, or a
+  // rejoiner claiming a future our lineage never had): full image.
+  return RejoinDecision::kFullImage;
+}
+
+bool RedoPipeline::serve_rejoin(std::uint64_t backup_seq, std::uint64_t node_id,
+                                std::uint64_t state_epoch) {
+  if (fenced_) return false;
+  // A *new* backup joining the view is a membership change (epoch bump); a
+  // reconnect of the current backup is not.
+  if (membership_ != nullptr && membership_->is_primary() && !membership_->has_backup()) {
+    membership_->adopt_backup(static_cast<int>(node_id));
+  }
+  stats_.rejoins_served++;
+  metrics::counter("repl.primary.rejoins_served").add(1);
+  if (decide_rejoin(backup_seq, state_epoch) == RejoinDecision::kDelta) {
+    std::uint8_t delta[16];
+    const std::uint64_t count = source_.committed_seq() - backup_seq;
+    std::memcpy(delta, &backup_seq, 8);
+    std::memcpy(delta + 8, &count, 8);
+    if (!link_send(FrameKind::kRejoinDelta, delta, sizeof delta)) {
+      alive_ = false;
+      return false;
+    }
+    for (const auto& entry : history_) {
+      if (entry.seq <= backup_seq) continue;
+      if (!link_send(FrameKind::kRedoBatch, entry.batch.data(), entry.batch.size())) {
+        alive_ = false;
+        return false;
+      }
+    }
+    alive_ = true;
+    stats_.deltas_served++;
+    metrics::counter("repl.primary.deltas_served").add(1);
+    return true;
+  }
+  stats_.full_syncs_served++;
+  metrics::counter("repl.primary.full_syncs_served").add(1);
+  return sync_backup();
+}
+
+bool RedoPipeline::handle_rejoin(int timeout_ms) {
+  if (link_ == nullptr || !link_->connected()) return false;
+  while (true) {
+    auto frame = link_->recv(timeout_ms);
+    if (!frame.has_value()) {
+      if (link_->last_error() == LinkError::kCorrupt && link_->connected()) {
+        continue;  // aligned corrupt frame: the peer will re-request
+      }
+      alive_ = false;
+      return false;
+    }
+    if (frame->kind != FrameKind::kRejoinRequest || frame->payload.size() != 24) continue;
+    if (membership_ != nullptr && frame->epoch > epoch()) {
+      // The requester has seen a newer epoch than ours: we are the stale
+      // node here. Step aside instead of serving.
+      fence(frame->epoch);
+      return false;
+    }
+    std::uint64_t seq, node, state_epoch;
+    std::memcpy(&seq, frame->payload.data(), 8);
+    std::memcpy(&node, frame->payload.data() + 8, 8);
+    std::memcpy(&state_epoch, frame->payload.data() + 16, 8);
+    return serve_rejoin(seq, node, state_epoch);
+  }
+}
+
+bool RedoPipeline::send_heartbeat() {
+  const std::uint64_t seq = source_.committed_seq();
+  if (alive_ && !fenced_ && !link_send(FrameKind::kHeartbeat, &seq, 8)) {
+    alive_ = false;
+  }
+  if (alive_) drain();
+  return alive_;
+}
+
+// ---------------------------------------------------------------------------
+// RedoApplier
+// ---------------------------------------------------------------------------
+
+bool RedoApplier::request_rejoin(ReplicationLink& link) {
+  std::uint8_t req[24];
+  // An incomplete image cannot be repaired by a sequence delta: ask from 0,
+  // which the primary always answers with a full image sync.
+  const std::uint64_t from = image_complete() ? applied_seq_ : 0;
+  std::memcpy(req, &from, 8);
+  std::memcpy(req + 8, &node_id_, 8);
+  std::memcpy(req + 16, &state_epoch_, 8);
+  return link.send(FrameKind::kRejoinRequest, epoch(), req, sizeof req);
+}
+
+void RedoApplier::adopt_image(std::size_t size, std::uint64_t applied_seq,
+                              std::uint64_t state_epoch) {
+  VREP_CHECK(size <= target_.capacity());
+  db_size_ = size;
+  image_next_off_ = size;
+  applied_seq_ = applied_seq;
+  state_epoch_ = state_epoch;
+  awaiting_resync_ = false;
+}
+
+void RedoApplier::seed(const std::uint8_t* db, std::size_t size, std::uint64_t applied_seq,
+                       std::uint64_t state_epoch) {
+  VREP_CHECK(size <= target_.capacity());
+  target_.write(0, db, size);
+  adopt_image(size, applied_seq, state_epoch);
+}
+
+void RedoApplier::maybe_request_resync(ReplicationLink& link) {
+  if (awaiting_resync_) return;
+  if (request_rejoin(link)) awaiting_resync_ = true;
+}
+
+void RedoApplier::note_corrupt_skipped(ReplicationLink& link) {
+  stats_.corrupt_skipped++;
+  metrics::counter("repl.backup.corrupt_skipped").add(1);
+  maybe_request_resync(link);
+}
+
+bool RedoApplier::apply_batch(const Frame& frame) {
+  // Validate the whole batch before touching the image so a malformed frame
+  // is never applied partially (the backup's image must only ever hold
+  // whole transactions).
+  if (!batch_valid(frame.payload.data(), frame.payload.size(), db_size_)) return false;
+  BatchReader reader(frame.payload.data(), frame.payload.size());
+  RedoChunk chunk;
+  while (reader.next(&chunk)) target_.write(chunk.db_off, chunk.data, chunk.len);
+  applied_seq_ = batch_seq(frame.payload.data());
+  return true;
+}
+
+bool RedoApplier::apply_decoded(std::uint64_t seq, const RedoChunk* chunks, std::size_t count,
+                                std::uint64_t epoch) {
+  if (seq <= applied_seq_) {
+    stats_.duplicates_ignored++;  // duplicate, replay, or stale ring lap
+    metrics::counter("repl.backup.duplicates_ignored").add(1);
+    return false;
+  }
+  if (seq != applied_seq_ + 1) {
+    stats_.gaps_detected++;
+    metrics::counter("repl.backup.gaps_detected").add(1);
+    return false;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    VREP_CHECK(chunks[i].db_off + std::uint64_t{chunks[i].len} <= db_size_);
+    target_.write(chunks[i].db_off, chunks[i].data, chunks[i].len);
+  }
+  applied_seq_ = seq;
+  state_epoch_ = epoch;
+  stats_.batches_applied++;
+  metrics::counter("repl.backup.batches_applied").add(1);
+  return true;
+}
+
+RedoApplier::FrameResult RedoApplier::on_frame(const Frame& frame, ReplicationLink& link) {
+  if (membership_ != nullptr) {
+    const std::uint64_t cur = membership_->view().epoch;
+    if (frame.epoch < cur) {
+      // Stale-epoch traffic — a fenced old primary still shipping. Drop it
+      // and tell the sender which epoch rules now.
+      stats_.stale_fenced++;
+      metrics::counter("repl.backup.stale_fenced").add(1);
+      link.send(FrameKind::kEpochFence, cur, &cur, 8);
+      return FrameResult::kOk;
+    }
+    if (frame.epoch > cur) {
+      // A newer primary only introduces itself through a sync start.
+      if (frame.kind == FrameKind::kHello || frame.kind == FrameKind::kRejoinDelta ||
+          frame.kind == FrameKind::kEpochFence) {
+        membership_->join_epoch(frame.epoch);
+      } else {
+        return FrameResult::kOk;
+      }
+    }
+  }
+
+  switch (frame.kind) {
+    case FrameKind::kHello: {
+      if (frame.payload.size() != 16) return FrameResult::kCorrupt;
+      std::uint64_t size;
+      std::memcpy(&size, frame.payload.data(), 8);
+      std::memcpy(&applied_seq_, frame.payload.data() + 8, 8);
+      if (size > target_.capacity()) return FrameResult::kCorrupt;
+      db_size_ = size;
+      image_next_off_ = 0;  // image transfer restarts
+      state_epoch_ = frame.epoch;
+      break;
+    }
+    case FrameKind::kDbChunk: {
+      if (frame.payload.size() < 8) {
+        note_corrupt_skipped(link);
+        break;
+      }
+      std::uint64_t off;
+      std::memcpy(&off, frame.payload.data(), 8);
+      const std::size_t len = frame.payload.size() - 8;
+      if (off < image_next_off_) {
+        stats_.duplicates_ignored++;  // replayed chunk (duplicate fault)
+        metrics::counter("repl.backup.duplicates_ignored").add(1);
+        break;
+      }
+      if (off > image_next_off_) {
+        // A chunk went missing: the image has a hole only a fresh full
+        // sync can fill.
+        stats_.gaps_detected++;
+        metrics::counter("repl.backup.gaps_detected").add(1);
+        maybe_request_resync(link);
+        break;
+      }
+      if (off + len > db_size_) return FrameResult::kCorrupt;
+      target_.write(off, frame.payload.data() + 8, len);
+      image_next_off_ = off + len;
+      if (image_complete() && awaiting_resync_) {
+        awaiting_resync_ = false;
+        stats_.resyncs++;
+        metrics::counter("repl.backup.resyncs").add(1);
+      }
+      break;
+    }
+    case FrameKind::kRedoBatch: {
+      if (!image_complete()) {
+        // No image yet (or a holed one): batches are unusable until a full
+        // sync lands.
+        maybe_request_resync(link);
+        break;
+      }
+      if (frame.payload.size() < 8) {
+        note_corrupt_skipped(link);
+        break;
+      }
+      const std::uint64_t seq = batch_seq(frame.payload.data());
+      if (seq <= applied_seq_) {
+        stats_.duplicates_ignored++;  // duplicate fault or delta overlap
+        metrics::counter("repl.backup.duplicates_ignored").add(1);
+        break;
+      }
+      if (seq == applied_seq_ + 1) {
+        if (!apply_batch(frame)) {
+          note_corrupt_skipped(link);
+          break;
+        }
+        stats_.batches_applied++;
+        metrics::counter("repl.backup.batches_applied").add(1);
+        state_epoch_ = frame.epoch;
+        // Acknowledge periodically (flow control / monitoring); per-batch
+        // acks would just pressure the primary's receive buffer.
+        if (applied_seq_ % 32 == 0) {
+          link.send(FrameKind::kConsumerAck, epoch(), &applied_seq_, 8);
+        }
+        break;
+      }
+      // Sequence gap: a batch was dropped or skipped as corrupt. Resync
+      // from the last good sequence instead of giving up.
+      stats_.gaps_detected++;
+      metrics::counter("repl.backup.gaps_detected").add(1);
+      maybe_request_resync(link);
+      break;
+    }
+    case FrameKind::kRejoinDelta: {
+      if (frame.payload.size() != 16) break;
+      std::uint64_t from, count;
+      std::memcpy(&from, frame.payload.data(), 8);
+      std::memcpy(&count, frame.payload.data() + 8, 8);
+      if (from <= applied_seq_ && image_complete()) {
+        // The replay that follows is contiguous from `from`; batches we
+        // already hold are ignored as duplicates.
+        awaiting_resync_ = false;
+        stats_.resyncs++;
+        metrics::counter("repl.backup.resyncs").add(1);
+      } else {
+        // Unusable delta (should not happen): re-request from where we
+        // actually are.
+        awaiting_resync_ = false;
+        maybe_request_resync(link);
+      }
+      break;
+    }
+    case FrameKind::kHeartbeat: {
+      // Liveness — but the heartbeat also carries the primary's committed
+      // sequence, which closes the trailing-drop window: a gap with no
+      // batch behind it would otherwise go unnoticed until the next commit.
+      if (frame.payload.size() == 8 && image_complete()) {
+        std::uint64_t committed;
+        std::memcpy(&committed, frame.payload.data(), 8);
+        if (committed > applied_seq_) {
+          stats_.gaps_detected++;
+          metrics::counter("repl.backup.gaps_detected").add(1);
+          // Heartbeats double as the resync retry timer: if a previous
+          // request (or the delta answering it) was itself lost, re-arm
+          // instead of waiting forever on a reply that will never come.
+          awaiting_resync_ = false;
+          maybe_request_resync(link);
+        } else {
+          // All caught up: acknowledge so the primary's acked watermark
+          // converges even between the periodic batch acks (and so 2-safe
+          // commit probes resolve immediately).
+          link.send(FrameKind::kConsumerAck, epoch(), &applied_seq_, 8);
+        }
+      }
+      break;
+    }
+    case FrameKind::kEpochFence:
+      break;  // epoch already adopted above (if newer)
+    default:
+      // Unknown frame type with valid CRCs: version skew. Skip it.
+      stats_.corrupt_skipped++;
+      metrics::counter("repl.backup.corrupt_skipped").add(1);
+      break;
+  }
+  return FrameResult::kOk;
+}
+
+}  // namespace vrep::repl

@@ -1,0 +1,289 @@
+// The transport-agnostic redo replication engine (paper Section 6, grown
+// into a protocol).
+//
+// Exactly one implementation of the active scheme's protocol logic lives
+// here, shared by every backend (simulated Memory Channel ring, TCP,
+// in-process loopback — see repl/link.hpp):
+//
+//   * RedoPipeline — the primary side. Owns redo staging and batch
+//     encoding, sequence assignment, the bounded redo history, the
+//     delta-vs-full-image rejoin decision (including the state-epoch
+//     lineage rule), epoch fencing, 1-safe/2-safe commit modes, and the
+//     canonical metrics.
+//   * RedoApplier — the backup side. Owns image transfer bookkeeping,
+//     atomic batch application, duplicate/gap/corrupt-frame accounting,
+//     in-band resync requests, and the replica's state epoch.
+//
+// Batch wire format (the payload of a kRedoBatch frame):
+//
+//   [u64 seq | { u32 db_off, u32 len, len payload bytes }* ]
+//
+// Backends that carry whole frames (TCP, loopback) ship this payload
+// verbatim; the simulated ring re-packs it into 6-byte ring entries (its
+// own wire format — see repl/redo_ring.hpp) and hands the backup decoded
+// chunks through RedoApplier::apply_decoded, so the protocol state machine
+// is identical on all carriers.
+//
+// Rejoin safety across failovers: a sequence number alone cannot tell a
+// shared prefix from a divergent one (a fenced primary may have committed
+// transactions past the takeover point that the promoted node never saw).
+// Rejoin requests therefore carry the *state epoch* — the epoch under which
+// the requester's last applied state was produced. A delta replay is served
+// only when the state epoch matches the primary's current epoch (same
+// lineage), or matches the epoch fenced at the last takeover AND the
+// requester's sequence is at or below the takeover floor (the shared prefix
+// boundary). Anything else gets the full image.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cluster/membership.hpp"
+#include "repl/link.hpp"
+
+namespace vrep::repl {
+
+// ---------------------------------------------------------------------------
+// Batch codec helpers (shared by every backend and the tests)
+// ---------------------------------------------------------------------------
+
+// One decoded redo chunk; `data` points into the carrier's buffer.
+struct RedoChunk {
+  std::uint64_t db_off;
+  std::uint32_t len;
+  const std::uint8_t* data;
+};
+
+// Structural validation of a kRedoBatch payload against a database size.
+bool batch_valid(const std::uint8_t* payload, std::size_t size, std::size_t db_size);
+// The batch's sequence number (payload must hold at least 8 bytes).
+std::uint64_t batch_seq(const std::uint8_t* payload);
+
+// Zero-copy iteration over a *validated* batch payload's chunks.
+class BatchReader {
+ public:
+  BatchReader(const std::uint8_t* payload, std::size_t size) : payload_(payload), size_(size) {}
+  bool next(RedoChunk* out);
+
+ private:
+  const std::uint8_t* payload_;
+  std::size_t size_;
+  std::size_t at_ = 8;
+};
+
+// ---------------------------------------------------------------------------
+// RedoPipeline — primary-side protocol engine
+// ---------------------------------------------------------------------------
+
+class RedoPipeline {
+ public:
+  // Bytes of committed redo batches retained for rejoin catch-up. Gaps
+  // larger than what fits fall back to a full image sync.
+  static constexpr std::size_t kDefaultRedoHistoryBytes = 4u << 20;
+
+  // Where this primary's lineage came from. A node promoted from backup
+  // passes the epoch its replica state was produced under and the applied
+  // sequence at takeover (the shared-prefix boundary with any fenced
+  // straggler); a from-scratch primary leaves the default.
+  struct Lineage {
+    std::uint64_t prev_epoch = 0;
+    std::uint64_t takeover_floor = 0;
+  };
+
+  // The committed state the pipeline replicates; implemented by the owning
+  // store wrapper (ActivePrimary, WirePrimary).
+  struct Source {
+    virtual const std::uint8_t* db() const = 0;
+    virtual std::size_t db_size() const = 0;
+    virtual std::uint64_t committed_seq() const = 0;
+
+   protected:
+    ~Source() = default;
+  };
+
+  struct Stats {
+    std::uint64_t txns_shipped = 0;
+    std::uint64_t rejoins_served = 0;
+    std::uint64_t deltas_served = 0;      // incremental catch-up from history
+    std::uint64_t full_syncs_served = 0;  // gap unservable: whole image shipped
+  };
+
+  // With a `membership`, outgoing frames carry its epoch and stale inbound
+  // traffic fences us; without one, everything runs in a fixed epoch 1.
+  RedoPipeline(Source& source, ReplicationLink* link,
+               cluster::Membership* membership = nullptr, Lineage lineage = Lineage{0, 0},
+               std::size_t redo_history_bytes = kDefaultRedoHistoryBytes);
+
+  // Point at a new link after a reconnect (same or different object).
+  void attach_link(ReplicationLink* link);
+
+  // ---- staging + commit -------------------------------------------------
+  void begin();
+  void stage(std::uint64_t off, const void* src, std::size_t len);
+  void discard();
+  // Encode the staged chunks as sequence `seq`, retain them in the bounded
+  // history, ship the batch (1-safe: a send failure marks the link down but
+  // never fails the commit), and in 2-safe mode block until the backup's
+  // acknowledgment covers `seq`.
+  void commit(std::uint64_t seq);
+
+  // 2-safe commit (extension beyond the paper's 1-safe design): commit does
+  // not return until the backup has durably applied the transaction and its
+  // acknowledgment has reached the primary.
+  void set_two_safe(bool enabled) { two_safe_ = enabled; }
+  bool two_safe() const { return two_safe_; }
+
+  // ---- sync + rejoin ----------------------------------------------------
+  // Ship the current database image + sequence so a (fresh) backup can join.
+  bool sync_backup();
+  // Await the backup's kRejoinRequest after a (re)connect and serve it.
+  // Returns false on timeout/disconnect or if this primary has been fenced.
+  bool handle_rejoin(int timeout_ms);
+  bool send_heartbeat();
+
+  // The delta-vs-full-image policy, exposed so backends with out-of-band
+  // image transfer (the simulated ring seeds images by direct copy) can
+  // consult the exact same rule the in-band path applies.
+  enum class RejoinDecision { kDelta, kFullImage };
+  RejoinDecision decide_rejoin(std::uint64_t backup_seq, std::uint64_t state_epoch) const;
+
+  // ---- state ------------------------------------------------------------
+  bool connection_alive() const { return alive_; }
+  // A newer epoch fenced us: stop acting as primary (demote + rejoin).
+  bool fenced() const { return fenced_; }
+  // The epoch that fenced us (valid when fenced() is true); feed it to
+  // cluster::Membership::demote_to_backup.
+  std::uint64_t fenced_by_epoch() const { return fenced_by_epoch_; }
+  std::uint64_t epoch() const { return membership_ != nullptr ? membership_->view().epoch : 1; }
+  // Highest applied sequence the backup has acknowledged (drained on commit).
+  std::uint64_t backup_acked_seq() const { return acked_seq_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct HistoryEntry {
+    std::uint64_t seq;
+    std::vector<std::uint8_t> batch;  // kRedoBatch payload (seq-prefixed)
+  };
+
+  bool link_send(FrameKind kind, const void* payload, std::size_t len);
+  void fence(std::uint64_t newer_epoch);
+  void drain();
+  void wait_acked(std::uint64_t seq);
+  void push_history(std::uint64_t seq);
+  bool serve_rejoin(std::uint64_t backup_seq, std::uint64_t node_id,
+                    std::uint64_t state_epoch);
+  bool history_covers(std::uint64_t from_seq) const;
+  bool shared_lineage(std::uint64_t backup_seq, std::uint64_t state_epoch) const;
+  // Ack / fence / in-band rejoin handling shared by drain() and the waits.
+  void on_control_frame(const Frame& frame);
+
+  Source& source_;
+  ReplicationLink* link_;
+  cluster::Membership* membership_;
+  Lineage lineage_;
+  std::vector<std::uint8_t> batch_;  // staged redo payload for this txn
+  std::deque<HistoryEntry> history_;
+  std::size_t history_bytes_ = 0;
+  std::size_t history_capacity_;
+  std::uint64_t acked_seq_ = 0;
+  std::uint64_t fenced_by_epoch_ = 0;
+  Stats stats_;
+  bool alive_ = true;
+  bool fenced_ = false;
+  bool two_safe_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// RedoApplier — backup-side protocol engine
+// ---------------------------------------------------------------------------
+
+class RedoApplier {
+ public:
+  // Where replica bytes land. The TCP/loopback backends memcpy into an
+  // arena; the simulated backend routes through the instrumented bus so
+  // cache-model costs are charged exactly as before.
+  struct Target {
+    virtual void write(std::uint64_t off, const void* src, std::size_t len) = 0;
+    virtual std::size_t capacity() const = 0;
+
+   protected:
+    ~Target() = default;
+  };
+
+  struct Stats {
+    std::uint64_t batches_applied = 0;
+    std::uint64_t duplicates_ignored = 0;  // seq <= applied (dups, replays)
+    std::uint64_t gaps_detected = 0;       // seq > applied+1 (dropped/corrupt)
+    std::uint64_t corrupt_skipped = 0;     // payload-corrupt frames skipped
+    std::uint64_t stale_fenced = 0;        // stale-epoch frames rejected
+    std::uint64_t resyncs = 0;             // completed kRejoinDelta / kHello resyncs
+  };
+
+  // With a `membership`, stale-epoch frames are fenced and the epoch follows
+  // the primary's hello/delta frames; `node_id` identifies this node in
+  // rejoin requests so the primary can adopt it into the view.
+  explicit RedoApplier(Target& target, cluster::Membership* membership = nullptr,
+                       std::uint64_t node_id = 1)
+      : target_(target), membership_(membership), node_id_(node_id) {}
+
+  enum class FrameResult {
+    kOk,       // handled (applied, ignored, or answered in-band)
+    kCorrupt,  // unrecoverable protocol violation (should not happen)
+  };
+
+  // Feed one received frame through the protocol state machine; responses
+  // (acks, resync requests, fences) go out through `link`.
+  FrameResult on_frame(const Frame& frame, ReplicationLink& link);
+
+  // Announce our applied sequence after a (re)connect; the primary answers
+  // with a delta replay or a full image sync. A fresh backup (nothing
+  // applied, no image) asks from sequence 0, which always yields the image.
+  bool request_rejoin(ReplicationLink& link);
+
+  // Seed the replica from an existing database image (e.g. a demoted
+  // primary rejoining with its own last state). `state_epoch` is the epoch
+  // under which that state was produced.
+  void seed(const std::uint8_t* db, std::size_t size, std::uint64_t applied_seq,
+            std::uint64_t state_epoch);
+  // Adopt an image installed out-of-band (the simulated backend copies the
+  // initial image directly; the paper seeds backups before enabling them).
+  void adopt_image(std::size_t size, std::uint64_t applied_seq, std::uint64_t state_epoch);
+
+  // Direct data-plane entry for backends that decode their own wire format
+  // (the simulated ring): same sequencing/duplicate/gap rules as a
+  // kRedoBatch frame. Returns true if the batch was applied.
+  bool apply_decoded(std::uint64_t seq, const RedoChunk* chunks, std::size_t count,
+                     std::uint64_t epoch);
+
+  std::uint64_t applied_seq() const { return applied_seq_; }
+  std::uint64_t next_expected_seq() const { return applied_seq_ + 1; }
+  // Epoch under which the last applied state (image or batch) was produced.
+  std::uint64_t state_epoch() const { return state_epoch_; }
+  std::size_t db_size() const { return db_size_; }
+  // The image transfer ships chunks sequentially from offset 0; a replica
+  // is only usable once a contiguous prefix covers the whole database.
+  bool image_complete() const { return db_size_ > 0 && image_next_off_ >= db_size_; }
+  const Stats& stats() const { return stats_; }
+  std::uint64_t epoch() const { return membership_ != nullptr ? membership_->view().epoch : 1; }
+
+  // A payload-corrupt frame was skipped by the carrier (the applier never
+  // saw it): account it and repair the gap in-band.
+  void note_corrupt_skipped(ReplicationLink& link);
+
+ private:
+  bool apply_batch(const Frame& frame);
+  void maybe_request_resync(ReplicationLink& link);
+
+  Target& target_;
+  cluster::Membership* membership_;
+  std::uint64_t node_id_;
+  std::size_t db_size_ = 0;
+  std::size_t image_next_off_ = 0;
+  std::uint64_t applied_seq_ = 0;
+  std::uint64_t state_epoch_ = 0;
+  bool awaiting_resync_ = false;
+  Stats stats_;
+};
+
+}  // namespace vrep::repl

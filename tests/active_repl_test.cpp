@@ -1,13 +1,15 @@
 // Active primary-backup: redo ring framing, backup application, flow
-// control, and never-torn takeover.
+// control, never-torn takeover, and epoch fencing of a stale primary.
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <vector>
 
+#include "cluster/membership.hpp"
 #include "repl/active.hpp"
 #include "rio/arena.hpp"
 #include "sim/node.hpp"
+#include "util/crc32.hpp"
 #include "util/rng.hpp"
 
 namespace vrep {
@@ -25,7 +27,9 @@ StoreConfig small_config() {
 }
 
 struct ActivePair {
-  ActivePair(const StoreConfig& config, std::size_t ring_capacity)
+  ActivePair(const StoreConfig& config, std::size_t ring_capacity,
+             cluster::Membership* primary_membership = nullptr,
+             cluster::Membership* backup_membership = nullptr)
       : fabric(cost.link),
         primary(cost, 1, &fabric),
         backup_node(cost, 1, nullptr),
@@ -34,10 +38,10 @@ struct ActivePair {
         rio::Arena::create(repl::ActivePrimary::primary_arena_bytes(config, layout));
     backup_arena = rio::Arena::create(layout.arena_bytes());
     backup = std::make_unique<repl::ActiveBackup>(backup_node.cpu(), backup_arena, layout,
-                                                  fabric);
+                                                  fabric, backup_membership);
     store = std::make_unique<repl::ActivePrimary>(primary.cpu().bus(), primary_arena,
                                                   backup_arena, config, layout, backup.get(),
-                                                  /*format=*/true);
+                                                  /*format=*/true, primary_membership);
   }
 
   sim::AlphaCostModel cost;
@@ -201,6 +205,54 @@ TEST(ActiveRepl, OneSafeCommitCanLoseTrailingTransactions) {
   const std::uint64_t seq = pair.backup->takeover(pair.primary.cpu().clock().now());
   EXPECT_LE(seq, 40u);
   // (Usually < 40: the final commit marker sits in a write buffer.)
+}
+
+TEST(ActiveFencing, StaleEpochPrimaryIsFencedWithoutTouchingBackup) {
+  // The split-brain regression, co-simulated: the backup takes over (epoch
+  // bump) while the primary is stalled; the primary's next stale-epoch
+  // commit must be fenced wholesale — not one byte lands in the ring or the
+  // replica — and the primary must learn which epoch fenced it so it can
+  // demote and rejoin.
+  const StoreConfig config = small_config();
+  cluster::Membership mem_p(0, cluster::Role::kPrimary);
+  cluster::Membership mem_b(1, cluster::Role::kBackup);
+  ActivePair pair(config, 1 << 16, &mem_p, &mem_b);
+
+  for (int i = 0; i < 20; ++i) run_txn(*pair.store, 5000 + static_cast<std::uint64_t>(i));
+  pair.primary.cpu().mc()->flush();
+  pair.backup->poll(pair.fabric.link().free_at + pair.cost.link.propagation_ns);
+  ASSERT_EQ(pair.backup->applied_seq(), 20u);
+  ASSERT_FALSE(pair.store->fenced());
+
+  // Primary stalls; the backup declares it dead and takes over in epoch 2.
+  mem_b.take_over();
+  ASSERT_EQ(mem_b.view().epoch, 2u);
+  const std::uint32_t crc_at_takeover = Crc32::of(pair.backup->db(), config.db_size);
+
+  // The stalled primary resumes committing in epoch 1. The very first
+  // commit is fenced synchronously (the co-simulated carrier routes the
+  // stale frame through the backup's applier, whose kEpochFence reply the
+  // commit's drain picks up).
+  run_txn(*pair.store, 6000);
+  EXPECT_TRUE(pair.store->fenced());
+  EXPECT_EQ(pair.store->fenced_by_epoch(), 2u);
+  EXPECT_GT(pair.backup->applier().stats().stale_fenced, 0u);
+
+  // Further stale commits stay local; nothing reaches the promoted node.
+  for (int i = 0; i < 5; ++i) run_txn(*pair.store, 6001 + static_cast<std::uint64_t>(i));
+  EXPECT_EQ(pair.backup->applied_seq(), 20u);
+  EXPECT_EQ(Crc32::of(pair.backup->db(), config.db_size), crc_at_takeover)
+      << "stale-epoch traffic mutated the promoted backup's image";
+  EXPECT_GT(pair.store->committed_seq(), 20u) << "the fenced primary diverged locally";
+
+  // The fenced primary demotes itself into the fencing epoch, ready to
+  // rejoin as a backup; the engine's lineage rule (decide_rejoin) would
+  // refuse it a delta past the takeover floor.
+  mem_p.demote_to_backup(pair.store->fenced_by_epoch());
+  EXPECT_FALSE(mem_p.is_primary());
+  EXPECT_EQ(mem_p.view().epoch, 2u);
+  EXPECT_EQ(pair.store->pipeline().decide_rejoin(pair.store->committed_seq(), 1),
+            repl::RedoPipeline::RejoinDecision::kFullImage);
 }
 
 TEST(ActiveRepl, TrafficIsRedoOnly) {
