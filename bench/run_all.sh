@@ -21,7 +21,8 @@ for pair in \
     "table3_standalone BENCH_table3.json" \
     "table4_passive BENCH_table4.json" \
     "table6_active BENCH_table6.json" \
-    "fig1_bandwidth BENCH_fig1.json"; do
+    "fig1_bandwidth BENCH_fig1.json" \
+    "availability_failover BENCH_availability.json"; do
   bin="${pair% *}"
   out="${pair#* }"
   echo "== $bin -> $out"

@@ -1,9 +1,15 @@
-// Primary-backup membership with epochs.
+// Primary-backup membership with epochs and an ordered backup list.
 //
 // A takeover bumps the epoch; any node still acting on an older epoch is
 // fenced (its messages carry a stale epoch and are ignored). This prevents
 // the classic split-brain where a paused-but-alive primary resumes after
 // the backup has taken over.
+//
+// The view holds an *ordered* list of backups (join order = failover
+// preference order among equally-caught-up survivors). On a primary
+// failure the drivers promote the most-caught-up survivor — ties broken by
+// view order — and every other node, including any fenced straggler, is
+// forced through the rejoin protocol by the epoch bump.
 //
 // The epoch travels in every wire frame (net/transport.hpp), so fencing is
 // end-to-end: a promoted node drops stale-epoch redo and answers with a
@@ -12,7 +18,9 @@
 // corrupting state.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "util/check.hpp"
 
@@ -23,7 +31,9 @@ enum class Role : std::uint8_t { kPrimary, kBackup, kFailed };
 struct View {
   std::uint64_t epoch = 1;
   int primary = 0;
-  int backup = 1;
+  // Ordered backup list: position is the failover preference among
+  // equally-caught-up survivors. Empty until backups join.
+  std::vector<int> backups;
 };
 
 class Membership {
@@ -31,10 +41,9 @@ class Membership {
   Membership(int self, Role role) : self_(self), role_(role) {
     if (role == Role::kBackup) {
       view_.primary = -1;  // learned from the primary's hello/delta
-      view_.backup = self;
+      view_.backups = {self};
     } else {
-      view_.primary = self;
-      view_.backup = -1;  // no backup until one joins
+      view_.primary = self;  // no backups until they join
     }
   }
 
@@ -44,25 +53,43 @@ class Membership {
   bool is_primary() const { return role_ == Role::kPrimary; }
 
   // The backup observed the primary's failure: it becomes primary in a new
-  // epoch.
+  // epoch. Any peers it knew about must rejoin (they re-enter the view via
+  // adopt_backup when their rejoin is served).
   void take_over() {
     VREP_CHECK(role_ == Role::kBackup);
     view_.epoch += 1;
     view_.primary = self_;
-    view_.backup = -1;  // no backup until a new one joins
+    view_.backups.clear();
     role_ = Role::kPrimary;
   }
 
-  // A replacement backup joined the (new) primary: view change, new epoch.
-  // A mere reconnection of the current backup is NOT a view change and must
-  // not bump the epoch (has_backup() distinguishes the two).
+  // A backup joined (or re-joined after being dropped from) the view: view
+  // change, new epoch, appended at the end of the failover order. A mere
+  // reconnection of a backup already in the view is NOT a view change and
+  // must not bump the epoch (has_backup(node) distinguishes the two).
   void adopt_backup(int node) {
     VREP_CHECK(role_ == Role::kPrimary);
-    view_.backup = node;
+    if (has_backup(node)) return;
+    view_.backups.push_back(node);
     view_.epoch += 1;
   }
 
-  bool has_backup() const { return view_.backup >= 0; }
+  // A backup was declared failed: drop it from the view in a new epoch so
+  // any frame it later sends is fenced.
+  void remove_backup(int node) {
+    VREP_CHECK(role_ == Role::kPrimary);
+    auto it = std::find(view_.backups.begin(), view_.backups.end(), node);
+    if (it == view_.backups.end()) return;
+    view_.backups.erase(it);
+    view_.epoch += 1;
+  }
+
+  bool has_backup() const { return !view_.backups.empty(); }
+  bool has_backup(int node) const {
+    return std::find(view_.backups.begin(), view_.backups.end(), node) !=
+           view_.backups.end();
+  }
+  std::size_t backup_count() const { return view_.backups.size(); }
 
   // Backup side: learned the primary's current epoch from a kHello /
   // kRejoinDelta frame. Epochs only move forward.
@@ -80,7 +107,7 @@ class Membership {
     VREP_CHECK(fenced_by_epoch > view_.epoch);
     view_.epoch = fenced_by_epoch;
     view_.primary = -1;
-    view_.backup = self_;
+    view_.backups = {self_};
     role_ = Role::kBackup;
   }
 

@@ -26,6 +26,22 @@ WirePrimary::WirePrimary(rio::Arena& arena, const core::StoreConfig& config,
   bus_.set_capture(local_->db(), local_->db_size(), this);
 }
 
+std::size_t WirePrimary::add_backup(Transport* transport) {
+  extra_links_.push_back(std::make_unique<TransportLink>(transport));
+  return pipeline_.add_peer(extra_links_.back().get());
+}
+
+void WirePrimary::attach_transport(std::size_t peer, Transport* transport) {
+  if (peer == 0) {
+    link_.attach(transport);
+    pipeline_.attach_link(0, &link_);
+    return;
+  }
+  TransportLink* link = extra_links_.at(peer - 1).get();
+  link->attach(transport);
+  pipeline_.attach_link(peer, link);
+}
+
 void WirePrimary::on_captured_store(std::uint64_t off, const void* src, std::size_t len) {
   pipeline_.stage(off, src, len);
 }

@@ -70,24 +70,36 @@ class WirePrimary final : public core::TransactionStore,
               Lineage lineage = Lineage{0, 0},
               std::size_t redo_history_bytes = kDefaultRedoHistoryBytes);
 
-  // Ship the current database image + sequence so a (fresh) backup can join.
+  // Ship the current database image + sequence so (fresh) backups can join.
   bool sync_backup() { return pipeline_.sync_backup(); }
 
-  // Await the backup's kRejoinRequest after a (re)connect and serve it:
+  // Attach another backup over its own transport; returns the pipeline peer
+  // index (the constructor's transport is peer 0).
+  std::size_t add_backup(Transport* transport);
+
+  // Await a backup's kRejoinRequest after a (re)connect and serve it:
   // a kRejoinDelta replay from the redo history when the gap is servable,
   // a full image sync otherwise. Returns false on timeout/disconnect or if
   // this primary has been fenced.
   bool handle_rejoin(int timeout_ms) { return pipeline_.handle_rejoin(timeout_ms); }
-
-  // Point at a new transport after a reconnect (same or different object).
-  void attach_transport(Transport* transport) {
-    link_.attach(transport);
-    pipeline_.attach_link(&link_);
+  bool handle_rejoin(std::size_t peer, int timeout_ms) {
+    return pipeline_.handle_rejoin(peer, timeout_ms);
   }
+
+  // Point a peer at a new transport after a reconnect (same or different
+  // object).
+  void attach_transport(Transport* transport) { attach_transport(0, transport); }
+  void attach_transport(std::size_t peer, Transport* transport);
 
   // 2-safe commits (off by default, matching the paper's 1-safe design).
   void set_two_safe(bool enabled) { pipeline_.set_two_safe(enabled); }
   bool two_safe() const { return pipeline_.two_safe(); }
+  // Acks required for a 2-safe commit to count as quorum-durable (default 1).
+  void set_quorum(unsigned k) { pipeline_.set_quorum(k); }
+  unsigned quorum() const { return pipeline_.quorum(); }
+  repl::RedoPipeline::CommitOutcome last_commit_outcome() const {
+    return pipeline_.last_commit_outcome();
+  }
 
   void begin_transaction() override;
   void set_range(void* base, std::size_t len) override;
@@ -114,8 +126,17 @@ class WirePrimary final : public core::TransactionStore,
   // cluster::Membership::demote_to_backup.
   std::uint64_t fenced_by_epoch() const { return pipeline_.fenced_by_epoch(); }
   std::uint64_t epoch() const { return pipeline_.epoch(); }
-  // Highest applied sequence the backup has acknowledged (drained on commit).
+  // Highest applied sequence any backup has acknowledged (drained on
+  // commit); per-peer watermarks via peer_acked_seq().
   std::uint64_t backup_acked_seq() const { return pipeline_.backup_acked_seq(); }
+  std::uint64_t quorum_acked_seq() const { return pipeline_.quorum_acked_seq(); }
+  std::size_t peer_count() const { return pipeline_.peer_count(); }
+  bool peer_alive(std::size_t peer) const { return pipeline_.peer_alive(peer); }
+  std::uint64_t peer_acked_seq(std::size_t peer) const { return pipeline_.peer_acked_seq(peer); }
+
+  // Protocol engine (shared with the simulated backend) — direct access for
+  // tests and drivers.
+  repl::RedoPipeline& pipeline() { return pipeline_; }
 
  private:
   void on_captured_store(std::uint64_t off, const void* src, std::size_t len) override;
@@ -123,6 +144,7 @@ class WirePrimary final : public core::TransactionStore,
   sim::MemBus bus_;  // pass-through (wall-clock deployment)
   std::unique_ptr<core::InlineLogStore> local_;
   TransportLink link_;
+  std::vector<std::unique_ptr<TransportLink>> extra_links_;
   repl::RedoPipeline pipeline_;
 };
 

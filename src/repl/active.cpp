@@ -176,15 +176,17 @@ std::uint8_t* ring_shadow(rio::Arena& primary_arena, const core::StoreConfig& co
 }  // namespace
 
 std::size_t ActivePrimary::primary_arena_bytes(const core::StoreConfig& config,
-                                               const ActiveBackupLayout& layout) {
-  return core::InlineLogStore::arena_bytes(config) + layout.ring_capacity + 128;
+                                               const ActiveBackupLayout& layout,
+                                               std::size_t backups) {
+  // One ring shadow per backup, all behind the local store (64-byte aligned).
+  return core::InlineLogStore::arena_bytes(config) + backups * layout.ring_capacity + 128;
 }
 
 ActivePrimary::ActivePrimary(sim::MemBus& bus, rio::Arena& primary_arena,
                              rio::Arena& backup_arena, const core::StoreConfig& config,
                              const ActiveBackupLayout& layout, ActiveBackup* backup, bool format,
                              cluster::Membership* membership, RedoPipeline::Lineage lineage)
-    : bus_(&bus),
+    : bus_(&bus), primary_arena_(&primary_arena), layout_(layout),
       local_(std::make_unique<core::InlineLogStore>(bus, primary_arena, config, format)),
       link_(bus, ring_shadow(primary_arena, config), layout.ring_capacity, backup),
       pipeline_(static_cast<RedoPipeline::Source&>(*this), &link_, membership, lineage) {
@@ -193,6 +195,37 @@ ActivePrimary::ActivePrimary(sim::MemBus& bus, rio::Arena& primary_arena,
   bus.register_region(ring_data, layout.ring_capacity);
   bus.replicate_region(ring_data, backup_arena.data() + layout.ring_offset);
   bus.set_capture(local_->db(), local_->db_size(), this);
+}
+
+std::size_t ActivePrimary::add_backup(rio::Arena& backup_arena, ActiveBackup* backup) {
+  // Further backups get their own ring shadow behind the first one; every
+  // ring is the same size (shared layout), so the shadows stay 64-aligned.
+  const std::size_t ring_index = 1 + extra_links_.size();
+  std::uint8_t* base = link_.ring_data() + ring_index * layout_.ring_capacity;
+  VREP_CHECK(base + layout_.ring_capacity <= primary_arena_->data() + primary_arena_->size());
+  bus_->register_region(base, layout_.ring_capacity);
+  bus_->replicate_region(base, backup_arena.data() + layout_.ring_offset);
+  extra_links_.push_back(
+      std::make_unique<McRingLink>(*bus_, base, layout_.ring_capacity, backup));
+  return pipeline_.add_peer(extra_links_.back().get());
+}
+
+void ActivePrimary::seed_from(const std::uint8_t* db, std::size_t size, std::uint64_t seq) {
+  VREP_CHECK(size == local_->db_size());
+  std::memcpy(local_->db(), db, size);
+  local_->seed_committed_seq(seq);
+}
+
+sim::SimTime ActivePrimary::flow_stall_ns() const {
+  sim::SimTime total = link_.flow_stall_ns();
+  for (const auto& link : extra_links_) total += link->flow_stall_ns();
+  return total;
+}
+
+sim::SimTime ActivePrimary::two_safe_wait_ns() const {
+  sim::SimTime total = link_.two_safe_wait_ns();
+  for (const auto& link : extra_links_) total += link->two_safe_wait_ns();
+  return total;
 }
 
 void ActivePrimary::on_captured_store(std::uint64_t off, const void* src, std::size_t len) {

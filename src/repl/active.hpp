@@ -142,13 +142,30 @@ class ActivePrimary final : public core::TransactionStore,
                 ActiveBackup* backup, bool format, cluster::Membership* membership = nullptr,
                 RedoPipeline::Lineage lineage = RedoPipeline::Lineage{0, 0});
 
+  // Attach another co-simulated backup: a further ring shadow is carved out
+  // of the primary arena (size it with the multi-backup
+  // primary_arena_bytes overload) and replicated into `backup_arena`'s ring
+  // region. Returns the pipeline peer index. All backups share `layout`.
+  std::size_t add_backup(rio::Arena& backup_arena, ActiveBackup* backup);
+
+  // Acks required for a 2-safe commit to count as quorum-durable (default 1).
+  void set_quorum(unsigned k) { pipeline_.set_quorum(k); }
+  unsigned quorum() const { return pipeline_.quorum(); }
+  RedoPipeline::CommitOutcome last_commit_outcome() const {
+    return pipeline_.last_commit_outcome();
+  }
+
+  // Install an existing database image and continue its sequence numbering
+  // (promotion of a co-simulated backup to primary).
+  void seed_from(const std::uint8_t* db, std::size_t size, std::uint64_t seq);
+
   // 2-safe commit (extension beyond the paper's 1-safe design): commit does
   // not return until the backup has durably applied the transaction and its
   // acknowledgment has reached the primary. Closes the window of
   // vulnerability at the price of one round trip per commit.
   void set_two_safe(bool enabled) { pipeline_.set_two_safe(enabled); }
   bool two_safe() const { return pipeline_.two_safe(); }
-  sim::SimTime two_safe_wait_ns() const { return link_.two_safe_wait_ns(); }
+  sim::SimTime two_safe_wait_ns() const;
 
   void begin_transaction() override;
   void set_range(void* base, std::size_t len) override;
@@ -164,7 +181,7 @@ class ActivePrimary final : public core::TransactionStore,
   std::vector<core::StoreRegion> regions() const override { return local_->regions(); }
   sim::MemBus& bus() override { return *bus_; }
 
-  sim::SimTime flow_stall_ns() const { return link_.flow_stall_ns(); }
+  sim::SimTime flow_stall_ns() const;
 
   // Epoch fencing (shared engine state; see repl/pipeline.hpp).
   bool fenced() const { return pipeline_.fenced(); }
@@ -173,15 +190,21 @@ class ActivePrimary final : public core::TransactionStore,
   const RedoPipeline::Stats& stats() const { return pipeline_.stats(); }
   RedoPipeline& pipeline() { return pipeline_; }
 
+  // Arena size for a primary shipping to `backups` co-simulated backups
+  // (one ring shadow each).
   static std::size_t primary_arena_bytes(const core::StoreConfig& config,
-                                         const ActiveBackupLayout& layout);
+                                         const ActiveBackupLayout& layout,
+                                         std::size_t backups = 1);
 
  private:
   void on_captured_store(std::uint64_t off, const void* src, std::size_t len) override;
 
   sim::MemBus* bus_;
+  rio::Arena* primary_arena_;
+  ActiveBackupLayout layout_;
   std::unique_ptr<core::InlineLogStore> local_;
   McRingLink link_;
+  std::vector<std::unique_ptr<McRingLink>> extra_links_;
   RedoPipeline pipeline_;
 };
 

@@ -49,6 +49,9 @@ class McRingLink final : public ReplicationLink {
   void flush() override;
 
   std::uint64_t producer() const { return producer_; }
+  // Base of this link's local ring shadow (multi-backup primaries place the
+  // next backup's shadow right behind it).
+  std::uint8_t* ring_data() const { return ring_data_; }
   sim::SimTime flow_stall_ns() const { return flow_stall_ns_; }
   sim::SimTime two_safe_wait_ns() const { return two_safe_wait_ns_; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
 #include "util/check.hpp"
 #include "util/metrics.hpp"
@@ -12,8 +13,10 @@ namespace {
 constexpr std::size_t kDbChunkBytes = 256 * 1024;
 
 // A 2-safe commit probes with heartbeats while waiting for the covering
-// acknowledgment; sustained silence degrades the commit to 1-safe (the
-// transaction is locally durable either way) and marks the link down.
+// acknowledgments; sustained silence on a peer degrades that peer to down.
+// When the live set can no longer reach quorum, the commit degrades to
+// 1-safe (the transaction is locally durable either way) and the outcome
+// says so.
 constexpr int kTwoSafeRecvTimeoutMs = 250;
 constexpr int kTwoSafeMaxProbes = 20;
 
@@ -69,19 +72,78 @@ bool BatchReader::next(RedoChunk* out) {
 RedoPipeline::RedoPipeline(Source& source, ReplicationLink* link,
                            cluster::Membership* membership, Lineage lineage,
                            std::size_t redo_history_bytes)
-    : source_(source), link_(link), membership_(membership), lineage_(lineage),
+    : source_(source), membership_(membership), lineage_(lineage),
       history_capacity_(redo_history_bytes) {
-  alive_ = link_ != nullptr && link_->connected();
+  add_peer(link);
 }
 
-void RedoPipeline::attach_link(ReplicationLink* link) {
-  link_ = link;
-  alive_ = link != nullptr && link->connected();
+std::size_t RedoPipeline::add_peer(ReplicationLink* link) {
+  const std::size_t index = peers_.size();
+  PeerSlot slot;
+  slot.link = link;
+  slot.alive = link != nullptr && link->connected();
+  const std::string prefix = "repl.primary.peer" + std::to_string(index);
+  slot.shipped = &metrics::counter(prefix + ".txns_shipped");
+  slot.acked = &metrics::gauge(prefix + ".acked_seq");
+  peers_.push_back(slot);
+  return index;
 }
 
-bool RedoPipeline::link_send(FrameKind kind, const void* payload, std::size_t len) {
-  if (link_ == nullptr) return false;
-  return link_->send(kind, epoch(), payload, len);
+void RedoPipeline::attach_link(std::size_t peer, ReplicationLink* link) {
+  PeerSlot& p = peers_[peer];
+  p.link = link;
+  p.alive = link != nullptr && link->connected();
+}
+
+std::size_t RedoPipeline::live_peers() const {
+  std::size_t n = 0;
+  for (const PeerSlot& p : peers_) {
+    if (p.alive) n++;
+  }
+  return n;
+}
+
+bool RedoPipeline::connection_alive() const {
+  for (const PeerSlot& p : peers_) {
+    if (p.alive) return true;
+  }
+  return false;
+}
+
+std::uint64_t RedoPipeline::backup_acked_seq() const {
+  std::uint64_t best = 0;
+  for (const PeerSlot& p : peers_) best = std::max(best, p.acked_seq);
+  return best;
+}
+
+std::uint64_t RedoPipeline::quorum_acked_seq() const {
+  // K-th highest acknowledged sequence: everything at or below it has been
+  // acknowledged by at least `quorum_` peers.
+  if (peers_.size() < quorum_) return 0;
+  std::vector<std::uint64_t> acks;
+  acks.reserve(peers_.size());
+  for (const PeerSlot& p : peers_) acks.push_back(p.acked_seq);
+  std::sort(acks.begin(), acks.end(), std::greater<>());
+  return acks[quorum_ - 1];
+}
+
+void RedoPipeline::set_quorum(unsigned k) {
+  VREP_CHECK(k >= 1);
+  quorum_ = k;
+}
+
+bool RedoPipeline::quorum_met(std::uint64_t seq) const {
+  unsigned covered = 0;
+  for (const PeerSlot& p : peers_) {
+    if (p.acked_seq >= seq) covered++;
+  }
+  return covered >= quorum_;
+}
+
+bool RedoPipeline::link_send(PeerSlot& peer, FrameKind kind, const void* payload,
+                             std::size_t len) {
+  if (peer.link == nullptr) return false;
+  return peer.link->send(kind, epoch(), payload, len);
 }
 
 void RedoPipeline::begin() {
@@ -90,6 +152,11 @@ void RedoPipeline::begin() {
 }
 
 void RedoPipeline::stage(std::uint64_t off, const void* src, std::size_t len) {
+  // Offsets and lengths are u32 on the wire (see the batch-format comment in
+  // pipeline.hpp): a silent cast would wrap redo for databases >= 4 GiB into
+  // the wrong pages on every backup. Refuse loudly instead.
+  VREP_CHECK(off + std::uint64_t{len} <= (std::uint64_t{1} << 32) &&
+             "redo chunk exceeds the u32 batch wire format (4 GiB)");
   append_u32(batch_, static_cast<std::uint32_t>(off));
   append_u32(batch_, static_cast<std::uint32_t>(len));
   const std::size_t at = batch_.size();
@@ -102,17 +169,20 @@ void RedoPipeline::discard() { batch_.clear(); }
 void RedoPipeline::fence(std::uint64_t newer_epoch) {
   fenced_ = true;
   fenced_by_epoch_ = newer_epoch;
-  alive_ = false;
+  for (PeerSlot& p : peers_) p.alive = false;
   metrics::counter("repl.primary.fenced").add(1);
 }
 
-void RedoPipeline::on_control_frame(const Frame& frame) {
+void RedoPipeline::on_control_frame(PeerSlot& peer, const Frame& frame) {
   switch (frame.kind) {
     case FrameKind::kConsumerAck:
       if (frame.payload.size() == 8 && (membership_ == nullptr || frame.epoch == epoch())) {
         std::uint64_t v;
         std::memcpy(&v, frame.payload.data(), 8);
-        if (v > acked_seq_) acked_seq_ = v;
+        if (v > peer.acked_seq) {
+          peer.acked_seq = v;
+          peer.acked->set(static_cast<std::int64_t>(v));
+        }
       }
       break;
     case FrameKind::kEpochFence: {
@@ -136,7 +206,7 @@ void RedoPipeline::on_control_frame(const Frame& frame) {
       std::memcpy(&seq, frame.payload.data(), 8);
       std::memcpy(&node, frame.payload.data() + 8, 8);
       std::memcpy(&state_epoch, frame.payload.data() + 16, 8);
-      serve_rejoin(seq, node, state_epoch);
+      serve_rejoin(peer, seq, node, state_epoch);
       break;
     }
     default:
@@ -144,61 +214,75 @@ void RedoPipeline::on_control_frame(const Frame& frame) {
   }
 }
 
-void RedoPipeline::drain() {
+void RedoPipeline::drain(PeerSlot& peer) {
   // Consume whatever the backup sent back: acks (flow control), in-band
   // rejoin requests (sequence-gap resync), and epoch fences. Leaving them
   // unread would eventually fill the carrier's buffers and, on close, make
   // a TCP kernel RST the connection under the backup's feet.
-  while (alive_) {
-    auto frame = link_->recv(0);
+  while (peer.alive) {
+    auto frame = peer.link->recv(0);
     if (!frame.has_value()) {
-      if (link_->last_error() == LinkError::kCorrupt && link_->connected()) {
+      if (peer.link->last_error() == LinkError::kCorrupt && peer.link->connected()) {
         continue;  // skip an aligned corrupt inbound frame
       }
-      if (link_->last_error() == LinkError::kClosed) alive_ = false;
+      if (peer.link->last_error() == LinkError::kClosed) peer.alive = false;
       break;
     }
-    on_control_frame(*frame);
+    on_control_frame(peer, *frame);
   }
 }
 
 void RedoPipeline::wait_acked(std::uint64_t seq) {
-  if (link_ == nullptr) return;
-  // Push the batch all the way onto the carrier, then probe: the heartbeat
+  // Push the batch all the way onto every carrier, then probe: the heartbeat
   // carries our committed sequence, and a caught-up backup answers it with
   // an immediate ack (a behind one requests resync, which serve_rejoin
   // repairs right here in the wait loop).
-  link_->flush();
-  const auto probe = [&] {
+  for (PeerSlot& p : peers_) {
+    if (p.link != nullptr) p.link->flush();
+  }
+  const auto probe = [&](PeerSlot& p) {
     const std::uint64_t committed = source_.committed_seq();
-    if (alive_ && !fenced_ && !link_send(FrameKind::kHeartbeat, &committed, 8)) alive_ = false;
-  };
-  probe();
-  int silent = 0;
-  while (alive_ && !fenced_ && acked_seq_ < seq) {
-    auto frame = link_->recv(kTwoSafeRecvTimeoutMs);
-    if (!frame.has_value()) {
-      switch (link_->last_error()) {
-        case LinkError::kTimeout:
-          // The probe (or the ack answering it) may have been lost.
-          if (++silent > kTwoSafeMaxProbes) {
-            alive_ = false;
-            break;
-          }
-          probe();
-          continue;
-        case LinkError::kCorrupt:
-          if (link_->connected()) continue;
-          alive_ = false;
-          break;
-        default:
-          alive_ = false;
-          break;
-      }
-      continue;
+    if (p.alive && !fenced_ && !link_send(p, FrameKind::kHeartbeat, &committed, 8)) {
+      p.alive = false;
     }
-    silent = 0;
-    on_control_frame(*frame);
+  };
+  for (PeerSlot& p : peers_) {
+    probe(p);
+    p.silent = 0;
+  }
+  while (!fenced_ && !quorum_met(seq)) {
+    bool any_waiting = false;
+    for (PeerSlot& p : peers_) {
+      if (fenced_ || quorum_met(seq)) break;
+      if (!p.alive || p.acked_seq >= seq) continue;
+      any_waiting = true;
+      auto frame = p.link->recv(kTwoSafeRecvTimeoutMs);
+      if (!frame.has_value()) {
+        switch (p.link->last_error()) {
+          case LinkError::kTimeout:
+            // The probe (or the ack answering it) may have been lost.
+            if (++p.silent > kTwoSafeMaxProbes) {
+              p.alive = false;
+              break;
+            }
+            probe(p);
+            continue;
+          case LinkError::kCorrupt:
+            if (p.link->connected()) continue;
+            p.alive = false;
+            break;
+          default:
+            p.alive = false;
+            break;
+        }
+        continue;
+      }
+      p.silent = 0;
+      on_control_frame(p, *frame);
+    }
+    // Every laggard peer is down: no further acks can arrive, so the commit
+    // degrades to whatever coverage it already has.
+    if (!any_waiting) break;
   }
 }
 
@@ -211,37 +295,60 @@ void RedoPipeline::push_history(std::uint64_t seq) {
   }
 }
 
-void RedoPipeline::commit(std::uint64_t seq) {
+RedoPipeline::CommitOutcome RedoPipeline::commit(std::uint64_t seq) {
   std::memcpy(batch_.data(), &seq, 8);
-  // Retain the batch even while the link is down or we are fenced: a later
-  // rejoin (ours or the backup's) replays from this history.
+  // Retain the batch even while every link is down or we are fenced: a later
+  // rejoin (ours or a backup's) replays from this history.
   push_history(seq);
-  // 1-safe: fire and forget; a send failure marks the backup link down but
-  // never blocks or fails the local commit.
-  if (alive_ && !fenced_) {
-    if (link_send(FrameKind::kRedoBatch, batch_.data(), batch_.size())) {
-      stats_.txns_shipped++;
-      metrics::counter("repl.primary.txns_shipped").add(1);
+  // 1-safe: fire and forget to every live peer; a send failure marks that
+  // peer down but never blocks or fails the local commit.
+  bool shipped = false;
+  for (PeerSlot& p : peers_) {
+    if (!p.alive || fenced_) continue;
+    if (link_send(p, FrameKind::kRedoBatch, batch_.data(), batch_.size())) {
+      p.shipped->add(1);
+      shipped = true;
     } else {
-      alive_ = false;
+      p.alive = false;
     }
   }
-  if (alive_) drain();
-  // 2-safe: additionally hold the commit until the backup's acknowledgment
-  // covers this transaction.
-  if (two_safe_) wait_acked(seq);
+  if (shipped) {
+    stats_.txns_shipped++;
+    metrics::counter("repl.primary.txns_shipped").add(1);
+  }
+  for (PeerSlot& p : peers_) {
+    if (p.alive) drain(p);
+  }
+  // 2-safe: additionally hold the commit until a quorum of backup
+  // acknowledgments covers this transaction.
+  CommitOutcome outcome = CommitOutcome::kLocalDurable;
+  if (two_safe_) {
+    wait_acked(seq);
+    if (quorum_met(seq)) {
+      outcome = CommitOutcome::kQuorumDurable;
+    } else {
+      // Degraded to 1-safe: locally durable, but the quorum guarantee this
+      // commit was asked for does not hold. Surface it — callers decide
+      // whether to stall, alert, or accept the reduced safety.
+      outcome = CommitOutcome::kTwoSafeDegraded;
+      stats_.two_safe_degraded++;
+      metrics::counter("repl.primary.two_safe_degraded").add(1);
+    }
+  }
+  last_commit_outcome_ = outcome;
   batch_.clear();
+  return outcome;
 }
 
-bool RedoPipeline::sync_backup() {
-  if (fenced_ || link_ == nullptr) return false;
+bool RedoPipeline::sync_peer(PeerSlot& peer) {
+  if (fenced_ || peer.link == nullptr) return false;
   std::uint8_t hello[16];
   const std::uint64_t size = source_.db_size();
   const std::uint64_t seq = source_.committed_seq();
   std::memcpy(hello, &size, 8);
   std::memcpy(hello + 8, &seq, 8);
-  if (!link_send(FrameKind::kHello, hello, sizeof hello)) {
-    alive_ = false;
+  if (!link_send(peer, FrameKind::kHello, hello, sizeof hello)) {
+    peer.alive = false;
     return false;
   }
   std::vector<std::uint8_t> chunk;
@@ -252,13 +359,21 @@ bool RedoPipeline::sync_backup() {
     const std::uint64_t off64 = off;
     std::memcpy(chunk.data(), &off64, 8);
     chunk.insert(chunk.end(), source_.db() + off, source_.db() + off + len);
-    if (!link_send(FrameKind::kDbChunk, chunk.data(), chunk.size())) {
-      alive_ = false;
+    if (!link_send(peer, FrameKind::kDbChunk, chunk.data(), chunk.size())) {
+      peer.alive = false;
       return false;
     }
   }
-  alive_ = true;
+  peer.alive = true;
   return true;
+}
+
+bool RedoPipeline::sync_backup() {
+  bool any = false;
+  for (PeerSlot& p : peers_) {
+    if (p.link != nullptr && sync_peer(p)) any = true;
+  }
+  return any;
 }
 
 bool RedoPipeline::history_covers(std::uint64_t from_seq) const {
@@ -281,60 +396,69 @@ bool RedoPipeline::shared_lineage(std::uint64_t backup_seq, std::uint64_t state_
 RedoPipeline::RejoinDecision RedoPipeline::decide_rejoin(std::uint64_t backup_seq,
                                                          std::uint64_t state_epoch) const {
   const std::uint64_t committed = source_.committed_seq();
-  if (backup_seq > 0 && backup_seq <= committed && shared_lineage(backup_seq, state_epoch) &&
-      history_covers(backup_seq)) {
+  // A rejoiner claiming a sequence beyond anything this lineage committed
+  // can never be repaired by a delta: the count `committed - backup_seq`
+  // would underflow and the "replay" would be empty, leaving the backup
+  // convinced it is caught up on state we never produced. Full image.
+  if (backup_seq == 0 || backup_seq > committed) return RejoinDecision::kFullImage;
+  if (shared_lineage(backup_seq, state_epoch) && history_covers(backup_seq)) {
     return RejoinDecision::kDelta;
   }
-  // Gap unservable from history (fresh backup, evicted batches, or a
-  // rejoiner claiming a future our lineage never had): full image.
+  // Gap unservable from history (divergent lineage or evicted batches):
+  // full image.
   return RejoinDecision::kFullImage;
 }
 
-bool RedoPipeline::serve_rejoin(std::uint64_t backup_seq, std::uint64_t node_id,
+bool RedoPipeline::serve_rejoin(PeerSlot& peer, std::uint64_t backup_seq, std::uint64_t node_id,
                                 std::uint64_t state_epoch) {
   if (fenced_) return false;
   // A *new* backup joining the view is a membership change (epoch bump); a
-  // reconnect of the current backup is not.
-  if (membership_ != nullptr && membership_->is_primary() && !membership_->has_backup()) {
+  // reconnect of a backup already in the view is not.
+  if (membership_ != nullptr && membership_->is_primary() &&
+      !membership_->has_backup(static_cast<int>(node_id))) {
     membership_->adopt_backup(static_cast<int>(node_id));
   }
   stats_.rejoins_served++;
+  peer.rejoins_served++;
   metrics::counter("repl.primary.rejoins_served").add(1);
   if (decide_rejoin(backup_seq, state_epoch) == RejoinDecision::kDelta) {
+    const std::uint64_t committed = source_.committed_seq();
+    VREP_CHECK(committed >= backup_seq);  // decide_rejoin clamped claimed-future
     std::uint8_t delta[16];
-    const std::uint64_t count = source_.committed_seq() - backup_seq;
+    const std::uint64_t count = committed - backup_seq;
     std::memcpy(delta, &backup_seq, 8);
     std::memcpy(delta + 8, &count, 8);
-    if (!link_send(FrameKind::kRejoinDelta, delta, sizeof delta)) {
-      alive_ = false;
+    if (!link_send(peer, FrameKind::kRejoinDelta, delta, sizeof delta)) {
+      peer.alive = false;
       return false;
     }
     for (const auto& entry : history_) {
       if (entry.seq <= backup_seq) continue;
-      if (!link_send(FrameKind::kRedoBatch, entry.batch.data(), entry.batch.size())) {
-        alive_ = false;
+      if (!link_send(peer, FrameKind::kRedoBatch, entry.batch.data(), entry.batch.size())) {
+        peer.alive = false;
         return false;
       }
     }
-    alive_ = true;
+    peer.alive = true;
     stats_.deltas_served++;
     metrics::counter("repl.primary.deltas_served").add(1);
     return true;
   }
   stats_.full_syncs_served++;
   metrics::counter("repl.primary.full_syncs_served").add(1);
-  return sync_backup();
+  return sync_peer(peer);
 }
 
-bool RedoPipeline::handle_rejoin(int timeout_ms) {
-  if (link_ == nullptr || !link_->connected()) return false;
+bool RedoPipeline::handle_rejoin(std::size_t peer, int timeout_ms) {
+  PeerSlot& p = peers_[peer];
+  if (p.link == nullptr || !p.link->connected()) return false;
   while (true) {
-    auto frame = link_->recv(timeout_ms);
+    auto frame = p.link->recv(timeout_ms);
     if (!frame.has_value()) {
-      if (link_->last_error() == LinkError::kCorrupt && link_->connected()) {
+      if (p.link->last_error() == LinkError::kCorrupt && p.link->connected()) {
         continue;  // aligned corrupt frame: the peer will re-request
       }
-      alive_ = false;
+      p.alive = false;
       return false;
     }
     if (frame->kind != FrameKind::kRejoinRequest || frame->payload.size() != 24) continue;
@@ -348,17 +472,19 @@ bool RedoPipeline::handle_rejoin(int timeout_ms) {
     std::memcpy(&seq, frame->payload.data(), 8);
     std::memcpy(&node, frame->payload.data() + 8, 8);
     std::memcpy(&state_epoch, frame->payload.data() + 16, 8);
-    return serve_rejoin(seq, node, state_epoch);
+    return serve_rejoin(p, seq, node, state_epoch);
   }
 }
 
 bool RedoPipeline::send_heartbeat() {
   const std::uint64_t seq = source_.committed_seq();
-  if (alive_ && !fenced_ && !link_send(FrameKind::kHeartbeat, &seq, 8)) {
-    alive_ = false;
+  for (PeerSlot& p : peers_) {
+    if (p.alive && !fenced_ && !link_send(p, FrameKind::kHeartbeat, &seq, 8)) {
+      p.alive = false;
+    }
+    if (p.alive) drain(p);
   }
-  if (alive_) drain();
-  return alive_;
+  return connection_alive();
 }
 
 // ---------------------------------------------------------------------------

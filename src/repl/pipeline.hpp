@@ -8,8 +8,11 @@
 //   * RedoPipeline — the primary side. Owns redo staging and batch
 //     encoding, sequence assignment, the bounded redo history, the
 //     delta-vs-full-image rejoin decision (including the state-epoch
-//     lineage rule), epoch fencing, 1-safe/2-safe commit modes, and the
-//     canonical metrics.
+//     lineage rule), epoch fencing, 1-safe/2-safe commit modes with
+//     quorum-based acknowledgment over N backups, and the canonical
+//     metrics. Each backup occupies one slot in a per-peer table (link,
+//     acked sequence, liveness, rejoin accounting); commit() fans the
+//     encoded batch out to every live peer.
 //   * RedoApplier — the backup side. Owns image transfer bookkeeping,
 //     atomic batch application, duplicate/gap/corrupt-frame accounting,
 //     in-band resync requests, and the replica's state epoch.
@@ -17,6 +20,11 @@
 // Batch wire format (the payload of a kRedoBatch frame):
 //
 //   [u64 seq | { u32 db_off, u32 len, len payload bytes }* ]
+//
+// The offset and length fields are 32-bit on the wire: a single chunk must
+// start below 4 GiB and end at or below it. stage() CHECKs this bound —
+// databases at or beyond 4 GiB need a wider wire format (a versioned frame
+// bump), not a silent wrap.
 //
 // Backends that carry whole frames (TCP, loopback) ship this payload
 // verbatim; the simulated ring re-packs it into 6-byte ring entries (its
@@ -32,7 +40,9 @@
 // only when the state epoch matches the primary's current epoch (same
 // lineage), or matches the epoch fenced at the last takeover AND the
 // requester's sequence is at or below the takeover floor (the shared prefix
-// boundary). Anything else gets the full image.
+// boundary). Anything else gets the full image — including a rejoiner
+// claiming a sequence beyond anything this lineage committed (a
+// claimed-future sequence can never be repaired by a delta).
 #pragma once
 
 #include <cstdint>
@@ -41,6 +51,7 @@
 
 #include "cluster/membership.hpp"
 #include "repl/link.hpp"
+#include "util/metrics.hpp"
 
 namespace vrep::repl {
 
@@ -107,39 +118,75 @@ class RedoPipeline {
     std::uint64_t rejoins_served = 0;
     std::uint64_t deltas_served = 0;      // incremental catch-up from history
     std::uint64_t full_syncs_served = 0;  // gap unservable: whole image shipped
+    std::uint64_t two_safe_degraded = 0;  // 2-safe commits that fell back to 1-safe
+  };
+
+  // What a commit() actually guaranteed when it returned. 1-safe commits are
+  // always kLocalDurable; a 2-safe commit is kQuorumDurable when the
+  // configured quorum of backup acknowledgments covered the sequence, and
+  // kTwoSafeDegraded when the wait exhausted its probes (peers dead or
+  // silent) and the commit is durable locally only — the caller can tell a
+  // quorum-durable commit from a degraded one instead of being lied to.
+  enum class CommitOutcome : std::uint8_t {
+    kLocalDurable,
+    kQuorumDurable,
+    kTwoSafeDegraded,
   };
 
   // With a `membership`, outgoing frames carry its epoch and stale inbound
   // traffic fences us; without one, everything runs in a fixed epoch 1.
+  // `link` (may be null) becomes peer slot 0; add_peer() grows the table.
   RedoPipeline(Source& source, ReplicationLink* link,
                cluster::Membership* membership = nullptr, Lineage lineage = Lineage{0, 0},
                std::size_t redo_history_bytes = kDefaultRedoHistoryBytes);
 
-  // Point at a new link after a reconnect (same or different object).
-  void attach_link(ReplicationLink* link);
+  // ---- peer table ---------------------------------------------------------
+  // Add another backup slot; returns its index. Slot 0 is the constructor's
+  // link.
+  std::size_t add_peer(ReplicationLink* link);
+  // Point a slot at a new link after a reconnect (same or different object).
+  void attach_link(std::size_t peer, ReplicationLink* link);
+  void attach_link(ReplicationLink* link) { attach_link(0, link); }
+
+  std::size_t peer_count() const { return peers_.size(); }
+  bool peer_alive(std::size_t peer) const { return peers_[peer].alive; }
+  std::uint64_t peer_acked_seq(std::size_t peer) const { return peers_[peer].acked_seq; }
+  std::size_t live_peers() const;
 
   // ---- staging + commit -------------------------------------------------
   void begin();
+  // CHECKs that the chunk fits the u32 wire format (see the batch-format
+  // comment above): off + len must not exceed 4 GiB.
   void stage(std::uint64_t off, const void* src, std::size_t len);
   void discard();
   // Encode the staged chunks as sequence `seq`, retain them in the bounded
-  // history, ship the batch (1-safe: a send failure marks the link down but
-  // never fails the commit), and in 2-safe mode block until the backup's
-  // acknowledgment covers `seq`.
-  void commit(std::uint64_t seq);
+  // history, fan the batch out to every live peer (1-safe: a send failure
+  // marks that peer down but never fails the commit), and in 2-safe mode
+  // block until a quorum of acknowledgments covers `seq`. The returned
+  // outcome (also held in last_commit_outcome()) says what was guaranteed.
+  CommitOutcome commit(std::uint64_t seq);
+  CommitOutcome last_commit_outcome() const { return last_commit_outcome_; }
 
   // 2-safe commit (extension beyond the paper's 1-safe design): commit does
-  // not return until the backup has durably applied the transaction and its
-  // acknowledgment has reached the primary.
+  // not return until `quorum` backups have durably applied the transaction
+  // and their acknowledgments have reached the primary.
   void set_two_safe(bool enabled) { two_safe_ = enabled; }
   bool two_safe() const { return two_safe_; }
+  // Acks required for a 2-safe commit to count as quorum-durable (default 1,
+  // the classic hot-standby behavior). Clamped against the peer table at
+  // wait time, not here, so it can be set before peers join.
+  void set_quorum(unsigned k);
+  unsigned quorum() const { return quorum_; }
 
   // ---- sync + rejoin ----------------------------------------------------
-  // Ship the current database image + sequence so a (fresh) backup can join.
+  // Ship the current database image + sequence to every attached peer so
+  // (fresh) backups can join. True if at least one peer was synced.
   bool sync_backup();
-  // Await the backup's kRejoinRequest after a (re)connect and serve it.
-  // Returns false on timeout/disconnect or if this primary has been fenced.
-  bool handle_rejoin(int timeout_ms);
+  // Await a backup's kRejoinRequest on `peer`'s link after a (re)connect and
+  // serve it. Returns false on timeout/disconnect or if this primary has
+  // been fenced.
+  bool handle_rejoin(std::size_t peer, int timeout_ms);
+  bool handle_rejoin(int timeout_ms) { return handle_rejoin(0, timeout_ms); }
   bool send_heartbeat();
 
   // The delta-vs-full-image policy, exposed so backends with out-of-band
@@ -149,49 +196,66 @@ class RedoPipeline {
   RejoinDecision decide_rejoin(std::uint64_t backup_seq, std::uint64_t state_epoch) const;
 
   // ---- state ------------------------------------------------------------
-  bool connection_alive() const { return alive_; }
+  // True while at least one peer link is usable.
+  bool connection_alive() const;
   // A newer epoch fenced us: stop acting as primary (demote + rejoin).
   bool fenced() const { return fenced_; }
   // The epoch that fenced us (valid when fenced() is true); feed it to
   // cluster::Membership::demote_to_backup.
   std::uint64_t fenced_by_epoch() const { return fenced_by_epoch_; }
   std::uint64_t epoch() const { return membership_ != nullptr ? membership_->view().epoch : 1; }
-  // Highest applied sequence the backup has acknowledged (drained on commit).
-  std::uint64_t backup_acked_seq() const { return acked_seq_; }
+  // Highest applied sequence any backup has acknowledged (drained on
+  // commit); with one backup this is that backup's watermark.
+  std::uint64_t backup_acked_seq() const;
+  // Highest sequence acknowledged by at least `quorum()` peers — everything
+  // at or below it is quorum-durable.
+  std::uint64_t quorum_acked_seq() const;
   const Stats& stats() const { return stats_; }
 
  private:
+  struct PeerSlot {
+    ReplicationLink* link = nullptr;
+    std::uint64_t acked_seq = 0;
+    std::uint64_t rejoins_served = 0;
+    bool alive = false;
+    int silent = 0;  // consecutive 2-safe probe timeouts (reset on traffic)
+    metrics::Counter* shipped = nullptr;  // repl.primary.peer<i>.txns_shipped
+    metrics::Gauge* acked = nullptr;      // repl.primary.peer<i>.acked_seq
+  };
+
   struct HistoryEntry {
     std::uint64_t seq;
     std::vector<std::uint8_t> batch;  // kRedoBatch payload (seq-prefixed)
   };
 
-  bool link_send(FrameKind kind, const void* payload, std::size_t len);
+  bool link_send(PeerSlot& peer, FrameKind kind, const void* payload, std::size_t len);
   void fence(std::uint64_t newer_epoch);
-  void drain();
+  void drain(PeerSlot& peer);
   void wait_acked(std::uint64_t seq);
+  bool quorum_met(std::uint64_t seq) const;
   void push_history(std::uint64_t seq);
-  bool serve_rejoin(std::uint64_t backup_seq, std::uint64_t node_id,
+  bool sync_peer(PeerSlot& peer);
+  bool serve_rejoin(PeerSlot& peer, std::uint64_t backup_seq, std::uint64_t node_id,
                     std::uint64_t state_epoch);
   bool history_covers(std::uint64_t from_seq) const;
   bool shared_lineage(std::uint64_t backup_seq, std::uint64_t state_epoch) const;
   // Ack / fence / in-band rejoin handling shared by drain() and the waits.
-  void on_control_frame(const Frame& frame);
+  void on_control_frame(PeerSlot& peer, const Frame& frame);
 
   Source& source_;
-  ReplicationLink* link_;
   cluster::Membership* membership_;
   Lineage lineage_;
+  std::vector<PeerSlot> peers_;
   std::vector<std::uint8_t> batch_;  // staged redo payload for this txn
   std::deque<HistoryEntry> history_;
   std::size_t history_bytes_ = 0;
   std::size_t history_capacity_;
-  std::uint64_t acked_seq_ = 0;
   std::uint64_t fenced_by_epoch_ = 0;
   Stats stats_;
-  bool alive_ = true;
   bool fenced_ = false;
   bool two_safe_ = false;
+  unsigned quorum_ = 1;
+  CommitOutcome last_commit_outcome_ = CommitOutcome::kLocalDurable;
 };
 
 // ---------------------------------------------------------------------------

@@ -25,8 +25,12 @@
 #include "cluster/membership.hpp"
 #include "core/v3_inline_log.hpp"
 #include "net/fault_transport.hpp"
+#include "net/inproc_transport.hpp"
 #include "net/transport.hpp"
 #include "net/wire_repl.hpp"
+#include "repl/active.hpp"
+#include "sim/alpha_cost_model.hpp"
+#include "sim/node.hpp"
 #include "util/backoff.hpp"
 #include "util/crc32.hpp"
 #include "util/rng.hpp"
@@ -276,6 +280,282 @@ TEST(ChaosSoak, SurvivorMatchesFaultFreeOracle) {
   EXPECT_EQ(std::memcmp(node[cur ^ 1].backup->db(), node[cur].primary->db(), kDbSize), 0);
   // And the chaos was real: the schedule actually perturbed the stream.
   EXPECT_GT(total_faults, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cascading failover: a primary with TWO ordered backups loses the primary,
+// promotes the most-caught-up backup, loses THAT one mid-stream, and the last
+// survivor finishes the workload alone. Its database must be byte-identical
+// to a fault-free oracle — on all three carriers (TCP, loopback, sim ring).
+//
+// The wire legs run 2-safe (quorum 2, then quorum 1 after the first kill), so
+// every kill has a zero-loss window and no rewind is needed. The sim leg runs
+// the paper's 1-safe mode and exercises the RNG-snapshot rewind instead.
+
+constexpr int kCascadeTxns = 120;
+constexpr int kCascadeKill1 = 40;
+constexpr int kCascadeKill2 = 80;
+
+std::uint32_t cascade_oracle_crc(wl::DebitCredit& bank, const core::StoreConfig& config) {
+  sim::MemBus bus;
+  rio::Arena arena =
+      rio::Arena::create(core::required_arena_size(core::VersionKind::kV3InlineLog, config));
+  core::InlineLogStore oracle(bus, arena, config, /*format=*/true);
+  bank.initialize(oracle);
+  Rng rng(kWorkloadSeed);
+  for (int i = 0; i < kCascadeTxns; ++i) bank.run_txn(oracle, rng);
+  EXPECT_EQ(bank.check_consistency(oracle), "");
+  return Crc32::of(oracle.db(), kDbSize);
+}
+
+// A connected transport pair; the concrete carrier differs per test leg.
+struct OwnedPair {
+  std::vector<std::unique_ptr<Transport>> owned;
+  Transport* primary_end = nullptr;
+  Transport* backup_end = nullptr;
+};
+
+OwnedPair tcp_pair() {
+  OwnedPair p;
+  auto server = std::make_unique<TcpTransport>();
+  auto client = std::make_unique<TcpTransport>();
+  EXPECT_TRUE(server->listen(0));
+  EXPECT_TRUE(client->connect_to("127.0.0.1", server->bound_port(), 2'000));
+  EXPECT_TRUE(server->accept_peer(2'000));
+  p.primary_end = client.get();
+  p.backup_end = server.get();
+  p.owned.push_back(std::move(server));
+  p.owned.push_back(std::move(client));
+  return p;
+}
+
+OwnedPair inproc_pair() {
+  OwnedPair p;
+  auto a = std::make_unique<InprocTransport>();
+  auto b = std::make_unique<InprocTransport>();
+  InprocTransport::pair(*a, *b);
+  p.primary_end = a.get();
+  p.backup_end = b.get();
+  p.owned.push_back(std::move(a));
+  p.owned.push_back(std::move(b));
+  return p;
+}
+
+// Serve until the primary dies (close_peer from our side of the test) or
+// fails. No fault injection here, so there are no transient errors to ride
+// out; the first terminal event ends the session.
+void cascade_session(WireBackup* backup, Transport* transport) {
+  backup->request_rejoin(*transport);
+  backup->serve(*transport, WireBackup::ServeOptions{2'000, nullptr});
+}
+
+void run_wire_cascade(OwnedPair (*make_pair)()) {
+  const core::StoreConfig config = wl::suggest_config(wl::WorkloadKind::kDebitCredit, kDbSize);
+  wl::DebitCredit bank(kDbSize);
+  const std::uint32_t oracle_crc = cascade_oracle_crc(bank, config);
+
+  // ---- Phase 1: node 0 primary, nodes 1 and 2 ordered backups, 2-safe with
+  // quorum 2 (every commit durable on all three replicas before it returns).
+  cluster::Membership mem0(0, cluster::Role::kPrimary);
+  cluster::Membership mem1(1, cluster::Role::kBackup);
+  cluster::Membership mem2(2, cluster::Role::kBackup);
+  mem0.adopt_backup(1);
+  mem0.adopt_backup(2);
+  ASSERT_EQ(mem0.view().backups, (std::vector<int>{1, 2}));
+
+  OwnedPair link1 = make_pair();
+  OwnedPair link2 = make_pair();
+  rio::Arena arena0 =
+      rio::Arena::create(core::required_arena_size(core::VersionKind::kV3InlineLog, config));
+  WirePrimary p0(arena0, config, link1.primary_end, /*format=*/true, &mem0);
+  ASSERT_EQ(p0.add_backup(link2.primary_end), 1u);
+  bank.initialize(p0);
+
+  rio::Arena rep1 = rio::Arena::create(kDbSize);
+  rio::Arena rep2 = rio::Arena::create(kDbSize);
+  WireBackup b1(rep1, &mem1, 1);
+  WireBackup b2(rep2, &mem2, 2);
+  std::thread t1(cascade_session, &b1, link1.backup_end);
+  std::thread t2(cascade_session, &b2, link2.backup_end);
+  ASSERT_TRUE(p0.handle_rejoin(0, 5'000));
+  ASSERT_TRUE(p0.handle_rejoin(1, 5'000));
+
+  p0.set_two_safe(true);
+  p0.set_quorum(2);
+  Rng rng(kWorkloadSeed);
+  for (int i = 0; i < kCascadeKill1; ++i) bank.run_txn(p0, rng);
+  ASSERT_EQ(p0.last_commit_outcome(), repl::RedoPipeline::CommitOutcome::kQuorumDurable);
+  ASSERT_EQ(p0.quorum_acked_seq(), static_cast<std::uint64_t>(kCascadeKill1));
+  ASSERT_EQ(p0.stats().two_safe_degraded, 0u);
+
+  // ---- Kill the primary. Quorum-2 2-safety means ZERO loss window: both
+  // backups hold every committed transaction.
+  link1.primary_end->close_peer();
+  link2.primary_end->close_peer();
+  t1.join();
+  t2.join();
+  ASSERT_EQ(b1.applied_seq(), static_cast<std::uint64_t>(kCascadeKill1));
+  ASSERT_EQ(b2.applied_seq(), static_cast<std::uint64_t>(kCascadeKill1));
+
+  // ---- Ordered failover: equally caught up, so the FIRST backup in the
+  // view (node 1) is promoted; node 2 rejoins it (a no-op delta, not an
+  // image — they share lineage and nothing was lost).
+  const std::uint64_t takeover_seq = b1.applied_seq();
+  const std::uint64_t shared_epoch = b1.state_epoch();
+  mem1.take_over();
+  OwnedPair link3 = make_pair();
+  rio::Arena arena1 =
+      rio::Arena::create(core::required_arena_size(core::VersionKind::kV3InlineLog, config));
+  {
+    sim::MemBus scratch;
+    auto promoted = b1.promote(scratch, arena1, config);
+    ASSERT_EQ(promoted->committed_seq(), takeover_seq);
+  }
+  WirePrimary p1(arena1, config, link3.primary_end, /*format=*/false, &mem1,
+                 WirePrimary::Lineage{shared_epoch, takeover_seq});
+  p1.recover();
+  std::thread t3(cascade_session, &b2, link3.backup_end);
+  ASSERT_TRUE(p1.handle_rejoin(0, 5'000));
+  EXPECT_EQ(p1.stats().deltas_served, 1u);
+  EXPECT_EQ(p1.stats().full_syncs_served, 0u);
+
+  // ---- Phase 2: the promoted pair continues 2-safe (quorum 1 == classic).
+  p1.set_two_safe(true);
+  for (int i = kCascadeKill1; i < kCascadeKill2; ++i) bank.run_txn(p1, rng);
+  ASSERT_EQ(p1.committed_seq(), static_cast<std::uint64_t>(kCascadeKill2));
+  ASSERT_EQ(p1.quorum_acked_seq(), static_cast<std::uint64_t>(kCascadeKill2));
+
+  // ---- Kill the promoted primary too (cascading failure). The last
+  // survivor promotes to a standalone store and finishes the run.
+  link3.primary_end->close_peer();
+  t3.join();
+  ASSERT_EQ(b2.applied_seq(), static_cast<std::uint64_t>(kCascadeKill2));
+  mem2.take_over();
+  rio::Arena arena2 =
+      rio::Arena::create(core::required_arena_size(core::VersionKind::kV3InlineLog, config));
+  sim::MemBus scratch;
+  auto survivor = b2.promote(scratch, arena2, config);
+  ASSERT_EQ(survivor->committed_seq(), static_cast<std::uint64_t>(kCascadeKill2));
+  for (int i = kCascadeKill2; i < kCascadeTxns; ++i) bank.run_txn(*survivor, rng);
+
+  ASSERT_EQ(survivor->committed_seq(), static_cast<std::uint64_t>(kCascadeTxns));
+  EXPECT_EQ(bank.check_consistency(*survivor), "");
+  EXPECT_EQ(Crc32::of(survivor->db(), kDbSize), oracle_crc);
+}
+
+TEST(ChaosCascade, TcpCascadingFailoverMatchesOracle) { run_wire_cascade(&tcp_pair); }
+
+TEST(ChaosCascade, LoopbackCascadingFailoverMatchesOracle) { run_wire_cascade(&inproc_pair); }
+
+// Simulated Memory Channel leg: two co-simulated backups behind one primary,
+// 1-safe (the paper's mode), so each kill can lose a trailing window — the
+// driver rewinds the workload RNG to the survivor's sequence and re-executes
+// the lost tail, exactly like the TCP soak above.
+TEST(ChaosCascade, SimRingCascadingFailoverMatchesOracle) {
+  const core::StoreConfig config = wl::suggest_config(wl::WorkloadKind::kDebitCredit, kDbSize);
+  wl::DebitCredit bank(kDbSize);
+  const std::uint32_t oracle_crc = cascade_oracle_crc(bank, config);
+
+  const sim::AlphaCostModel cost;
+  const auto layout = repl::ActiveBackupLayout::make(kDbSize);
+
+  // ---- Phase 1: primary ships to two ring shadows on one fabric.
+  sim::McFabric fabric(cost.link);
+  sim::Node pnode(cost, 1, &fabric);
+  sim::Node bnode(cost, 2, nullptr);
+  rio::Arena parena =
+      rio::Arena::create(repl::ActivePrimary::primary_arena_bytes(config, layout, 2));
+  rio::Arena barena1 = rio::Arena::create(layout.arena_bytes());
+  rio::Arena barena2 = rio::Arena::create(layout.arena_bytes());
+  auto b1 = std::make_unique<repl::ActiveBackup>(bnode.cpu(0), barena1, layout, fabric);
+  auto b2 = std::make_unique<repl::ActiveBackup>(bnode.cpu(1), barena2, layout, fabric);
+  auto p0 = std::make_unique<repl::ActivePrimary>(pnode.cpu().bus(), parena, barena1, config,
+                                                  layout, b1.get(), /*format=*/true);
+  ASSERT_EQ(p0->add_backup(barena2, b2.get()), 1u);
+  bank.initialize(*p0);
+  p0->flush_initial_state();
+  // Initial image seeding is out of band, as in the harness experiments.
+  std::memcpy(b1->db(), p0->db(), kDbSize);
+  std::memcpy(b2->db(), p0->db(), kDbSize);
+
+  std::vector<Rng> snap(static_cast<std::size_t>(kCascadeTxns) + 2, Rng(0));
+  Rng rng(kWorkloadSeed);
+  std::uint64_t next_seq = 1;
+  while (next_seq <= static_cast<std::uint64_t>(kCascadeKill1)) {
+    snap[next_seq] = rng;
+    bank.run_txn(*p0, rng);
+    ++next_seq;
+  }
+  snap[next_seq] = rng;
+
+  // ---- Kill the primary at its current virtual time. Both backups cut the
+  // fabric and drain what physically arrived; the most-caught-up one is
+  // promoted and the other is reseeded from it (out-of-band image transfer —
+  // the sim carrier has no in-band rejoin channel).
+  const sim::SimTime crash = pnode.cpu().clock().now();
+  const std::uint64_t s1 = b1->takeover(crash);
+  const std::uint64_t s2 = b2->takeover(crash);
+  ASSERT_LE(s1, p0->committed_seq());
+  ASSERT_LE(s2, p0->committed_seq());
+  ASSERT_GT(std::max(s1, s2), 0u);
+  const bool heir_is_b1 = s1 >= s2;  // ties follow view order
+  repl::ActiveBackup* heir = heir_is_b1 ? b1.get() : b2.get();
+  rio::Arena& survivor_arena = heir_is_b1 ? barena2 : barena1;
+  const std::uint64_t heir_seq = std::max(s1, s2);
+  p0.reset();
+
+  // ---- Phase 2: promote the heir onto a fresh node; the survivor reattaches
+  // over a new fabric. Its ring region still holds phase-1 bytes — wipe them
+  // so the new session's ring decodes from a clean slate.
+  sim::McFabric fabric2(cost.link);
+  sim::Node pnode2(cost, 1, &fabric2);
+  sim::Node bnode2(cost, 1, nullptr);
+  std::memset(survivor_arena.data() + layout.ring_offset, 0, layout.ring_capacity);
+  auto survivor2 =
+      std::make_unique<repl::ActiveBackup>(bnode2.cpu(), survivor_arena, layout, fabric2);
+  rio::Arena parena2 =
+      rio::Arena::create(repl::ActivePrimary::primary_arena_bytes(config, layout, 1));
+  auto p1 = std::make_unique<repl::ActivePrimary>(pnode2.cpu().bus(), parena2, survivor_arena,
+                                                  config, layout, survivor2.get(),
+                                                  /*format=*/true);
+  p1->seed_from(heir->db(), kDbSize, heir_seq);
+  std::memcpy(survivor2->db(), heir->db(), kDbSize);
+  survivor2->applier().adopt_image(kDbSize, heir_seq, survivor2->applier().epoch());
+  b1.reset();
+  b2.reset();
+
+  next_seq = heir_seq + 1;
+  rng = snap[next_seq];  // rewind: re-execute the 1-safe loss window
+  while (next_seq <= static_cast<std::uint64_t>(kCascadeKill2)) {
+    snap[next_seq] = rng;
+    bank.run_txn(*p1, rng);
+    ++next_seq;
+  }
+  snap[next_seq] = rng;
+
+  // ---- Kill the promoted primary too; the last survivor finishes alone on
+  // a standalone Version 3 store that continues the sequence numbering.
+  const std::uint64_t s3 = survivor2->takeover(pnode2.cpu().clock().now());
+  ASSERT_LE(s3, p1->committed_seq());
+  ASSERT_GE(s3, heir_seq);
+  p1.reset();
+
+  sim::MemBus standalone_bus;
+  rio::Arena sarena =
+      rio::Arena::create(core::required_arena_size(core::VersionKind::kV3InlineLog, config));
+  core::InlineLogStore survivor_store(standalone_bus, sarena, config, /*format=*/true);
+  std::memcpy(survivor_store.db(), survivor2->db(), kDbSize);
+  survivor_store.seed_committed_seq(s3);
+
+  next_seq = s3 + 1;
+  rng = snap[next_seq];
+  while (next_seq <= static_cast<std::uint64_t>(kCascadeTxns)) {
+    bank.run_txn(survivor_store, rng);
+    ++next_seq;
+  }
+  ASSERT_EQ(survivor_store.committed_seq(), static_cast<std::uint64_t>(kCascadeTxns));
+  EXPECT_EQ(bank.check_consistency(survivor_store), "");
+  EXPECT_EQ(Crc32::of(survivor_store.db(), kDbSize), oracle_crc);
 }
 
 }  // namespace

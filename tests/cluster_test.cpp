@@ -59,8 +59,23 @@ TEST(Membership, AdoptingANewBackupBumpsEpochAgain) {
   node.take_over();
   const std::uint64_t epoch = node.view().epoch;
   node.adopt_backup(2);
-  EXPECT_EQ(node.view().backup, 2);
+  ASSERT_TRUE(node.has_backup(2));
+  EXPECT_EQ(node.view().backups, (std::vector<int>{2}));
   EXPECT_EQ(node.view().epoch, epoch + 1);
+  // Reconnection of a backup already in the view is NOT a view change.
+  node.adopt_backup(2);
+  EXPECT_EQ(node.view().epoch, epoch + 1);
+  // A second backup joins behind the first (ordered failover preference)
+  // with its own view change.
+  node.adopt_backup(3);
+  EXPECT_EQ(node.view().backups, (std::vector<int>{2, 3}));
+  EXPECT_EQ(node.view().epoch, epoch + 2);
+  // Declared-failed backups leave the view in a new epoch, preserving order.
+  node.remove_backup(2);
+  EXPECT_EQ(node.view().backups, (std::vector<int>{3}));
+  EXPECT_EQ(node.view().epoch, epoch + 3);
+  node.remove_backup(2);  // already gone: no view change
+  EXPECT_EQ(node.view().epoch, epoch + 3);
 }
 
 TEST(HeartbeatDetector, RejectsNonPositiveTimeout) {
@@ -96,7 +111,7 @@ TEST(Membership, RolesStartWithHalfEmptyViews) {
   EXPECT_EQ(primary.view().primary, 0);
   Membership backup(1, Role::kBackup);
   EXPECT_EQ(backup.view().primary, -1);  // learned from the primary's hello
-  EXPECT_EQ(backup.view().backup, 1);
+  EXPECT_EQ(backup.view().backups, (std::vector<int>{1}));
 }
 
 TEST(Membership, BackupFollowsEpochsForwardOnly) {
@@ -113,7 +128,7 @@ TEST(Membership, FencedPrimaryDemotesIntoTheFencingEpoch) {
   primary.demote_to_backup(3);
   EXPECT_FALSE(primary.is_primary());
   EXPECT_EQ(primary.view().epoch, 3u);
-  EXPECT_EQ(primary.view().backup, 0);
+  EXPECT_EQ(primary.view().backups, (std::vector<int>{0}));
   // Now a backup again, it can follow the new primary's epochs...
   primary.join_epoch(4);
   // ...and even take over in a later failover.

@@ -353,7 +353,7 @@ TEST(Fencing, SplitBrainOldPrimaryIsFencedThenRejoins) {
   EXPECT_EQ(std::memcmp(rejoiner_a.db(), primary_b.db(), config.db_size), 0);
   // Adopting A as the new backup was a view change: epoch 3, both sides.
   EXPECT_EQ(mem_b.view().epoch, 3u);
-  EXPECT_EQ(mem_b.view().backup, 0);
+  EXPECT_TRUE(mem_b.has_backup(0));
   EXPECT_EQ(mem_a.view().epoch, 3u);
   EXPECT_FALSE(mem_a.is_primary());
 }

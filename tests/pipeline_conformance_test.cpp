@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <deque>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -17,6 +18,8 @@
 #include "net/transport.hpp"
 #include "net/wire_repl.hpp"
 #include "repl/active.hpp"
+#include "repl/link.hpp"
+#include "repl/pipeline.hpp"
 #include "rio/arena.hpp"
 #include "sim/node.hpp"
 #include "util/crc32.hpp"
@@ -232,6 +235,193 @@ TEST(PipelineConformance, LoopbackUnderFaultsConvergesToOracle) {
   EXPECT_EQ(r.backup_crc, r.primary_crc);
   EXPECT_EQ(r.backup_crc, oracle_crc())
       << "surviving backup under faults != fault-free oracle";
+}
+
+// ---- protocol regression tests ---------------------------------------------
+//
+// Direct RedoPipeline tests over a scripted in-memory link: no sockets, no
+// co-simulation, so misbehavior is attributable to the engine alone.
+
+// Records every outbound frame; serves inbound frames from a queue and
+// reports kTimeout when the queue is dry (an ack-swallowing link is simply
+// one whose queue stays empty).
+class ScriptedLink final : public repl::ReplicationLink {
+ public:
+  bool send(repl::FrameKind kind, std::uint64_t epoch, const void* payload,
+            std::size_t len) override {
+    const auto* p = static_cast<const std::uint8_t*>(payload);
+    sent.push_back(repl::Frame{kind, epoch, std::vector<std::uint8_t>(p, p + len)});
+    return true;
+  }
+  std::optional<repl::Frame> recv(int) override {
+    if (inbound.empty()) {
+      error_ = repl::LinkError::kTimeout;
+      return std::nullopt;
+    }
+    repl::Frame frame = std::move(inbound.front());
+    inbound.pop_front();
+    error_ = repl::LinkError::kNone;
+    return frame;
+  }
+  repl::LinkError last_error() const override { return error_; }
+  bool connected() const override { return true; }
+
+  std::size_t count(repl::FrameKind kind) const {
+    std::size_t n = 0;
+    for (const auto& f : sent) {
+      if (f.kind == kind) n++;
+    }
+    return n;
+  }
+  void push_ack(std::uint64_t seq, std::uint64_t epoch = 1) {
+    repl::Frame frame{repl::FrameKind::kConsumerAck, epoch, std::vector<std::uint8_t>(8)};
+    std::memcpy(frame.payload.data(), &seq, 8);
+    inbound.push_back(std::move(frame));
+  }
+
+  std::deque<repl::Frame> inbound;
+  std::vector<repl::Frame> sent;
+
+ private:
+  repl::LinkError error_ = repl::LinkError::kNone;
+};
+
+class MemSource final : public repl::RedoPipeline::Source {
+ public:
+  explicit MemSource(std::size_t size) : db_(size, 0) {}
+  const std::uint8_t* db() const override { return db_.data(); }
+  std::size_t db_size() const override { return db_.size(); }
+  std::uint64_t committed_seq() const override { return committed; }
+
+  std::uint64_t committed = 0;
+
+ private:
+  std::vector<std::uint8_t> db_;
+};
+
+void commit_one(repl::RedoPipeline& pipe, MemSource& source, std::uint64_t seq) {
+  pipe.begin();
+  std::uint8_t data[8] = {static_cast<std::uint8_t>(seq), 1, 2, 3, 4, 5, 6, 7};
+  pipe.stage(0, data, sizeof data);
+  source.committed = seq;
+  pipe.commit(seq);
+}
+
+TEST(PipelineRegression, RejoinClaimingFutureSequenceGetsFullImageNotUnderflowedDelta) {
+  // A rejoiner claiming a sequence PAST everything this lineage committed
+  // (same epoch, so lineage checks pass) must get the full image. The broken
+  // behavior was serving a delta whose count, committed - backup_seq,
+  // underflows to ~2^64: an empty "replay" after which the backup believes
+  // it is caught up on state that was never produced.
+  MemSource source(4096);
+  ScriptedLink link;
+  repl::RedoPipeline pipe(source, &link);
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) commit_one(pipe, source, seq);
+
+  // The policy itself, pinned directly.
+  EXPECT_EQ(pipe.decide_rejoin(3, 1), repl::RedoPipeline::RejoinDecision::kDelta);
+  EXPECT_EQ(pipe.decide_rejoin(2, 1), repl::RedoPipeline::RejoinDecision::kDelta);
+  EXPECT_EQ(pipe.decide_rejoin(4, 1), repl::RedoPipeline::RejoinDecision::kFullImage)
+      << "claimed-future sequence must never be served a delta";
+  EXPECT_EQ(pipe.decide_rejoin(~std::uint64_t{0}, 1),
+            repl::RedoPipeline::RejoinDecision::kFullImage);
+
+  // End-to-end through the rejoin handler: the answer on the wire must be a
+  // full image (kHello + kDbChunk), never a kRejoinDelta header.
+  repl::Frame request{repl::FrameKind::kRejoinRequest, 1, std::vector<std::uint8_t>(24)};
+  const std::uint64_t claimed = 8, node = 7, state_epoch = 1;
+  std::memcpy(request.payload.data(), &claimed, 8);
+  std::memcpy(request.payload.data() + 8, &node, 8);
+  std::memcpy(request.payload.data() + 16, &state_epoch, 8);
+  link.inbound.push_back(std::move(request));
+  link.sent.clear();
+  ASSERT_TRUE(pipe.handle_rejoin(/*timeout_ms=*/0));
+  EXPECT_EQ(link.count(repl::FrameKind::kRejoinDelta), 0u);
+  EXPECT_EQ(link.count(repl::FrameKind::kHello), 1u);
+  EXPECT_GE(link.count(repl::FrameKind::kDbChunk), 1u);
+  EXPECT_EQ(pipe.stats().full_syncs_served, 1u);
+  EXPECT_EQ(pipe.stats().deltas_served, 0u);
+}
+
+TEST(PipelineRegression, SilentTwoSafeDegradationIsSurfaced) {
+  // A 2-safe commit whose ack never arrives exhausts its probes and falls
+  // back to 1-safe. That used to be silent — commit() returned void and no
+  // stat moved — so a harness could not tell a quorum-durable commit from a
+  // local-only one.
+  MemSource source(4096);
+  ScriptedLink link;  // swallows acks: recv always times out
+  repl::RedoPipeline pipe(source, &link);
+  pipe.set_two_safe(true);
+
+  pipe.begin();
+  std::uint8_t data[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  pipe.stage(0, data, sizeof data);
+  source.committed = 1;
+  const auto outcome = pipe.commit(1);
+  EXPECT_EQ(outcome, repl::RedoPipeline::CommitOutcome::kTwoSafeDegraded);
+  EXPECT_EQ(pipe.last_commit_outcome(), repl::RedoPipeline::CommitOutcome::kTwoSafeDegraded);
+  EXPECT_EQ(pipe.stats().two_safe_degraded, 1u);
+  EXPECT_FALSE(pipe.connection_alive()) << "the silent peer should be marked down";
+
+  // An acked 2-safe commit reports quorum durability — and does not move the
+  // degradation counter.
+  ScriptedLink healthy;
+  pipe.attach_link(&healthy);
+  healthy.push_ack(2);
+  pipe.begin();
+  pipe.stage(0, data, sizeof data);
+  source.committed = 2;
+  EXPECT_EQ(pipe.commit(2), repl::RedoPipeline::CommitOutcome::kQuorumDurable);
+  EXPECT_EQ(pipe.stats().two_safe_degraded, 1u);
+}
+
+TEST(PipelineRegression, QuorumTwoSafeNeedsKAcks) {
+  // Two backups, K=2: both must acknowledge before the commit is
+  // quorum-durable; one ack is surfaced as degraded, not success.
+  MemSource source(4096);
+  ScriptedLink peer0, peer1;
+  repl::RedoPipeline pipe(source, &peer0);
+  ASSERT_EQ(pipe.add_peer(&peer1), 1u);
+  pipe.set_two_safe(true);
+  pipe.set_quorum(2);
+
+  std::uint8_t data[8] = {9, 9, 9, 9, 9, 9, 9, 9};
+  peer0.push_ack(1);
+  peer1.push_ack(1);
+  pipe.begin();
+  pipe.stage(0, data, sizeof data);
+  source.committed = 1;
+  EXPECT_EQ(pipe.commit(1), repl::RedoPipeline::CommitOutcome::kQuorumDurable);
+  EXPECT_EQ(peer0.count(repl::FrameKind::kRedoBatch), 1u);
+  EXPECT_EQ(peer1.count(repl::FrameKind::kRedoBatch), 1u) << "commit must fan out to all peers";
+  EXPECT_EQ(pipe.quorum_acked_seq(), 1u);
+
+  // Second commit: only peer0 acks, peer1 goes silent. K=2 cannot be met.
+  peer0.push_ack(2);
+  pipe.begin();
+  pipe.stage(0, data, sizeof data);
+  source.committed = 2;
+  EXPECT_EQ(pipe.commit(2), repl::RedoPipeline::CommitOutcome::kTwoSafeDegraded);
+  EXPECT_EQ(pipe.stats().two_safe_degraded, 1u);
+  EXPECT_EQ(pipe.backup_acked_seq(), 2u);  // best peer
+  EXPECT_EQ(pipe.quorum_acked_seq(), 1u);  // K-th best: quorum coverage stalled
+  EXPECT_TRUE(pipe.peer_alive(0));
+  EXPECT_FALSE(pipe.peer_alive(1));
+}
+
+TEST(PipelineRegressionDeathTest, StageRejectsChunksBeyondU32WireFormat) {
+  // Batch offsets/lengths are u32 on the wire; stage() used to truncate the
+  // offset with a static_cast, silently wrapping redo for databases at or
+  // beyond 4 GiB into low addresses on every backup.
+  MemSource source(64);
+  repl::RedoPipeline pipe(source, nullptr);
+  pipe.begin();
+  std::uint8_t byte = 0xAB;
+  // Highest representable chunk: ends exactly at the 4 GiB boundary.
+  pipe.stage((std::uint64_t{1} << 32) - 1, &byte, 1);
+  EXPECT_DEATH(pipe.stage(std::uint64_t{1} << 32, &byte, 1), "CHECK");
+  EXPECT_DEATH(pipe.stage((std::uint64_t{1} << 32) - 1, &byte, 2), "CHECK");
+  pipe.discard();
 }
 
 }  // namespace
