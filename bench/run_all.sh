@@ -22,7 +22,8 @@ for pair in \
     "table4_passive BENCH_table4.json" \
     "table6_active BENCH_table6.json" \
     "fig1_bandwidth BENCH_fig1.json" \
-    "availability_failover BENCH_availability.json"; do
+    "availability_failover BENCH_availability.json" \
+    "ablation_two_safe BENCH_ablation_two_safe.json"; do
   bin="${pair% *}"
   out="${pair#* }"
   echo "== $bin -> $out"

@@ -75,6 +75,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           cpu.bus(), stream->primary_arena, stream->backup_arena, store_config, layout,
           stream->active_backup.get(), /*format=*/true);
       active_primary->set_two_safe(config.two_safe);
+      active_primary->set_commit_window(config.commit_window);
+      active_primary->set_group_size(config.commit_group);
       stream->store = std::move(active_primary);
     } else {
       const std::size_t arena_bytes = core::required_arena_size(config.version, store_config);
@@ -146,9 +148,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   latency_timer.merge(result.commit_latency_ns);
 
-  // Quiesce: drain write buffers and deliver everything in flight.
+  // Quiesce: flush any buffered group commit and resolve outstanding
+  // tickets (a provable no-op at the default W=1, G=1), then drain write
+  // buffers and deliver everything in flight.
   for (int s = 0; s < config.streams; ++s) {
     sim::Cpu& cpu = primary.cpu(static_cast<std::size_t>(s));
+    if (auto* active = dynamic_cast<repl::ActivePrimary*>(streams[s]->store.get())) {
+      active->sync();
+    }
     if (cpu.mc() != nullptr) {
       cpu.mc()->flush();
       result.traffic += cpu.mc()->traffic();

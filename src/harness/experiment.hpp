@@ -35,6 +35,11 @@ struct ExperimentConfig {
   bool ship_everything_passive = false;
   // Extension: 2-safe active commits (wait for the backup's ack).
   bool two_safe = false;
+  // Extension: group commit — up to `commit_group` transactions per ring
+  // unit, up to `commit_window` shipped-but-unacked sequences before a
+  // commit blocks. Defaults reproduce the classic per-commit behavior.
+  unsigned commit_window = 1;
+  unsigned commit_group = 1;
   sim::AlphaCostModel cost{};
 };
 

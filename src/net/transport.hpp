@@ -38,6 +38,7 @@ enum class MsgType : std::uint8_t {
   kRejoinRequest = 6,  // backup -> primary: u64 last applied sequence
   kRejoinDelta = 7,    // primary -> backup: u64 from_seq | u64 batch count
   kEpochFence = 8,     // receiver -> stale sender: u64 current epoch
+  kRedoGroup = 9,      // group commit: several contiguous kRedoBatch payloads
 };
 
 struct Message {

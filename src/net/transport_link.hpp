@@ -13,7 +13,8 @@
 namespace vrep::net {
 
 static_assert(static_cast<int>(repl::FrameKind::kRedoBatch) == static_cast<int>(MsgType::kRedoBatch) &&
-              static_cast<int>(repl::FrameKind::kEpochFence) == static_cast<int>(MsgType::kEpochFence));
+              static_cast<int>(repl::FrameKind::kEpochFence) == static_cast<int>(MsgType::kEpochFence) &&
+              static_cast<int>(repl::FrameKind::kRedoGroup) == static_cast<int>(MsgType::kRedoGroup));
 static_assert(static_cast<int>(repl::LinkError::kTimeout) == static_cast<int>(TransportError::kTimeout) &&
               static_cast<int>(repl::LinkError::kCorrupt) == static_cast<int>(TransportError::kCorrupt));
 

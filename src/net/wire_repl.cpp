@@ -60,7 +60,10 @@ void WirePrimary::abort_transaction() {
 
 void WirePrimary::commit_transaction() {
   local_->commit_transaction();
-  pipeline_.commit(local_->committed_seq());
+  // Asynchronous group commit: defaults (W=1, G=1) ship and wait exactly
+  // like the old blocking commit; wider settings return once the in-flight
+  // window has room (wait()/sync() restore blocking semantics per ticket).
+  pipeline_.commit_async(local_->committed_seq());
 }
 
 int WirePrimary::recover() {

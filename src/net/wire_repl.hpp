@@ -15,6 +15,7 @@
 //   kHello         u64 db_size | u64 committed_seq     (primary -> backup)
 //   kDbChunk       u64 offset  | bytes                 full image transfer
 //   kRedoBatch     u64 seq | { u32 db_off, u32 len, bytes }*  one transaction
+//   kRedoGroup     u32 count | { u32 len, kRedoBatch payload }*  group commit
 //   kHeartbeat     u64 committed_seq
 //   kConsumerAck   u64 applied_seq                     (backup -> primary)
 //   kRejoinRequest u64 last_applied_seq | u64 node_id | u64 state_epoch
@@ -99,6 +100,18 @@ class WirePrimary final : public core::TransactionStore,
   unsigned quorum() const { return pipeline_.quorum(); }
   repl::RedoPipeline::CommitOutcome last_commit_outcome() const {
     return pipeline_.last_commit_outcome();
+  }
+
+  // Group commit with a bounded in-flight window (see repl/pipeline.hpp).
+  // Defaults (W=1, G=1) reproduce the classic per-commit behavior exactly.
+  void set_commit_window(unsigned w) { pipeline_.set_commit_window(w); }
+  unsigned commit_window() const { return pipeline_.commit_window(); }
+  void set_group_size(unsigned g) { pipeline_.set_group_size(g); }
+  unsigned group_size() const { return pipeline_.group_size(); }
+  // Flush any buffered group and resolve every outstanding ticket.
+  repl::RedoPipeline::CommitOutcome sync() { return pipeline_.sync(); }
+  repl::RedoPipeline::CommitOutcome wait(repl::RedoPipeline::CommitTicket t) {
+    return pipeline_.wait(t);
   }
 
   void begin_transaction() override;

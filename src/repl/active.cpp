@@ -76,6 +76,8 @@ bool ActiveBackup::try_apply_one() {
   // re-checks.
   std::vector<RedoChunk> chunks;
   std::uint64_t pos = consumer_;
+  std::uint64_t first_seq = 0;
+  std::uint64_t last_seq = 0;
   bool found = false;
   while (pos - consumer_ < cap) {
     const std::uint64_t phys = pos % cap;
@@ -99,6 +101,26 @@ bool ActiveBackup::try_apply_one() {
       std::memcpy(&crc, data_ + phys + sizeof hdr + 4, 4);
       if (crc != ring_crc(consumer_, pos)) break;  // torn: bytes still in flight
       pos += kCommitMarkerBytes;
+      first_seq = last_seq = applier_.next_expected_seq();
+      found = true;
+      break;
+    }
+    if (hdr.db_off == RedoEntryHeader::kGroupMarker) {
+      // Group unit {first, last, crc}: apply all of the group's transactions
+      // or none of them (the checksum covers every byte back to consumer_).
+      if (hdr.len != 12 || kGroupMarkerBytes > cap - phys) break;  // torn / stale
+      std::uint32_t first32;
+      std::uint32_t last32;
+      std::uint32_t crc;
+      std::memcpy(&first32, data_ + phys + sizeof hdr, 4);
+      std::memcpy(&last32, data_ + phys + sizeof hdr + 4, 4);
+      std::memcpy(&crc, data_ + phys + sizeof hdr + 8, 4);
+      if (first32 != static_cast<std::uint32_t>(applier_.next_expected_seq())) break;  // stale lap
+      if (last32 < first32) break;  // stale garbage
+      if (crc != ring_crc(consumer_, pos)) break;  // torn: bytes still in flight
+      pos += kGroupMarkerBytes;
+      first_seq = applier_.next_expected_seq();
+      last_seq = first_seq + (last32 - first32);
       found = true;
       break;
     }
@@ -109,9 +131,10 @@ bool ActiveBackup::try_apply_one() {
   }
   if (!found) return false;
 
-  // Second pass: hand the decoded batch to the shared protocol engine,
-  // which applies it through our Target (charging the cache model).
-  if (!applier_.apply_decoded(applier_.next_expected_seq(), chunks.data(), chunks.size(),
+  // Second pass: hand the decoded unit (one transaction, or a whole group)
+  // to the shared protocol engine, which applies it through our Target
+  // (charging the cache model).
+  if (!applier_.apply_decoded(first_seq, last_seq, chunks.data(), chunks.size(),
                               applier_.epoch())) {
     return false;
   }
@@ -251,7 +274,11 @@ void ActivePrimary::abort_transaction() {
 
 void ActivePrimary::commit_transaction() {
   local_->commit_transaction();
-  pipeline_.commit(local_->committed_seq());
+  // Asynchronous group commit: with the default window (W=1) and group size
+  // (G=1) this ships and waits exactly like the old blocking commit; wider
+  // settings return once the in-flight window has room (wait()/sync() give
+  // back the blocking semantics per ticket).
+  pipeline_.commit_async(local_->committed_seq());
 }
 
 int ActivePrimary::recover() {

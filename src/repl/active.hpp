@@ -167,6 +167,18 @@ class ActivePrimary final : public core::TransactionStore,
   bool two_safe() const { return pipeline_.two_safe(); }
   sim::SimTime two_safe_wait_ns() const;
 
+  // Group commit with a bounded in-flight window (see repl/pipeline.hpp):
+  // up to G commits coalesce into one ring unit and up to W shipped
+  // sequences may await acks before commit_transaction blocks. Defaults
+  // (W=1, G=1) reproduce the classic blocking commit byte-for-byte.
+  void set_commit_window(unsigned w) { pipeline_.set_commit_window(w); }
+  unsigned commit_window() const { return pipeline_.commit_window(); }
+  void set_group_size(unsigned g) { pipeline_.set_group_size(g); }
+  unsigned group_size() const { return pipeline_.group_size(); }
+  // Flush any buffered group and resolve every outstanding ticket.
+  RedoPipeline::CommitOutcome sync() { return pipeline_.sync(); }
+  RedoPipeline::CommitOutcome wait(RedoPipeline::CommitTicket t) { return pipeline_.wait(t); }
+
   void begin_transaction() override;
   void set_range(void* base, std::size_t len) override;
   void commit_transaction() override;

@@ -45,6 +45,7 @@ enum class FrameKind : std::uint8_t {
   kRejoinRequest = 6,  // backup -> primary: last applied seq, node, state epoch
   kRejoinDelta = 7,    // primary -> backup: u64 from_seq | u64 batch count
   kEpochFence = 8,     // receiver -> stale sender: u64 current epoch
+  kRedoGroup = 9,      // group commit: several contiguous kRedoBatch payloads
 };
 
 struct Frame {
@@ -75,6 +76,12 @@ class ReplicationLink {
   // (drain coalescing write buffers, flush socket buffers). Used by 2-safe
   // commits before waiting for the covering acknowledgment.
   virtual void flush() {}
+
+  // Cumulative nanoseconds this link has blocked its sender awaiting
+  // acknowledgments — VIRTUAL time on co-simulated carriers (so metrics
+  // derived from it stay byte-stable run to run). Wall-clock transports
+  // return nullopt and the engine falls back to measuring wall time.
+  virtual std::optional<std::uint64_t> blocked_wait_ns() const { return std::nullopt; }
 };
 
 }  // namespace vrep::repl

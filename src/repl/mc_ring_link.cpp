@@ -54,6 +54,9 @@ bool McRingLink::send(FrameKind kind, std::uint64_t epoch, const void* payload,
     case FrameKind::kRedoBatch:
       encode_batch(static_cast<const std::uint8_t*>(payload), len);
       return true;
+    case FrameKind::kRedoGroup:
+      encode_group(static_cast<const std::uint8_t*>(payload), len);
+      return true;
     default:
       // Heartbeats are meaningless between co-simulated nodes (the backup is
       // polled synchronously at exact virtual times), and image transfer /
@@ -162,8 +165,7 @@ void McRingLink::emit_entry(const RedoEntryHeader& hdr, const void* payload,
   }
 }
 
-void McRingLink::encode_batch(const std::uint8_t* payload, std::size_t len) {
-  const std::uint64_t txn_start = producer_;
+void McRingLink::encode_chunks(const std::uint8_t* payload, std::size_t len) {
   BatchReader reader(payload, len);
   RedoChunk chunk;
   while (reader.next(&chunk)) {
@@ -180,39 +182,40 @@ void McRingLink::encode_batch(const std::uint8_t* payload, std::size_t len) {
       remaining -= piece;
     }
   }
-  // Pre-pad if the marker would wrap, so the checksummed range ends exactly
-  // at the marker header on both sides.
-  {
-    const std::uint64_t phys = producer_ % ring_capacity_;
-    const std::uint64_t remaining = ring_capacity_ - phys;
-    if (remaining < kCommitMarkerBytes) {
-      reserve_ring_space(remaining + kCommitMarkerBytes);
-      if (remaining >= sizeof(RedoEntryHeader)) {
-        const RedoEntryHeader pad{RedoEntryHeader::kPadMarker, 0};
-        bus_->write(ring_data_ + phys, &pad, sizeof pad, TrafficClass::kMeta);
-      }
-      producer_ += remaining;
-    }
-  }
-  // Checksum the transaction's ring bytes (see redo_ring.hpp for why).
-  Crc32 crc;
-  {
-    std::uint64_t pos = txn_start;
-    while (pos < producer_) {
-      const std::uint64_t phys = pos % ring_capacity_;
-      const std::uint64_t chunk_len = std::min(producer_ - pos, ring_capacity_ - phys);
-      crc.update(ring_data_ + phys, chunk_len);
-      pos += chunk_len;
-    }
-    bus_->charge(static_cast<sim::SimTime>(
-        static_cast<double>(producer_ - txn_start) * bus_->cost().checksum_byte_ns));
-  }
-  struct {
-    std::uint32_t seq;
-    std::uint32_t crc;
-  } marker{static_cast<std::uint32_t>(batch_seq(payload)), crc.value()};
-  emit_entry(RedoEntryHeader{RedoEntryHeader::kCommitMarker, 8}, &marker, 8);
+}
 
+// Pre-pad if the marker would wrap, so the checksummed range ends exactly
+// at the marker header on both sides.
+void McRingLink::pre_pad_for_marker(std::uint64_t marker_bytes) {
+  const std::uint64_t phys = producer_ % ring_capacity_;
+  const std::uint64_t remaining = ring_capacity_ - phys;
+  if (remaining < marker_bytes) {
+    reserve_ring_space(remaining + marker_bytes);
+    if (remaining >= sizeof(RedoEntryHeader)) {
+      const RedoEntryHeader pad{RedoEntryHeader::kPadMarker, 0};
+      bus_->write(ring_data_ + phys, &pad, sizeof pad, TrafficClass::kMeta);
+    }
+    producer_ += remaining;
+  }
+}
+
+// Checksum the unit's ring bytes from txn_start up to the current producer
+// cursor (see redo_ring.hpp for why).
+std::uint32_t McRingLink::seal_crc(std::uint64_t txn_start) {
+  Crc32 crc;
+  std::uint64_t pos = txn_start;
+  while (pos < producer_) {
+    const std::uint64_t phys = pos % ring_capacity_;
+    const std::uint64_t chunk_len = std::min(producer_ - pos, ring_capacity_ - phys);
+    crc.update(ring_data_ + phys, chunk_len);
+    pos += chunk_len;
+  }
+  bus_->charge(static_cast<sim::SimTime>(
+      static_cast<double>(producer_ - txn_start) * bus_->cost().checksum_byte_ns));
+  return crc.value();
+}
+
+void McRingLink::finish_unit() {
   // No barrier, no pointer write: the sequential stream self-describes, so
   // the write buffers emit full 32-byte packets. Poll the (busy-waiting)
   // backup at the time the traffic generated so far lands.
@@ -222,6 +225,44 @@ void McRingLink::encode_batch(const std::uint8_t* payload, std::size_t len) {
   static metrics::Gauge& occupancy = metrics::gauge("repl.link.ring_occupancy_peak");
   occupancy.update_max(static_cast<std::int64_t>(
       producer_ - backup_->consumer_visible(bus_->clock()->now())));
+}
+
+void McRingLink::encode_batch(const std::uint8_t* payload, std::size_t len) {
+  const std::uint64_t txn_start = producer_;
+  encode_chunks(payload, len);
+  pre_pad_for_marker(kCommitMarkerBytes);
+  struct {
+    std::uint32_t seq;
+    std::uint32_t crc;
+  } marker{static_cast<std::uint32_t>(batch_seq(payload)), 0};
+  marker.crc = seal_crc(txn_start);
+  emit_entry(RedoEntryHeader{RedoEntryHeader::kCommitMarker, 8}, &marker, 8);
+  finish_unit();
+}
+
+void McRingLink::encode_group(const std::uint8_t* payload, std::size_t len) {
+  const std::uint64_t txn_start = producer_;
+  GroupReader reader(payload, len);
+  std::uint64_t first_seq = 0;
+  std::uint64_t last_seq = 0;
+  const std::uint8_t* sub = nullptr;
+  std::size_t sub_len = 0;
+  while (reader.next(&sub, &sub_len)) {
+    const std::uint64_t seq = batch_seq(sub);
+    if (first_seq == 0) first_seq = seq;
+    last_seq = seq;
+    encode_chunks(sub, sub_len);
+  }
+  VREP_CHECK(first_seq != 0 && "empty redo group");
+  pre_pad_for_marker(kGroupMarkerBytes);
+  struct {
+    std::uint32_t first;
+    std::uint32_t last;
+    std::uint32_t crc;
+  } marker{static_cast<std::uint32_t>(first_seq), static_cast<std::uint32_t>(last_seq), 0};
+  marker.crc = seal_crc(txn_start);
+  emit_entry(RedoEntryHeader{RedoEntryHeader::kGroupMarker, 12}, &marker, 12);
+  finish_unit();
 }
 
 }  // namespace vrep::repl

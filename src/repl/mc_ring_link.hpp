@@ -47,6 +47,9 @@ class McRingLink final : public ReplicationLink {
   // Push the trailing partial packet out of the write buffers and let the
   // backup apply; the 2-safe commit wait starts here.
   void flush() override;
+  std::optional<std::uint64_t> blocked_wait_ns() const override {
+    return static_cast<std::uint64_t>(two_safe_wait_ns_);
+  }
 
   std::uint64_t producer() const { return producer_; }
   // Base of this link's local ring shadow (multi-backup primaries place the
@@ -57,6 +60,14 @@ class McRingLink final : public ReplicationLink {
 
  private:
   void encode_batch(const std::uint8_t* payload, std::size_t len);
+  // Group commit: all sub-batches' entries followed by ONE checksummed group
+  // marker {first_seq, last_seq, crc} — the backup applies the whole group
+  // or nothing (see redo_ring.hpp).
+  void encode_group(const std::uint8_t* payload, std::size_t len);
+  void encode_chunks(const std::uint8_t* payload, std::size_t len);
+  void pre_pad_for_marker(std::uint64_t marker_bytes);
+  std::uint32_t seal_crc(std::uint64_t txn_start);
+  void finish_unit();
   void emit_entry(const RedoEntryHeader& hdr, const void* payload, std::size_t payload_len);
   void reserve_ring_space(std::uint64_t bytes);
   void ring_write(const void* src, std::size_t len, sim::TrafficClass cls);

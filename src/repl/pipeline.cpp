@@ -1,6 +1,7 @@
 #include "repl/pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <string>
 
@@ -65,6 +66,48 @@ bool BatchReader::next(RedoChunk* out) {
   return true;
 }
 
+bool group_valid(const std::uint8_t* payload, std::size_t size, std::size_t db_size) {
+  if (size < 4) return false;
+  std::uint32_t count;
+  std::memcpy(&count, payload, 4);
+  if (count < 1) return false;
+  std::size_t at = 4;
+  std::uint64_t expect_seq = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (at + 4 > size) return false;
+    std::uint32_t len;
+    std::memcpy(&len, payload + at, 4);
+    at += 4;
+    if (len < 8 || at + len > size) return false;
+    if (!batch_valid(payload + at, len, db_size)) return false;
+    const std::uint64_t seq = batch_seq(payload + at);
+    if (i == 0) {
+      expect_seq = seq;
+    } else if (seq != expect_seq) {
+      return false;  // sub-batches must be contiguous ascending
+    }
+    expect_seq = seq + 1;
+    at += len;
+  }
+  return at == size;
+}
+
+GroupReader::GroupReader(const std::uint8_t* payload, std::size_t size)
+    : payload_(payload), size_(size) {
+  std::memcpy(&count_, payload, 4);
+}
+
+bool GroupReader::next(const std::uint8_t** batch, std::size_t* len) {
+  if (at_ + 4 > size_) return false;
+  std::uint32_t sub_len;
+  std::memcpy(&sub_len, payload_ + at_, 4);
+  at_ += 4;
+  *batch = payload_ + at_;
+  *len = sub_len;
+  at_ += sub_len;
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // RedoPipeline
 // ---------------------------------------------------------------------------
@@ -86,6 +129,7 @@ std::size_t RedoPipeline::add_peer(ReplicationLink* link) {
   slot.shipped = &metrics::counter(prefix + ".txns_shipped");
   slot.acked = &metrics::gauge(prefix + ".acked_seq");
   peers_.push_back(slot);
+  recompute_quorum_acked();  // the table grew: the K-th watermark may drop
   return index;
 }
 
@@ -93,6 +137,15 @@ void RedoPipeline::attach_link(std::size_t peer, ReplicationLink* link) {
   PeerSlot& p = peers_[peer];
   p.link = link;
   p.alive = link != nullptr && link->connected();
+}
+
+void RedoPipeline::remove_peer(std::size_t peer) {
+  PeerSlot& p = peers_[peer];
+  p.link = nullptr;
+  p.alive = false;
+  p.acked_seq = 0;
+  p.acked->set(0);
+  recompute_quorum_acked();
 }
 
 std::size_t RedoPipeline::live_peers() const {
@@ -116,28 +169,40 @@ std::uint64_t RedoPipeline::backup_acked_seq() const {
   return best;
 }
 
-std::uint64_t RedoPipeline::quorum_acked_seq() const {
+void RedoPipeline::recompute_quorum_acked() {
   // K-th highest acknowledged sequence: everything at or below it has been
-  // acknowledged by at least `quorum_` peers.
-  if (peers_.size() < quorum_) return 0;
+  // acknowledged by at least `quorum_` peers. This full scan runs only when
+  // an ack advances or the peer table / quorum changes; every other query
+  // reads the cache (repl.primary.quorum_scans counts the scans).
+  metrics::counter("repl.primary.quorum_scans").add(1);
+  if (peers_.size() < quorum_) {
+    quorum_acked_cache_ = 0;
+    return;
+  }
   std::vector<std::uint64_t> acks;
   acks.reserve(peers_.size());
   for (const PeerSlot& p : peers_) acks.push_back(p.acked_seq);
   std::sort(acks.begin(), acks.end(), std::greater<>());
-  return acks[quorum_ - 1];
+  quorum_acked_cache_ = acks[quorum_ - 1];
 }
 
 void RedoPipeline::set_quorum(unsigned k) {
   VREP_CHECK(k >= 1);
   quorum_ = k;
+  recompute_quorum_acked();
 }
 
-bool RedoPipeline::quorum_met(std::uint64_t seq) const {
-  unsigned covered = 0;
-  for (const PeerSlot& p : peers_) {
-    if (p.acked_seq >= seq) covered++;
-  }
-  return covered >= quorum_;
+void RedoPipeline::set_group_size(unsigned g) {
+  VREP_CHECK(g >= 1);
+  // Shrinking the group below what is already buffered would strand the
+  // excess; flush first so the new size applies cleanly from here on.
+  if (pending_group_.size() >= g) ship_group();
+  group_size_ = g;
+}
+
+void RedoPipeline::set_commit_window(unsigned w) {
+  VREP_CHECK(w >= 1);
+  window_ = w;
 }
 
 bool RedoPipeline::link_send(PeerSlot& peer, FrameKind kind, const void* payload,
@@ -182,6 +247,7 @@ void RedoPipeline::on_control_frame(PeerSlot& peer, const Frame& frame) {
         if (v > peer.acked_seq) {
           peer.acked_seq = v;
           peer.acked->set(static_cast<std::int64_t>(v));
+          recompute_quorum_acked();
         }
       }
       break;
@@ -232,17 +298,33 @@ void RedoPipeline::drain(PeerSlot& peer) {
   }
 }
 
-void RedoPipeline::wait_acked(std::uint64_t seq) {
-  // Push the batch all the way onto every carrier, then probe: the heartbeat
-  // carries our committed sequence, and a caught-up backup answers it with
-  // an immediate ack (a behind one requests resync, which serve_rejoin
-  // repairs right here in the wait loop).
+void RedoPipeline::wait_covered(std::uint64_t target) {
+  // Push the shipped frames all the way onto every carrier, then probe: the
+  // heartbeat carries our shipped sequence, and a caught-up backup answers
+  // it with an immediate ack (a behind one requests resync, which
+  // serve_rejoin repairs right here in the wait loop).
+  // Wait accounting: co-simulated carriers report their blocking time in
+  // virtual nanoseconds, which keeps the metric byte-stable across runs;
+  // only when every link is wall-clock do we fall back to measuring wall
+  // time ourselves.
+  const auto virtual_wait = [&]() -> std::optional<std::uint64_t> {
+    std::optional<std::uint64_t> total;
+    for (const PeerSlot& p : peers_) {
+      if (p.link == nullptr) continue;
+      if (const auto ns = p.link->blocked_wait_ns(); ns.has_value()) {
+        total = total.value_or(0) + *ns;
+      }
+    }
+    return total;
+  };
+  const std::optional<std::uint64_t> virt0 = virtual_wait();
+  const auto t0 = std::chrono::steady_clock::now();
   for (PeerSlot& p : peers_) {
     if (p.link != nullptr) p.link->flush();
   }
   const auto probe = [&](PeerSlot& p) {
-    const std::uint64_t committed = source_.committed_seq();
-    if (p.alive && !fenced_ && !link_send(p, FrameKind::kHeartbeat, &committed, 8)) {
+    const std::uint64_t shipped = shipped_watermark();
+    if (p.alive && !fenced_ && !link_send(p, FrameKind::kHeartbeat, &shipped, 8)) {
       p.alive = false;
     }
   };
@@ -250,11 +332,11 @@ void RedoPipeline::wait_acked(std::uint64_t seq) {
     probe(p);
     p.silent = 0;
   }
-  while (!fenced_ && !quorum_met(seq)) {
+  while (!fenced_ && quorum_acked_cache_ < target) {
     bool any_waiting = false;
     for (PeerSlot& p : peers_) {
-      if (fenced_ || quorum_met(seq)) break;
-      if (!p.alive || p.acked_seq >= seq) continue;
+      if (fenced_ || quorum_acked_cache_ >= target) break;
+      if (!p.alive || p.acked_seq >= target) continue;
       any_waiting = true;
       auto frame = p.link->recv(kTwoSafeRecvTimeoutMs);
       if (!frame.has_value()) {
@@ -284,6 +366,30 @@ void RedoPipeline::wait_acked(std::uint64_t seq) {
     // degrades to whatever coverage it already has.
     if (!any_waiting) break;
   }
+  const std::optional<std::uint64_t> virt1 = virtual_wait();
+  metrics::counter("repl.primary.commit_wait_ns")
+      .add(virt1.has_value()
+               ? *virt1 - virt0.value_or(0)
+               : static_cast<std::uint64_t>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count()));
+  // Coverage unreachable (peers dead/silent or we were fenced): resolve
+  // every outstanding ticket now instead of leaving the window dangling.
+  if (quorum_acked_cache_ < target) note_degraded();
+}
+
+void RedoPipeline::note_degraded() {
+  // Every ticket up to the newest one resolves: quorum-covered ones durable,
+  // the rest degraded (locally durable only). Counted per newly degraded
+  // transaction so the classic one-commit-at-a-time path still counts one
+  // per degraded commit.
+  const std::uint64_t resolved = std::max(degraded_upto_, quorum_acked_cache_);
+  if (last_ticket_seq_ <= resolved) return;
+  const std::uint64_t newly = last_ticket_seq_ - resolved;
+  degraded_upto_ = last_ticket_seq_;
+  stats_.two_safe_degraded += newly;
+  metrics::counter("repl.primary.two_safe_degraded").add(newly);
 }
 
 void RedoPipeline::push_history(std::uint64_t seq) {
@@ -295,49 +401,152 @@ void RedoPipeline::push_history(std::uint64_t seq) {
   }
 }
 
-RedoPipeline::CommitOutcome RedoPipeline::commit(std::uint64_t seq) {
-  std::memcpy(batch_.data(), &seq, 8);
-  // Retain the batch even while every link is down or we are fenced: a later
-  // rejoin (ours or a backup's) replays from this history.
-  push_history(seq);
-  // 1-safe: fire and forget to every live peer; a send failure marks that
-  // peer down but never blocks or fails the local commit.
+void RedoPipeline::ship_group() {
+  if (pending_group_.empty()) return;
+  const std::size_t count = pending_group_.size();
+  // A single-transaction group ships as the classic kRedoBatch frame,
+  // byte-identical to the ungrouped stream; 2+ coalesce into one kRedoGroup
+  // frame that every backend delivers (and applies) atomically.
+  FrameKind kind = FrameKind::kRedoBatch;
+  const std::uint8_t* payload = pending_group_[0].batch.data();
+  std::size_t payload_len = pending_group_[0].batch.size();
+  std::vector<std::uint8_t> group;
+  if (count > 1) {
+    kind = FrameKind::kRedoGroup;
+    append_u32(group, static_cast<std::uint32_t>(count));
+    for (const PendingTxn& txn : pending_group_) {
+      append_u32(group, static_cast<std::uint32_t>(txn.batch.size()));
+      group.insert(group.end(), txn.batch.begin(), txn.batch.end());
+    }
+    payload = group.data();
+    payload_len = group.size();
+  }
+  // Fire and forget to every live peer; a send failure marks that peer down
+  // but never blocks or fails the local commits (1-safe semantics — the
+  // 2-safe wait is the caller's window backpressure).
   bool shipped = false;
   for (PeerSlot& p : peers_) {
     if (!p.alive || fenced_) continue;
-    if (link_send(p, FrameKind::kRedoBatch, batch_.data(), batch_.size())) {
-      p.shipped->add(1);
+    if (link_send(p, kind, payload, payload_len)) {
+      p.shipped->add(static_cast<std::uint64_t>(count));
       shipped = true;
     } else {
       p.alive = false;
     }
   }
+  shipped_seq_ = pending_group_.back().seq;
   if (shipped) {
-    stats_.txns_shipped++;
-    metrics::counter("repl.primary.txns_shipped").add(1);
+    stats_.txns_shipped += count;
+    metrics::counter("repl.primary.txns_shipped").add(count);
   }
   for (PeerSlot& p : peers_) {
     if (p.alive) drain(p);
   }
-  // 2-safe: additionally hold the commit until a quorum of backup
-  // acknowledgments covers this transaction.
+  metrics::timer("repl.primary.group_size").record(count);
+  const std::uint64_t in_flight =
+      shipped_seq_ - std::min(shipped_seq_, quorum_acked_cache_);
+  metrics::gauge("repl.primary.inflight_window")
+      .update_max(static_cast<std::int64_t>(in_flight));
+  pending_group_.clear();
+}
+
+std::uint64_t RedoPipeline::shipped_watermark() const {
+  // What heartbeats claim: the committed prefix that has actually been
+  // handed to the carriers. Transactions buffered in an unshipped group must
+  // not make a caught-up backup think it has a gap — but a pipeline attached
+  // to pre-existing committed state (nothing shipped, nothing pending) still
+  // claims that state so a behind backup notices and resyncs.
+  return source_.committed_seq() - pending_group_.size();
+}
+
+std::uint64_t RedoPipeline::window_target() const {
+  // The commit may proceed while at most window_-1 shipped sequences are
+  // unacked, i.e. acks must cover everything older than the newest
+  // window_-1. W=1 target == shipped_seq_: the classic full block.
+  return shipped_seq_ - std::min<std::uint64_t>(shipped_seq_, window_ - 1);
+}
+
+RedoPipeline::CommitOutcome RedoPipeline::outcome_of(std::uint64_t seq) const {
+  switch (ticket_state(CommitTicket{seq})) {
+    case TicketState::kDurable:
+      // Durable via quorum coverage in 2-safe mode is the quorum guarantee;
+      // a 1-safe commit only ever promises local durability (even if acks
+      // happen to cover it).
+      return (two_safe_ && seq <= quorum_acked_cache_) ? CommitOutcome::kQuorumDurable
+                                                       : CommitOutcome::kLocalDurable;
+    case TicketState::kDegraded:
+    case TicketState::kLost:
+      return CommitOutcome::kTwoSafeDegraded;
+    case TicketState::kPending:
+      break;
+  }
+  return CommitOutcome::kPending;
+}
+
+RedoPipeline::TicketState RedoPipeline::ticket_state(CommitTicket ticket) const {
+  const std::uint64_t seq = ticket.seq;
+  if (seq <= quorum_acked_cache_) return TicketState::kDurable;
+  if (seq <= local_resolved_upto_) return TicketState::kDurable;  // 1-safe commit
+  if (fenced_) return TicketState::kLost;  // committed past a lost lineage's fence
+  if (seq <= degraded_upto_) return TicketState::kDegraded;
+  return TicketState::kPending;
+}
+
+RedoPipeline::CommitTicket RedoPipeline::commit_async(std::uint64_t seq) {
+  std::memcpy(batch_.data(), &seq, 8);
+  // Retain the batch even while every link is down or we are fenced: a later
+  // rejoin (ours or a backup's) replays from this history.
+  push_history(seq);
+  pending_group_.push_back(PendingTxn{seq, std::move(batch_)});
+  batch_.clear();
+  last_ticket_seq_ = seq;
+  if (pending_group_.size() >= group_size_) ship_group();
   CommitOutcome outcome = CommitOutcome::kLocalDurable;
-  if (two_safe_) {
-    wait_acked(seq);
-    if (quorum_met(seq)) {
-      outcome = CommitOutcome::kQuorumDurable;
-    } else {
-      // Degraded to 1-safe: locally durable, but the quorum guarantee this
-      // commit was asked for does not hold. Surface it — callers decide
-      // whether to stall, alert, or accept the reduced safety.
-      outcome = CommitOutcome::kTwoSafeDegraded;
-      stats_.two_safe_degraded++;
-      metrics::counter("repl.primary.two_safe_degraded").add(1);
+  if (!two_safe_) {
+    // 1-safe: locally durable the moment the local store committed; the
+    // ticket resolves immediately.
+    local_resolved_upto_ = seq;
+  } else {
+    // 2-safe: the bounded in-flight window is the backpressure. With W=1 we
+    // take the classic path unconditionally whenever this commit shipped its
+    // own sequence (flush + probe + wait until covered — byte-identical to
+    // the historical blocking commit); a wider window blocks only once more
+    // than W-1 shipped sequences are unacked.
+    if (window_ == 1) {
+      if (shipped_seq_ == seq) wait_covered(seq);
+    } else if (shipped_seq_ > 0 && window_target() > quorum_acked_cache_) {
+      wait_covered(window_target());
     }
+    outcome = outcome_of(seq);
   }
   last_commit_outcome_ = outcome;
-  batch_.clear();
+  return CommitTicket{seq};
+}
+
+RedoPipeline::CommitOutcome RedoPipeline::wait(CommitTicket ticket) {
+  VREP_CHECK(ticket.seq <= last_ticket_seq_ && "wait() on a ticket never issued");
+  // Already resolved: answer from the watermarks without touching any link.
+  if (ticket_state(ticket) == TicketState::kPending) {
+    // The covering group may still be buffered; ship it before waiting.
+    if (!pending_group_.empty() && pending_group_.front().seq <= ticket.seq) ship_group();
+    if (two_safe_ && ticket.seq > quorum_acked_cache_) wait_covered(ticket.seq);
+  }
+  const CommitOutcome outcome = outcome_of(ticket.seq);
+  last_commit_outcome_ = outcome;
   return outcome;
+}
+
+RedoPipeline::CommitOutcome RedoPipeline::sync() {
+  ship_group();
+  if (!two_safe_ || shipped_seq_ == 0) return CommitOutcome::kLocalDurable;
+  if (quorum_acked_cache_ < shipped_seq_) wait_covered(shipped_seq_);
+  const CommitOutcome outcome = outcome_of(shipped_seq_);
+  last_commit_outcome_ = outcome;
+  return outcome;
+}
+
+RedoPipeline::CommitOutcome RedoPipeline::commit(std::uint64_t seq) {
+  return wait(commit_async(seq));
 }
 
 bool RedoPipeline::sync_peer(PeerSlot& peer) {
@@ -477,7 +686,7 @@ bool RedoPipeline::handle_rejoin(std::size_t peer, int timeout_ms) {
 }
 
 bool RedoPipeline::send_heartbeat() {
-  const std::uint64_t seq = source_.committed_seq();
+  const std::uint64_t seq = shipped_watermark();
   for (PeerSlot& p : peers_) {
     if (p.alive && !fenced_ && !link_send(p, FrameKind::kHeartbeat, &seq, 8)) {
       p.alive = false;
@@ -530,39 +739,97 @@ void RedoApplier::note_corrupt_skipped(ReplicationLink& link) {
   maybe_request_resync(link);
 }
 
+void RedoApplier::apply_validated(const std::uint8_t* payload, std::size_t size) {
+  BatchReader reader(payload, size);
+  RedoChunk chunk;
+  while (reader.next(&chunk)) target_.write(chunk.db_off, chunk.data, chunk.len);
+  applied_seq_ = batch_seq(payload);
+}
+
 bool RedoApplier::apply_batch(const Frame& frame) {
   // Validate the whole batch before touching the image so a malformed frame
   // is never applied partially (the backup's image must only ever hold
   // whole transactions).
   if (!batch_valid(frame.payload.data(), frame.payload.size(), db_size_)) return false;
-  BatchReader reader(frame.payload.data(), frame.payload.size());
-  RedoChunk chunk;
-  while (reader.next(&chunk)) target_.write(chunk.db_off, chunk.data, chunk.len);
-  applied_seq_ = batch_seq(frame.payload.data());
+  apply_validated(frame.payload.data(), frame.payload.size());
   return true;
 }
 
-bool RedoApplier::apply_decoded(std::uint64_t seq, const RedoChunk* chunks, std::size_t count,
+bool RedoApplier::apply_decoded(std::uint64_t first_seq, std::uint64_t last_seq,
+                                const RedoChunk* chunks, std::size_t count,
                                 std::uint64_t epoch) {
-  if (seq <= applied_seq_) {
+  VREP_CHECK(first_seq <= last_seq);
+  if (last_seq <= applied_seq_) {
     stats_.duplicates_ignored++;  // duplicate, replay, or stale ring lap
     metrics::counter("repl.backup.duplicates_ignored").add(1);
     return false;
   }
-  if (seq != applied_seq_ + 1) {
+  if (first_seq != applied_seq_ + 1) {
     stats_.gaps_detected++;
     metrics::counter("repl.backup.gaps_detected").add(1);
     return false;
   }
+  // The carrier guaranteed the group arrived whole (ring group checksum /
+  // frame CRC), so the [first_seq, last_seq] range applies atomically.
   for (std::size_t i = 0; i < count; ++i) {
     VREP_CHECK(chunks[i].db_off + std::uint64_t{chunks[i].len} <= db_size_);
     target_.write(chunks[i].db_off, chunks[i].data, chunks[i].len);
   }
-  applied_seq_ = seq;
+  applied_seq_ = last_seq;
   state_epoch_ = epoch;
-  stats_.batches_applied++;
-  metrics::counter("repl.backup.batches_applied").add(1);
+  const std::uint64_t applied = last_seq - first_seq + 1;
+  stats_.batches_applied += applied;
+  metrics::counter("repl.backup.batches_applied").add(applied);
   return true;
+}
+
+void RedoApplier::on_group_frame(const Frame& frame, ReplicationLink& link) {
+  if (!image_complete()) {
+    maybe_request_resync(link);
+    return;
+  }
+  // Validate the whole group — structure, every sub-batch, and the
+  // contiguity of their sequences — before touching the image: a group is
+  // applied in full or not at all, never partially.
+  if (!group_valid(frame.payload.data(), frame.payload.size(), db_size_)) {
+    note_corrupt_skipped(link);
+    return;
+  }
+  GroupReader group(frame.payload.data(), frame.payload.size());
+  const std::uint8_t* sub;
+  std::size_t sub_len;
+  VREP_CHECK(group.next(&sub, &sub_len));
+  const std::uint64_t first = batch_seq(sub);
+  const std::uint64_t last = first + group.count() - 1;
+  if (last <= applied_seq_) {
+    stats_.duplicates_ignored++;  // whole group replayed (duplicate fault)
+    metrics::counter("repl.backup.duplicates_ignored").add(1);
+    return;
+  }
+  if (first > applied_seq_ + 1) {
+    // A frame before this group went missing: resync from the last good
+    // sequence instead of applying on top of a hole.
+    stats_.gaps_detected++;
+    metrics::counter("repl.backup.gaps_detected").add(1);
+    maybe_request_resync(link);
+    return;
+  }
+  // Sub-batches at or below applied_seq_ are delta-replay overlap; the rest
+  // apply in sequence order. Everything is pre-validated, so from here the
+  // group cannot fail partway.
+  std::uint64_t applied = 0;
+  do {
+    if (batch_seq(sub) > applied_seq_) {
+      apply_validated(sub, sub_len);
+      applied++;
+    }
+  } while (group.next(&sub, &sub_len));
+  state_epoch_ = frame.epoch;
+  stats_.batches_applied += applied;
+  metrics::counter("repl.backup.batches_applied").add(applied);
+  // One ack per group frame: the primary's in-flight window drains at group
+  // granularity, so per-group acks are what keep it moving.
+  link.send(FrameKind::kConsumerAck, epoch(), &applied_seq_, 8);
 }
 
 RedoApplier::FrameResult RedoApplier::on_frame(const Frame& frame, ReplicationLink& link) {
@@ -669,6 +936,9 @@ RedoApplier::FrameResult RedoApplier::on_frame(const Frame& frame, ReplicationLi
       maybe_request_resync(link);
       break;
     }
+    case FrameKind::kRedoGroup:
+      on_group_frame(frame, link);
+      break;
     case FrameKind::kRejoinDelta: {
       if (frame.payload.size() != 16) break;
       std::uint64_t from, count;

@@ -71,6 +71,26 @@ bool batch_valid(const std::uint8_t* payload, std::size_t size, std::size_t db_s
 // The batch's sequence number (payload must hold at least 8 bytes).
 std::uint64_t batch_seq(const std::uint8_t* payload);
 
+// Group frame payload (kRedoGroup): [u32 count | { u32 len, batch payload }*]
+// where every sub-payload is a kRedoBatch payload and the sub-batch
+// sequences are contiguous and ascending. Structural validation (including
+// per-sub-batch batch_valid and the contiguity rule).
+bool group_valid(const std::uint8_t* payload, std::size_t size, std::size_t db_size);
+
+// Zero-copy iteration over a *validated* kRedoGroup payload's sub-batches.
+class GroupReader {
+ public:
+  GroupReader(const std::uint8_t* payload, std::size_t size);
+  std::uint32_t count() const { return count_; }
+  bool next(const std::uint8_t** batch, std::size_t* len);
+
+ private:
+  const std::uint8_t* payload_;
+  std::size_t size_;
+  std::size_t at_ = 4;
+  std::uint32_t count_ = 0;
+};
+
 // Zero-copy iteration over a *validated* batch payload's chunks.
 class BatchReader {
  public:
@@ -127,10 +147,32 @@ class RedoPipeline {
   // kTwoSafeDegraded when the wait exhausted its probes (peers dead or
   // silent) and the commit is durable locally only — the caller can tell a
   // quorum-durable commit from a degraded one instead of being lied to.
+  // kPending is only ever returned by commit_async(): the sequence sits
+  // inside the open in-flight window (or an unshipped group) and will be
+  // resolved by later acks, wait(), or sync().
   enum class CommitOutcome : std::uint8_t {
     kLocalDurable,
     kQuorumDurable,
     kTwoSafeDegraded,
+    kPending,
+  };
+
+  // Monotonically-numbered handle returned by commit_async(); the number is
+  // the transaction's replication sequence, so tickets resolve strictly in
+  // sequence order.
+  struct CommitTicket {
+    std::uint64_t seq = 0;
+  };
+
+  // Resolution state of a ticket, derived from the ack/degrade/fence
+  // watermarks in O(1). States only ever move forward, with one honest
+  // exception: a degraded ticket can later refine to durable if the covering
+  // acks eventually arrive (degraded means "not proven", not "proven lost").
+  enum class TicketState : std::uint8_t {
+    kPending,   // inside the open window: not yet proven either way
+    kDurable,   // 1-safe: locally durable; 2-safe: quorum-covered
+    kDegraded,  // 2-safe guarantee not met (peers dead/silent); local only
+    kLost,      // committed past the fence point of a lost primary lineage
   };
 
   // With a `membership`, outgoing frames carry its epoch and stale inbound
@@ -148,6 +190,11 @@ class RedoPipeline {
   void attach_link(std::size_t peer, ReplicationLink* link);
   void attach_link(ReplicationLink* link) { attach_link(0, link); }
 
+  // Tombstone a slot: the link is detached, the peer is dead, and its
+  // acknowledgments no longer count toward the quorum. Indices of the other
+  // slots are stable (the table never compacts).
+  void remove_peer(std::size_t peer);
+
   std::size_t peer_count() const { return peers_.size(); }
   bool peer_alive(std::size_t peer) const { return peers_[peer].alive; }
   std::uint64_t peer_acked_seq(std::size_t peer) const { return peers_[peer].acked_seq; }
@@ -164,8 +211,46 @@ class RedoPipeline {
   // marks that peer down but never fails the commit), and in 2-safe mode
   // block until a quorum of acknowledgments covers `seq`. The returned
   // outcome (also held in last_commit_outcome()) says what was guaranteed.
+  // Equivalent to commit_async(seq) followed by wait() on its ticket.
   CommitOutcome commit(std::uint64_t seq);
+
+  // Asynchronous group commit: stage the batch into the pending group
+  // (shipped once group_size() transactions have accumulated) and return a
+  // ticket immediately. 2-safe backpressure is the bounded in-flight window:
+  // the call blocks only while more than commit_window()-1 shipped sequences
+  // are unacked — with W=1, G=1 this is byte-identical to commit(). The
+  // commit's provisional outcome is in last_commit_outcome() (kPending while
+  // the window is open).
+  CommitTicket commit_async(std::uint64_t seq);
+
+  // Resolution state of `ticket` right now, O(1) (no link traffic).
+  TicketState ticket_state(CommitTicket ticket) const;
+  // Block until `ticket` resolves: ship its group if still buffered, then
+  // (2-safe) wait for the covering quorum. Returns immediately — without
+  // touching any link — when the ticket is already resolved.
+  CommitOutcome wait(CommitTicket ticket);
+  // Ship any buffered group and (2-safe) wait until every shipped sequence
+  // is quorum-covered or provably never will be. A no-op when nothing is
+  // pending and nothing is unacked.
+  CommitOutcome sync();
+
   CommitOutcome last_commit_outcome() const { return last_commit_outcome_; }
+
+  // Transactions coalesced per wire frame (default 1: one frame per commit,
+  // the classic stream). Groups of 2+ ship as one kRedoGroup frame / one
+  // checksummed ring unit, applied atomically by the backup.
+  void set_group_size(unsigned g);
+  unsigned group_size() const { return group_size_; }
+  // Max shipped-but-unacked sequences before a 2-safe commit_async blocks
+  // (default 1: block until the commit's own sequence is covered).
+  void set_commit_window(unsigned w);
+  unsigned commit_window() const { return window_; }
+
+  // Highest sequence actually handed to the carriers (trailing transactions
+  // of an unshipped group sit above this).
+  std::uint64_t shipped_seq() const { return shipped_seq_; }
+  // Sequence of the most recent commit_async/commit (0 before the first).
+  std::uint64_t last_ticket_seq() const { return last_ticket_seq_; }
 
   // 2-safe commit (extension beyond the paper's 1-safe design): commit does
   // not return until `quorum` backups have durably applied the transaction
@@ -208,8 +293,10 @@ class RedoPipeline {
   // commit); with one backup this is that backup's watermark.
   std::uint64_t backup_acked_seq() const;
   // Highest sequence acknowledged by at least `quorum()` peers — everything
-  // at or below it is quorum-durable.
-  std::uint64_t quorum_acked_seq() const;
+  // at or below it is quorum-durable. O(1): the value is cached and
+  // recomputed only when an ack advances or the peer table / quorum changes
+  // (each recomputation counts repl.primary.quorum_scans).
+  std::uint64_t quorum_acked_seq() const { return quorum_acked_cache_; }
   const Stats& stats() const { return stats_; }
 
  private:
@@ -228,11 +315,25 @@ class RedoPipeline {
     std::vector<std::uint8_t> batch;  // kRedoBatch payload (seq-prefixed)
   };
 
+  struct PendingTxn {
+    std::uint64_t seq;
+    std::vector<std::uint8_t> batch;  // kRedoBatch payload (seq-prefixed)
+  };
+
   bool link_send(PeerSlot& peer, FrameKind kind, const void* payload, std::size_t len);
   void fence(std::uint64_t newer_epoch);
   void drain(PeerSlot& peer);
-  void wait_acked(std::uint64_t seq);
-  bool quorum_met(std::uint64_t seq) const;
+  // Flush + probe + receive until acks cover `target` or no live peer can
+  // still provide them (the latter resolves the whole open window degraded).
+  void wait_covered(std::uint64_t target);
+  // Encode the pending group as one frame (kRedoBatch for a single
+  // transaction, kRedoGroup for 2+) and fan it out to every live peer.
+  void ship_group();
+  void note_degraded();
+  void recompute_quorum_acked();
+  CommitOutcome outcome_of(std::uint64_t seq) const;
+  std::uint64_t window_target() const;
+  std::uint64_t shipped_watermark() const;
   void push_history(std::uint64_t seq);
   bool sync_peer(PeerSlot& peer);
   bool serve_rejoin(PeerSlot& peer, std::uint64_t backup_seq, std::uint64_t node_id,
@@ -247,6 +348,7 @@ class RedoPipeline {
   Lineage lineage_;
   std::vector<PeerSlot> peers_;
   std::vector<std::uint8_t> batch_;  // staged redo payload for this txn
+  std::vector<PendingTxn> pending_group_;  // committed but not yet shipped
   std::deque<HistoryEntry> history_;
   std::size_t history_bytes_ = 0;
   std::size_t history_capacity_;
@@ -255,6 +357,17 @@ class RedoPipeline {
   bool fenced_ = false;
   bool two_safe_ = false;
   unsigned quorum_ = 1;
+  unsigned group_size_ = 1;
+  unsigned window_ = 1;
+  std::uint64_t shipped_seq_ = 0;      // highest sequence handed to a carrier
+  std::uint64_t last_ticket_seq_ = 0;  // highest sequence committed (ticketed)
+  // Ticket-resolution watermarks (see ticket_state). quorum_acked_cache_ is
+  // the cached quorum_acked_seq(); local_resolved_upto_ covers sequences
+  // committed while 1-safe (resolved durable at commit); degraded_upto_
+  // covers sequences resolved degraded when a 2-safe wait gave up.
+  std::uint64_t quorum_acked_cache_ = 0;
+  std::uint64_t local_resolved_upto_ = 0;
+  std::uint64_t degraded_upto_ = 0;
   CommitOutcome last_commit_outcome_ = CommitOutcome::kLocalDurable;
 };
 
@@ -318,7 +431,15 @@ class RedoApplier {
   // (the simulated ring): same sequencing/duplicate/gap rules as a
   // kRedoBatch frame. Returns true if the batch was applied.
   bool apply_decoded(std::uint64_t seq, const RedoChunk* chunks, std::size_t count,
-                     std::uint64_t epoch);
+                     std::uint64_t epoch) {
+    return apply_decoded(seq, seq, chunks, count, epoch);
+  }
+  // Group variant: `chunks` holds the concatenated redo of the contiguous
+  // sequences [first_seq, last_seq], applied atomically (the ring's group
+  // marker guarantees the bytes arrived whole). Duplicate/gap rules apply to
+  // the group as a unit.
+  bool apply_decoded(std::uint64_t first_seq, std::uint64_t last_seq, const RedoChunk* chunks,
+                     std::size_t count, std::uint64_t epoch);
 
   std::uint64_t applied_seq() const { return applied_seq_; }
   std::uint64_t next_expected_seq() const { return applied_seq_ + 1; }
@@ -337,6 +458,8 @@ class RedoApplier {
 
  private:
   bool apply_batch(const Frame& frame);
+  void apply_validated(const std::uint8_t* payload, std::size_t size);
+  void on_group_frame(const Frame& frame, ReplicationLink& link);
   void maybe_request_resync(ReplicationLink& link);
 
   Target& target_;

@@ -39,6 +39,7 @@ namespace vrep::repl {
 struct RedoEntryHeader {
   static constexpr std::uint32_t kPadMarker = 0xffffffffu;
   static constexpr std::uint32_t kCommitMarker = 0xfffffffeu;
+  static constexpr std::uint32_t kGroupMarker = 0xfffffffdu;
   std::uint32_t db_off;
   std::uint16_t len;
 };
@@ -67,5 +68,19 @@ inline std::uint64_t redo_entry_bytes(std::uint32_t payload_len) {
 // checksum their records). With it, a transaction is applied only when the
 // bytes on the backup are exactly the bytes the primary wrote.
 constexpr std::uint64_t kCommitMarkerBytes = sizeof(RedoEntryHeader) + 8;
+
+// Group marker payload: {u32 first_seq, u32 last_seq, u32 crc}.
+//
+// Group commit coalesces G transactions into one checksummed ring unit: the
+// sub-batches' data entries are packed back-to-back and sealed by a single
+// group marker instead of G per-transaction commit markers. The checksum
+// covers every ring byte of the whole group, so the backup applies either
+// all of the group's transactions or none of them — a crash mid-group never
+// leaves a partially-shipped group applied. A single-transaction group
+// (G=1) uses the classic commit marker above, byte-identical to the
+// ungrouped stream. A whole group must fit the ring (same rule as one
+// transaction: the producer cannot overrun the consumer inside an unsealed
+// unit), so size the ring for at least one full group.
+constexpr std::uint64_t kGroupMarkerBytes = sizeof(RedoEntryHeader) + 12;
 
 }  // namespace vrep::repl

@@ -10,12 +10,18 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <memory>
+#include <set>
 #include <vector>
 
 #include "core/api.hpp"
+#include "repl/active.hpp"
 #include "rio/arena.hpp"
 #include "rio/crash.hpp"
+#include "sim/alpha_cost_model.hpp"
 #include "sim/mem_bus.hpp"
+#include "sim/node.hpp"
+#include "util/crc32.hpp"
 #include "util/rng.hpp"
 
 namespace vrep {
@@ -254,6 +260,116 @@ TEST_P(CrashSweepTest, AbortIsCrashSafeAtEveryWrite) {
     ASSERT_EQ(std::memcmp(store->db(), before.data(), config.db_size), 0)
         << "abort crash point " << crash_at;
   }
+}
+
+// ---- group-commit window crashes -------------------------------------------
+//
+// Kill the primary while a group-commit window is OPEN — pending group
+// buffered, 1..W shipped-but-unacked sequences in flight — and prove the
+// surviving backup never applies a partially-shipped group: after takeover
+// its applied count sits on a group boundary and its image is bit-identical
+// to the primary's state at exactly that commit.
+
+namespace groupcrash {
+
+constexpr unsigned kWindow = 8;
+constexpr unsigned kGroup = 4;
+constexpr std::uint64_t kTxns = 48;
+
+struct Topology {
+  core::StoreConfig config = small_config();
+  sim::AlphaCostModel cost{};
+  repl::ActiveBackupLayout layout;
+  std::unique_ptr<sim::McFabric> fabric;
+  std::unique_ptr<sim::Node> pnode, bnode;
+  rio::Arena parena, barena;
+  std::unique_ptr<repl::ActiveBackup> backup;
+  std::unique_ptr<repl::ActivePrimary> primary;
+
+  Topology() : layout(repl::ActiveBackupLayout::make(small_config().db_size, 1 << 16)) {
+    fabric = std::make_unique<sim::McFabric>(cost.link);
+    pnode = std::make_unique<sim::Node>(cost, 1, fabric.get());
+    bnode = std::make_unique<sim::Node>(cost, 1, nullptr);
+    parena = rio::Arena::create(repl::ActivePrimary::primary_arena_bytes(config, layout));
+    barena = rio::Arena::create(layout.arena_bytes());
+    backup = std::make_unique<repl::ActiveBackup>(bnode->cpu(), barena, layout, *fabric);
+    primary = std::make_unique<repl::ActivePrimary>(pnode->cpu().bus(), parena, barena, config,
+                                                    layout, backup.get(), /*format=*/true);
+    primary->set_two_safe(true);
+    primary->set_commit_window(kWindow);
+    primary->set_group_size(kGroup);
+    std::memcpy(backup->db(), primary->db(), config.db_size);
+  }
+};
+
+// One deterministic transaction per sequence number (same salt scheme on
+// the reference and crash runs, so images are comparable byte-for-byte).
+void txn(core::TransactionStore& store, std::uint64_t seq) { run_victim_txn(store, 9000 + seq); }
+
+}  // namespace groupcrash
+
+TEST(GroupCommitCrashTest, BackupNeverAppliesPartialGroup) {
+  using namespace groupcrash;
+
+  // Reference run, fault-free: CRC of the primary image after every commit,
+  // and the total store-write count of the whole history for the sweep.
+  std::vector<std::uint32_t> crc_at;  // index = committed count
+  std::uint64_t total_writes = 0;
+  {
+    Topology t;
+    crc_at.push_back(Crc32::of(t.primary->db(), t.config.db_size));
+    rio::CrashInjector counter;
+    t.pnode->cpu().bus().set_write_hook(&counter);
+    for (std::uint64_t seq = 1; seq <= kTxns; ++seq) {
+      txn(*t.primary, seq);
+      crc_at.push_back(Crc32::of(t.primary->db(), t.config.db_size));
+    }
+    t.pnode->cpu().bus().set_write_hook(nullptr);
+    total_writes = counter.writes_seen();
+  }
+  ASSERT_GT(total_writes, 100u);
+
+  // Sweep crashes across the history: every point must land the survivor on
+  // a whole-group boundary with the exact reference image for that boundary.
+  std::set<std::uint64_t> unacked_depths;
+  std::set<std::uint64_t> applied_counts;
+  constexpr int kSweepPoints = 24;
+  for (int i = 0; i < kSweepPoints; ++i) {
+    const std::uint64_t crash_at = 1 + (total_writes - 2) * static_cast<std::uint64_t>(i) /
+                                           static_cast<std::uint64_t>(kSweepPoints);
+    Topology t;
+    rio::CrashInjector injector;
+    t.pnode->cpu().bus().set_write_hook(&injector);
+    injector.arm(crash_at);
+    std::uint64_t committed = 0;
+    try {
+      for (std::uint64_t seq = 1; seq <= kTxns; ++seq) {
+        txn(*t.primary, seq);
+        committed = seq;
+      }
+      FAIL() << "crash at write " << crash_at << " of " << total_writes << " never fired";
+    } catch (const rio::SimulatedCrash&) {
+    }
+    t.pnode->cpu().bus().set_write_hook(nullptr);
+
+    const std::uint64_t applied = t.backup->takeover(t.pnode->cpu().clock().now());
+    ASSERT_EQ(applied % kGroup, 0u)
+        << "crash at write " << crash_at << ": survivor applied " << applied
+        << " — a partially-shipped group was applied";
+    ASSERT_LT(applied, crc_at.size());
+    ASSERT_EQ(Crc32::of(t.backup->db(), t.config.db_size), crc_at[applied])
+        << "crash at write " << crash_at << ": survivor image != reference at commit "
+        << applied;
+    ASSERT_GE(committed, applied) << "backup applied commits the primary never made";
+    unacked_depths.insert(committed - applied);
+    applied_counts.insert(applied);
+  }
+  // The sweep must actually have exercised an open window at several depths
+  // (otherwise the boundary assertions above were vacuous).
+  EXPECT_GE(unacked_depths.size(), 3u)
+      << "sweep never varied the number of unacked transactions at the crash";
+  EXPECT_GE(applied_counts.size(), 3u) << "sweep crashed at too few distinct group boundaries";
+  EXPECT_GT(*unacked_depths.rbegin(), 0u) << "every crash point had an empty window";
 }
 
 INSTANTIATE_TEST_SUITE_P(AllVersions, CrashSweepTest, ::testing::ValuesIn(kAllVersions),

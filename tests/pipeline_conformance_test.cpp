@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <deque>
 #include <memory>
@@ -23,6 +24,7 @@
 #include "rio/arena.hpp"
 #include "sim/node.hpp"
 #include "util/crc32.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace vrep {
@@ -103,7 +105,7 @@ struct SimResult {
   std::uint64_t applied_seq;
 };
 
-SimResult run_sim_backend() {
+SimResult run_sim_backend(unsigned window = 1, unsigned group = 1, bool two_safe = false) {
   const StoreConfig config = conformance_config();
   sim::AlphaCostModel cost;
   sim::McFabric fabric(cost.link);
@@ -116,8 +118,12 @@ SimResult run_sim_backend() {
   repl::ActiveBackup backup(backup_node.cpu(), backup_arena, layout, fabric);
   repl::ActivePrimary primary(primary_node.cpu().bus(), primary_arena, backup_arena, config,
                               layout, &backup, /*format=*/true);
+  primary.set_two_safe(two_safe);
+  primary.set_commit_window(window);
+  primary.set_group_size(group);
 
   replay(primary, history());
+  primary.sync();  // flush any buffered group, resolve outstanding tickets
   primary_node.cpu().mc()->flush();
   backup.poll(fabric.link().free_at + cost.link.propagation_ns);
   return SimResult{Crc32::of(primary.db(), config.db_size),
@@ -144,11 +150,14 @@ bool await_ack(net::WirePrimary& primary, std::uint64_t seq, int max_iters = 500
 // `primary_transport` is what the primary sends through (possibly a fault
 // injector wrapping primary_end).
 WireResult run_wire_backend(net::Transport& primary_transport, net::Transport& backup_end,
-                            net::Transport& clean_primary_end) {
+                            net::Transport& clean_primary_end, unsigned window = 1,
+                            unsigned group = 1) {
   const StoreConfig config = conformance_config();
   rio::Arena arena =
       rio::Arena::create(core::required_arena_size(core::VersionKind::kV3InlineLog, config));
   net::WirePrimary primary(arena, config, &primary_transport, /*format=*/true);
+  primary.set_commit_window(window);
+  primary.set_group_size(group);
   rio::Arena replica = rio::Arena::create(config.db_size);
   net::WireBackup backup(replica);
   std::thread backup_thread([&] { backup.serve(backup_end, 4000); });
@@ -158,6 +167,7 @@ WireResult run_wire_backend(net::Transport& primary_transport, net::Transport& b
   // Converge over the clean endpoint: the chaos window is the commit
   // stream, not the drain (a dropped heartbeat would only slow the wait).
   primary.attach_transport(&clean_primary_end);
+  primary.sync();  // ship any buffered tail group before awaiting coverage
   EXPECT_TRUE(await_ack(primary, kTxns));
   clean_primary_end.close_peer();
   backup_thread.join();
@@ -254,6 +264,7 @@ class ScriptedLink final : public repl::ReplicationLink {
     return true;
   }
   std::optional<repl::Frame> recv(int) override {
+    recvs++;
     if (inbound.empty()) {
       error_ = repl::LinkError::kTimeout;
       return std::nullopt;
@@ -281,6 +292,7 @@ class ScriptedLink final : public repl::ReplicationLink {
 
   std::deque<repl::Frame> inbound;
   std::vector<repl::Frame> sent;
+  std::size_t recvs = 0;
 
  private:
   repl::LinkError error_ = repl::LinkError::kNone;
@@ -407,6 +419,212 @@ TEST(PipelineRegression, QuorumTwoSafeNeedsKAcks) {
   EXPECT_EQ(pipe.quorum_acked_seq(), 1u);  // K-th best: quorum coverage stalled
   EXPECT_TRUE(pipe.peer_alive(0));
   EXPECT_FALSE(pipe.peer_alive(1));
+}
+
+// ---- group commit / bounded in-flight window -------------------------------
+
+TEST(PipelineConformance, SimulatedRingGroupCommitMatchesOracle) {
+  // G=4 coalesces four transactions into one checksummed ring unit; the
+  // final image must be bit-identical to the unbatched oracle.
+  const SimResult r = run_sim_backend(/*window=*/1, /*group=*/4);
+  EXPECT_EQ(r.applied_seq, static_cast<std::uint64_t>(kTxns));
+  EXPECT_EQ(r.backup_crc, r.primary_crc);
+  EXPECT_EQ(r.backup_crc, oracle_crc()) << "grouped ring image != ungrouped oracle";
+}
+
+TEST(PipelineConformance, SimulatedRingWindowedTwoSafeMatchesOracle) {
+  // The full pipelined configuration: 2-safe with W=8 in flight, G=4 per
+  // unit. Must converge on the oracle's bytes with everything acknowledged.
+  const SimResult r = run_sim_backend(/*window=*/8, /*group=*/4, /*two_safe=*/true);
+  EXPECT_EQ(r.applied_seq, static_cast<std::uint64_t>(kTxns));
+  EXPECT_EQ(r.backup_crc, r.primary_crc);
+  EXPECT_EQ(r.backup_crc, oracle_crc()) << "windowed 2-safe image != oracle";
+}
+
+TEST(PipelineConformance, LoopbackGroupCommitMatchesOracle) {
+  net::InprocTransport a, b;
+  net::InprocTransport::pair(a, b);
+  const WireResult r = run_wire_backend(a, b, a, /*window=*/8, /*group=*/4);
+  EXPECT_EQ(r.applied_seq, static_cast<std::uint64_t>(kTxns));
+  EXPECT_EQ(r.backup_crc, r.primary_crc);
+  EXPECT_EQ(r.backup_crc, oracle_crc()) << "grouped loopback image != oracle";
+}
+
+TEST(PipelineConformance, LoopbackGroupCommitUnderFaultsConvergesToOracle) {
+  // Group frames dropped/duplicated/delayed by the injector: the gap/dup
+  // rules treat a group as one unit, and resync repairs whole groups.
+  net::InprocTransport a, b;
+  net::InprocTransport::pair(a, b);
+  net::FaultPlan plan;
+  plan.seed = 78;
+  plan.drop = 0.06;
+  plan.duplicate = 0.06;
+  plan.delay = 0.03;
+  plan.max_delay_us = 300;
+  plan.start_after_frames = 2;  // hello + image chunk land untouched
+  net::FaultInjectingTransport chaos(a, plan);
+
+  const WireResult r = run_wire_backend(chaos, b, a, /*window=*/8, /*group=*/4);
+  EXPECT_GT(chaos.stats().faults(), 0u) << "fault schedule never fired";
+  EXPECT_EQ(r.applied_seq, static_cast<std::uint64_t>(kTxns));
+  EXPECT_EQ(r.backup_crc, r.primary_crc);
+  EXPECT_EQ(r.backup_crc, oracle_crc())
+      << "grouped backup under faults != fault-free oracle";
+}
+
+repl::RedoPipeline::CommitTicket commit_async_one(repl::RedoPipeline& pipe, MemSource& source,
+                                                  std::uint64_t seq) {
+  pipe.begin();
+  std::uint8_t data[8] = {static_cast<std::uint8_t>(seq), 1, 2, 3, 4, 5, 6, 7};
+  pipe.stage(0, data, sizeof data);
+  source.committed = seq;
+  return pipe.commit_async(seq);
+}
+
+TEST(PipelineWindow, FullWindowBlocksStagingNotEarlier) {
+  // W=4: the first three commits ship without awaiting acks (the window has
+  // room); the commit that would put a fourth unacked sequence in flight
+  // must wait for coverage — and with an ack available, slides the window
+  // without degrading. Only a full window with NO acks degrades, and then
+  // it resolves every outstanding ticket at once.
+  using Pipe = repl::RedoPipeline;
+  MemSource source(4096);
+  ScriptedLink link;
+  Pipe pipe(source, &link);
+  pipe.set_two_safe(true);
+  pipe.set_commit_window(4);
+
+  const auto t1 = commit_async_one(pipe, source, 1);
+  const auto t2 = commit_async_one(pipe, source, 2);
+  const auto t3 = commit_async_one(pipe, source, 3);
+  EXPECT_EQ(link.count(repl::FrameKind::kRedoBatch), 3u) << "G=1: every commit ships";
+  EXPECT_EQ(pipe.stats().two_safe_degraded, 0u) << "window not full: no wait, no degrade";
+  EXPECT_EQ(pipe.ticket_state(t1), Pipe::TicketState::kPending);
+  EXPECT_EQ(pipe.ticket_state(t3), Pipe::TicketState::kPending);
+
+  link.push_ack(1);  // coverage for the oldest in-flight sequence
+  const auto t4 = commit_async_one(pipe, source, 4);
+  EXPECT_EQ(pipe.stats().two_safe_degraded, 0u)
+      << "an available ack must slide the window, not degrade it";
+  EXPECT_EQ(pipe.ticket_state(t1), Pipe::TicketState::kDurable);
+  EXPECT_EQ(pipe.ticket_state(t2), Pipe::TicketState::kPending);
+  EXPECT_EQ(pipe.ticket_state(t4), Pipe::TicketState::kPending);
+
+  // No acks left: the next commit overflows the window, waits, exhausts its
+  // probes, and resolves ALL outstanding tickets as degraded.
+  const auto t5 = commit_async_one(pipe, source, 5);
+  EXPECT_EQ(pipe.last_commit_outcome(), Pipe::CommitOutcome::kTwoSafeDegraded);
+  EXPECT_EQ(pipe.stats().two_safe_degraded, 4u) << "tickets 2..5 resolve degraded together";
+  EXPECT_EQ(pipe.ticket_state(t2), Pipe::TicketState::kDegraded);
+  EXPECT_EQ(pipe.ticket_state(t5), Pipe::TicketState::kDegraded);
+}
+
+TEST(PipelineWindow, TicketResolutionFollowsSequenceOrder) {
+  // Acks are watermarks: an ack covering sequence 3 resolves tickets 1..3
+  // (in order), never a later one.
+  using Pipe = repl::RedoPipeline;
+  MemSource source(4096);
+  ScriptedLink link;
+  Pipe pipe(source, &link);
+  pipe.set_two_safe(true);
+  pipe.set_commit_window(8);
+
+  std::vector<Pipe::CommitTicket> tickets;
+  for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+    tickets.push_back(commit_async_one(pipe, source, seq));
+  }
+  for (const auto& t : tickets) {
+    EXPECT_EQ(pipe.ticket_state(t), Pipe::TicketState::kPending);
+  }
+
+  link.push_ack(3);
+  EXPECT_EQ(pipe.wait(tickets[2]), Pipe::CommitOutcome::kQuorumDurable);
+  EXPECT_EQ(pipe.ticket_state(tickets[0]), Pipe::TicketState::kDurable);
+  EXPECT_EQ(pipe.ticket_state(tickets[1]), Pipe::TicketState::kDurable);
+  EXPECT_EQ(pipe.ticket_state(tickets[2]), Pipe::TicketState::kDurable);
+  EXPECT_EQ(pipe.ticket_state(tickets[3]), Pipe::TicketState::kPending)
+      << "a covering ack must never resolve a later sequence";
+  EXPECT_EQ(pipe.ticket_state(tickets[4]), Pipe::TicketState::kPending);
+
+  // wait() on an already-durable ticket answers from the watermark without
+  // touching the link: no frames sent, no recv attempted.
+  const std::size_t sent_before = link.sent.size();
+  const std::size_t recvs_before = link.recvs;
+  EXPECT_EQ(pipe.wait(tickets[0]), Pipe::CommitOutcome::kQuorumDurable);
+  EXPECT_EQ(link.sent.size(), sent_before) << "wait() on a durable ticket sent frames";
+  EXPECT_EQ(link.recvs, recvs_before) << "wait() on a durable ticket called recv";
+}
+
+TEST(PipelineWindow, QuorumAckCacheIsO1AndMatchesFreshScanAfterPeerRemoval) {
+  // quorum_acked_seq() used to rescan every peer slot on every call; it is
+  // now a cache recomputed only when an ack advances or the peer table
+  // changes. The repl.primary.quorum_scans counter proves reads are O(1),
+  // and removal must leave cache == a fresh K-th-highest scan.
+  using Pipe = repl::RedoPipeline;
+  MemSource source(4096);
+  ScriptedLink p0, p1, p2;
+  Pipe pipe(source, &p0);
+  ASSERT_EQ(pipe.add_peer(&p1), 1u);
+  ASSERT_EQ(pipe.add_peer(&p2), 2u);
+  pipe.set_two_safe(true);
+  pipe.set_quorum(2);
+  pipe.set_commit_window(8);
+
+  std::vector<Pipe::CommitTicket> tickets;
+  for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+    tickets.push_back(commit_async_one(pipe, source, seq));
+  }
+  p0.push_ack(5);
+  p1.push_ack(3);
+  p2.push_ack(4);
+  EXPECT_EQ(pipe.wait(tickets[2]), Pipe::CommitOutcome::kQuorumDurable);
+  // Acks drain lazily — waiting on ticket 4 pulls peer2's queued ack in.
+  EXPECT_EQ(pipe.wait(tickets[3]), Pipe::CommitOutcome::kQuorumDurable);
+  EXPECT_EQ(pipe.quorum_acked_seq(), 4u) << "K=2: second-highest of {5,3,4}";
+
+  // Reads do not rescan: the counter must not move across many queries.
+  metrics::Counter& scans = metrics::counter("repl.primary.quorum_scans");
+  const std::uint64_t scans_before = scans.value();
+  for (int i = 0; i < 1000; ++i) {
+    (void)pipe.quorum_acked_seq();
+    (void)pipe.ticket_state(tickets[4]);
+  }
+  EXPECT_EQ(scans.value(), scans_before) << "quorum_acked_seq() reads must be O(1)";
+
+  // Removing a peer invalidates the cache; the new value must equal a fresh
+  // K-th-highest scan over the surviving slots.
+  pipe.remove_peer(2);
+  EXPECT_GT(scans.value(), scans_before) << "peer removal must recompute the cache";
+  std::vector<std::uint64_t> acks;
+  for (std::size_t p = 0; p < pipe.peer_count(); ++p) acks.push_back(pipe.peer_acked_seq(p));
+  std::sort(acks.begin(), acks.end(), std::greater<>());
+  EXPECT_EQ(pipe.quorum_acked_seq(), acks[pipe.quorum() - 1])
+      << "cache != fresh scan after remove_peer";
+  EXPECT_EQ(pipe.quorum_acked_seq(), 3u) << "second-highest of {5,3} after removal";
+}
+
+TEST(PipelineWindow, GroupBuffersUntilFullAndSyncFlushes) {
+  // G=4: commits 1..3 stay buffered (nothing on the wire), the 4th ships one
+  // kRedoGroup frame; sync() pushes out a partial tail group.
+  using Pipe = repl::RedoPipeline;
+  MemSource source(4096);
+  ScriptedLink link;
+  Pipe pipe(source, &link);
+  pipe.set_commit_window(8);
+  pipe.set_group_size(4);
+
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) commit_async_one(pipe, source, seq);
+  EXPECT_EQ(link.sent.size(), 0u) << "a partial group must not ship";
+  commit_async_one(pipe, source, 4);
+  EXPECT_EQ(link.count(repl::FrameKind::kRedoGroup), 1u);
+  EXPECT_EQ(link.count(repl::FrameKind::kRedoBatch), 0u);
+
+  commit_async_one(pipe, source, 5);
+  EXPECT_EQ(link.sent.size(), 1u) << "the next partial group buffers again";
+  EXPECT_EQ(pipe.sync(), Pipe::CommitOutcome::kLocalDurable);
+  // A single-transaction group ships as the classic kRedoBatch frame.
+  EXPECT_EQ(link.count(repl::FrameKind::kRedoBatch), 1u)
+      << "sync() must flush the partial tail group as a classic batch";
 }
 
 TEST(PipelineRegressionDeathTest, StageRejectsChunksBeyondU32WireFormat) {
