@@ -23,7 +23,8 @@ for pair in \
     "table6_active BENCH_table6.json" \
     "fig1_bandwidth BENCH_fig1.json" \
     "availability_failover BENCH_availability.json" \
-    "ablation_two_safe BENCH_ablation_two_safe.json"; do
+    "ablation_two_safe BENCH_ablation_two_safe.json" \
+    "recovery_time BENCH_recovery.json"; do
   bin="${pair% *}"
   out="${pair#* }"
   echo "== $bin -> $out"

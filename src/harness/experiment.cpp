@@ -77,6 +77,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       active_primary->set_two_safe(config.two_safe);
       active_primary->set_commit_window(config.commit_window);
       active_primary->set_group_size(config.commit_group);
+      if (config.checkpoint_interval > 0) {
+        active_primary->enable_checkpoints(config.checkpoint_interval,
+                                           config.checkpoint_copy_bytes);
+      }
       stream->store = std::move(active_primary);
     } else {
       const std::size_t arena_bytes = core::required_arena_size(config.version, store_config);

@@ -40,6 +40,12 @@ struct ExperimentConfig {
   // commit blocks. Defaults reproduce the classic per-commit behavior.
   unsigned commit_window = 1;
   unsigned commit_group = 1;
+  // Extension: incremental fuzzy checkpointing on the active primary — a new
+  // checkpoint starts every `checkpoint_interval` commits, advancing
+  // `checkpoint_copy_bytes` per commit, truncating redo history at each
+  // watermark. 0 = off (the classic bounded-history behavior, default).
+  std::uint64_t checkpoint_interval = 0;
+  std::size_t checkpoint_copy_bytes = 256 * 1024;
   sim::AlphaCostModel cost{};
 };
 

@@ -39,6 +39,9 @@ enum class MsgType : std::uint8_t {
   kRejoinDelta = 7,    // primary -> backup: u64 from_seq | u64 batch count
   kEpochFence = 8,     // receiver -> stale sender: u64 current epoch
   kRedoGroup = 9,      // group commit: several contiguous kRedoBatch payloads
+  kCkptBegin = 10,     // checkpoint install start: watermark + image geometry
+  kCkptChunk = 11,     // checkpoint page run: u64 offset | bytes
+  kCkptEnd = 12,       // checkpoint install end: watermark seq + full-image crc
 };
 
 struct Message {

@@ -14,7 +14,10 @@ namespace vrep::net {
 
 static_assert(static_cast<int>(repl::FrameKind::kRedoBatch) == static_cast<int>(MsgType::kRedoBatch) &&
               static_cast<int>(repl::FrameKind::kEpochFence) == static_cast<int>(MsgType::kEpochFence) &&
-              static_cast<int>(repl::FrameKind::kRedoGroup) == static_cast<int>(MsgType::kRedoGroup));
+              static_cast<int>(repl::FrameKind::kRedoGroup) == static_cast<int>(MsgType::kRedoGroup) &&
+              static_cast<int>(repl::FrameKind::kCkptBegin) == static_cast<int>(MsgType::kCkptBegin) &&
+              static_cast<int>(repl::FrameKind::kCkptChunk) == static_cast<int>(MsgType::kCkptChunk) &&
+              static_cast<int>(repl::FrameKind::kCkptEnd) == static_cast<int>(MsgType::kCkptEnd));
 static_assert(static_cast<int>(repl::LinkError::kTimeout) == static_cast<int>(TransportError::kTimeout) &&
               static_cast<int>(repl::LinkError::kCorrupt) == static_cast<int>(TransportError::kCorrupt));
 

@@ -22,6 +22,10 @@
 //                                                      (backup -> primary)
 //   kRejoinDelta   u64 from_seq | u64 batch_count      (primary -> backup)
 //   kEpochFence    u64 current_epoch                   (either -> stale peer)
+//   kCkptBegin     u64 watermark_seq | u64 db_size | u32 image_crc | u32 chunks
+//                                                      (primary -> backup)
+//   kCkptChunk     u64 offset | bytes                  checkpoint page run
+//   kCkptEnd       u64 watermark_seq | u32 image_crc   install commit point
 //
 // 1-safety: commit returns after the local commit; the batch send is not
 // awaited. A primary crash can lose the trailing transactions, but a batch
@@ -101,6 +105,15 @@ class WirePrimary final : public core::TransactionStore,
   repl::RedoPipeline::CommitOutcome last_commit_outcome() const {
     return pipeline_.last_commit_outcome();
   }
+
+  // Incremental fuzzy checkpointing (strictly opt-in; see repl/pipeline.hpp):
+  // truncates redo history at each watermark and lets laggards past the
+  // history window rejoin via checkpoint+delta instead of a full image.
+  void enable_checkpoints(std::uint64_t interval_txns,
+                          std::size_t copy_bytes_per_commit = 256 * 1024) {
+    pipeline_.enable_checkpoints(interval_txns, copy_bytes_per_commit);
+  }
+  bool checkpoints_enabled() const { return pipeline_.checkpoints_enabled(); }
 
   // Group commit with a bounded in-flight window (see repl/pipeline.hpp).
   // Defaults (W=1, G=1) reproduce the classic per-commit behavior exactly.
@@ -238,6 +251,7 @@ class WireBackup : private repl::RedoApplier::Target {
   // RedoApplier::Target: replica bytes land straight in the arena.
   void write(std::uint64_t off, const void* src, std::size_t len) override;
   std::size_t capacity() const override { return arena_->size(); }
+  const std::uint8_t* data() const override { return arena_->data(); }
 
   rio::Arena* arena_;
   repl::RedoApplier applier_;

@@ -100,6 +100,7 @@ class ActiveBackup : private RedoApplier::Target {
   // instrumented bus, charging the backup's own cache model.
   void write(std::uint64_t off, const void* src, std::size_t len) override;
   std::size_t capacity() const override { return layout_.db_size; }
+  const std::uint8_t* data() const override { return db(); }
 
   // Parse one complete transaction starting at consumer_; returns true and
   // applies it if its commit marker (matching seq and checksum) has arrived.
@@ -166,6 +167,16 @@ class ActivePrimary final : public core::TransactionStore,
   void set_two_safe(bool enabled) { pipeline_.set_two_safe(enabled); }
   bool two_safe() const { return pipeline_.two_safe(); }
   sim::SimTime two_safe_wait_ns() const;
+
+  // Incremental fuzzy checkpointing (strictly opt-in; see repl/pipeline.hpp):
+  // the commit path advances a background image copy, each completed
+  // watermark truncates redo history, and laggard rejoins are served
+  // checkpoint+delta instead of a full image.
+  void enable_checkpoints(std::uint64_t interval_txns,
+                          std::size_t copy_bytes_per_commit = 256 * 1024) {
+    pipeline_.enable_checkpoints(interval_txns, copy_bytes_per_commit);
+  }
+  bool checkpoints_enabled() const { return pipeline_.checkpoints_enabled(); }
 
   // Group commit with a bounded in-flight window (see repl/pipeline.hpp):
   // up to G commits coalesce into one ring unit and up to W shipped

@@ -15,6 +15,13 @@
 // last commit (and, for the mirror versions, may hold a partially-propagated
 // last transaction inside the mirror — the paper's microseconds-wide window
 // of vulnerability).
+//
+// Checkpointing note: the passive replica is a continuously-maintained
+// physical image, i.e. an implicit checkpoint at every instant — rejoin cost
+// never grows with history because there is no history. The active scheme
+// reaches the same bounded-time rejoin property explicitly, via the fuzzy
+// checkpoints + redo-history truncation in repl/pipeline.hpp
+// (RedoPipeline::enable_checkpoints).
 #pragma once
 
 #include <memory>

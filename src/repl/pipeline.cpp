@@ -6,6 +6,7 @@
 #include <string>
 
 #include "util/check.hpp"
+#include "util/crc32.hpp"
 #include "util/metrics.hpp"
 
 namespace vrep::repl {
@@ -214,6 +215,7 @@ bool RedoPipeline::link_send(PeerSlot& peer, FrameKind kind, const void* payload
 void RedoPipeline::begin() {
   batch_.clear();
   batch_.resize(8);  // sequence filled in at commit
+  if (ckpt_enabled_) staged_spans_.clear();
 }
 
 void RedoPipeline::stage(std::uint64_t off, const void* src, std::size_t len) {
@@ -227,9 +229,13 @@ void RedoPipeline::stage(std::uint64_t off, const void* src, std::size_t len) {
   const std::size_t at = batch_.size();
   batch_.resize(at + len);
   std::memcpy(batch_.data() + at, src, len);
+  if (ckpt_enabled_) staged_spans_.emplace_back(off, static_cast<std::uint32_t>(len));
 }
 
-void RedoPipeline::discard() { batch_.clear(); }
+void RedoPipeline::discard() {
+  batch_.clear();
+  if (ckpt_enabled_) staged_spans_.clear();
+}
 
 void RedoPipeline::fence(std::uint64_t newer_epoch) {
   fenced_ = true;
@@ -401,6 +407,136 @@ void RedoPipeline::push_history(std::uint64_t seq) {
   }
 }
 
+void RedoPipeline::enable_checkpoints(std::uint64_t interval_txns,
+                                      std::size_t copy_bytes_per_commit) {
+  VREP_CHECK(interval_txns >= 1 && copy_bytes_per_commit >= 1);
+  ckpt_enabled_ = true;
+  ckpt_interval_ = interval_txns;
+  ckpt_copy_bytes_ = copy_bytes_per_commit;
+  // Dirtiness is only tracked from here on: a checkpoint+delta can repair a
+  // rejoiner whose sequence is at or above this floor (older states may hold
+  // stale pages we never recorded as dirty).
+  ckpt_anchor_ = source_.committed_seq();
+  dirty_floor_ = ckpt_anchor_;
+  page_seq_.assign((source_.db_size() + kCkptPageBytes - 1) / kCkptPageBytes, 0);
+}
+
+void RedoPipeline::step_checkpoint(std::uint64_t seq) {
+  // Dirty-page accounting first, so a completion below snapshots a table
+  // that already includes this commit's writes.
+  for (const auto& [off, len] : staged_spans_) {
+    const std::size_t first = off / kCkptPageBytes;
+    const std::size_t last = (off + len - 1) / kCkptPageBytes;
+    for (std::size_t p = first; p <= last; ++p) page_seq_[p] = seq;
+  }
+  if (!ckpt_building_) {
+    if (seq < ckpt_anchor_ + ckpt_interval_) {
+      staged_spans_.clear();
+      return;
+    }
+    ckpt_building_ = true;
+    ckpt_build_.resize(source_.db_size());
+    ckpt_snap_.reset(source_.db(), source_.db_size());
+  }
+  // Fuzzy rule: the background copy only ever reads committed state (this
+  // runs between transactions), and writes landing behind the copy cursor
+  // are patched into the build immediately — so when the cursor reaches the
+  // end at commit S, the build equals the database image at exactly S.
+  const std::uint8_t* db = source_.db();
+  for (const auto& [off, len] : staged_spans_) {
+    if (off >= ckpt_snap_.offset()) continue;
+    const std::size_t patch = std::min<std::size_t>(len, ckpt_snap_.offset() - off);
+    std::memcpy(ckpt_build_.data() + off, db + off, patch);
+  }
+  ckpt_snap_.step(ckpt_build_.data(), ckpt_copy_bytes_);
+  if (ckpt_snap_.done()) complete_checkpoint(seq);
+  staged_spans_.clear();
+}
+
+void RedoPipeline::complete_checkpoint(std::uint64_t seq) {
+  ckpt_building_ = false;
+  ckpt_image_.swap(ckpt_build_);
+  ckpt_ = Checkpoint{seq, epoch(), Crc32::of(ckpt_image_.data(), ckpt_image_.size()), true};
+  ckpt_page_seq_ = page_seq_;
+  ckpt_anchor_ = seq;
+  stats_.checkpoints_completed++;
+  metrics::counter("repl.primary.checkpoints").add(1);
+  // Truncate redo history at the watermark: everything at or below it is now
+  // reachable through checkpoint+delta, so dropping it cannot push a
+  // checkpoint-covered laggard off a full-image cliff.
+  std::size_t truncated = 0;
+  while (!history_.empty() && history_.front().seq <= seq) {
+    truncated += history_.front().batch.size();
+    history_.pop_front();
+  }
+  history_bytes_ -= truncated;
+  stats_.redo_truncated_bytes += truncated;
+  metrics::counter("repl.primary.redo_truncated_bytes").add(truncated);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> RedoPipeline::checkpoint_delta_runs(
+    std::uint64_t backup_seq) const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> runs;
+  const std::size_t db_size = ckpt_image_.size();
+  const std::size_t pages = ckpt_page_seq_.size();
+  std::size_t p = 0;
+  while (p < pages) {
+    if (ckpt_page_seq_[p] <= backup_seq) {
+      p++;
+      continue;
+    }
+    std::size_t q = p;
+    while (q < pages && ckpt_page_seq_[q] > backup_seq &&
+           (q - p) * kCkptPageBytes < kDbChunkBytes) {
+      q++;
+    }
+    const std::uint64_t off = p * kCkptPageBytes;
+    runs.emplace_back(off, std::min(db_size, q * kCkptPageBytes) - off);
+    p = q;
+  }
+  return runs;
+}
+
+bool RedoPipeline::serve_checkpoint_delta(PeerSlot& peer, std::uint64_t backup_seq) {
+  const auto runs = checkpoint_delta_runs(backup_seq);
+  // kCkptBegin: u64 watermark seq | u64 db_size | u32 image crc | u32 chunks.
+  std::uint8_t begin[24];
+  const std::uint64_t size = ckpt_image_.size();
+  const std::uint32_t count = static_cast<std::uint32_t>(runs.size());
+  std::memcpy(begin, &ckpt_.seq, 8);
+  std::memcpy(begin + 8, &size, 8);
+  std::memcpy(begin + 16, &ckpt_.crc, 4);
+  std::memcpy(begin + 20, &count, 4);
+  if (!link_send(peer, FrameKind::kCkptBegin, begin, sizeof begin)) {
+    peer.alive = false;
+    return false;
+  }
+  std::vector<std::uint8_t> chunk;
+  std::uint64_t shipped_bytes = 0;
+  for (const auto& [off, len] : runs) {
+    chunk.clear();
+    chunk.resize(8);
+    std::memcpy(chunk.data(), &off, 8);
+    chunk.insert(chunk.end(), ckpt_image_.data() + off, ckpt_image_.data() + off + len);
+    if (!link_send(peer, FrameKind::kCkptChunk, chunk.data(), chunk.size())) {
+      peer.alive = false;
+      return false;
+    }
+    shipped_bytes += len;
+  }
+  // kCkptEnd: u64 watermark seq | u32 image crc.
+  std::uint8_t end[12];
+  std::memcpy(end, &ckpt_.seq, 8);
+  std::memcpy(end + 8, &ckpt_.crc, 4);
+  if (!link_send(peer, FrameKind::kCkptEnd, end, sizeof end)) {
+    peer.alive = false;
+    return false;
+  }
+  metrics::counter("repl.primary.checkpoint_bytes_shipped").add(shipped_bytes);
+  peer.alive = true;
+  return true;
+}
+
 void RedoPipeline::ship_group() {
   if (pending_group_.empty()) return;
   const std::size_t count = pending_group_.size();
@@ -497,6 +633,7 @@ RedoPipeline::CommitTicket RedoPipeline::commit_async(std::uint64_t seq) {
   // Retain the batch even while every link is down or we are fenced: a later
   // rejoin (ours or a backup's) replays from this history.
   push_history(seq);
+  if (ckpt_enabled_) step_checkpoint(seq);
   pending_group_.push_back(PendingTxn{seq, std::move(batch_)});
   batch_.clear();
   last_ticket_seq_ = seq;
@@ -610,11 +747,18 @@ RedoPipeline::RejoinDecision RedoPipeline::decide_rejoin(std::uint64_t backup_se
   // would underflow and the "replay" would be empty, leaving the backup
   // convinced it is caught up on state we never produced. Full image.
   if (backup_seq == 0 || backup_seq > committed) return RejoinDecision::kFullImage;
-  if (shared_lineage(backup_seq, state_epoch) && history_covers(backup_seq)) {
-    return RejoinDecision::kDelta;
+  if (!shared_lineage(backup_seq, state_epoch)) return RejoinDecision::kFullImage;
+  if (history_covers(backup_seq)) return RejoinDecision::kDelta;
+  // Behind the history window but covered by the completed checkpoint: patch
+  // the pages dirtied after the requester's sequence from the checkpoint
+  // image, then replay from the watermark. Requires the requester inside the
+  // tracked-dirtiness range and an intact replay tail above the watermark.
+  if (ckpt_.valid && backup_seq >= dirty_floor_ && backup_seq <= ckpt_.seq &&
+      history_covers(ckpt_.seq)) {
+    return RejoinDecision::kCheckpointDelta;
   }
-  // Gap unservable from history (divergent lineage or evicted batches):
-  // full image.
+  // Gap unservable from history or checkpoint (divergent lineage or evicted
+  // batches): full image as last resort.
   return RejoinDecision::kFullImage;
 }
 
@@ -630,32 +774,43 @@ bool RedoPipeline::serve_rejoin(PeerSlot& peer, std::uint64_t backup_seq, std::u
   stats_.rejoins_served++;
   peer.rejoins_served++;
   metrics::counter("repl.primary.rejoins_served").add(1);
-  if (decide_rejoin(backup_seq, state_epoch) == RejoinDecision::kDelta) {
-    const std::uint64_t committed = source_.committed_seq();
-    VREP_CHECK(committed >= backup_seq);  // decide_rejoin clamped claimed-future
-    std::uint8_t delta[16];
-    const std::uint64_t count = committed - backup_seq;
-    std::memcpy(delta, &backup_seq, 8);
-    std::memcpy(delta + 8, &count, 8);
-    if (!link_send(peer, FrameKind::kRejoinDelta, delta, sizeof delta)) {
+  const RejoinDecision decision = decide_rejoin(backup_seq, state_epoch);
+  if (decision == RejoinDecision::kFullImage) {
+    // Genuine last resort: neither the history nor a checkpoint could repair
+    // the gap.
+    stats_.full_syncs_served++;
+    metrics::counter("repl.primary.full_syncs_served").add(1);
+    return sync_peer(peer);
+  }
+  std::uint64_t replay_from = backup_seq;
+  if (decision == RejoinDecision::kCheckpointDelta) {
+    if (!serve_checkpoint_delta(peer, backup_seq)) return false;
+    replay_from = ckpt_.seq;
+    stats_.checkpoint_deltas_served++;
+    metrics::counter("repl.primary.checkpoint_deltas_served").add(1);
+  } else {
+    stats_.deltas_served++;
+    metrics::counter("repl.primary.deltas_served").add(1);
+  }
+  const std::uint64_t committed = source_.committed_seq();
+  VREP_CHECK(committed >= replay_from);  // decide_rejoin clamped claimed-future
+  std::uint8_t delta[16];
+  const std::uint64_t count = committed - replay_from;
+  std::memcpy(delta, &replay_from, 8);
+  std::memcpy(delta + 8, &count, 8);
+  if (!link_send(peer, FrameKind::kRejoinDelta, delta, sizeof delta)) {
+    peer.alive = false;
+    return false;
+  }
+  for (const auto& entry : history_) {
+    if (entry.seq <= replay_from) continue;
+    if (!link_send(peer, FrameKind::kRedoBatch, entry.batch.data(), entry.batch.size())) {
       peer.alive = false;
       return false;
     }
-    for (const auto& entry : history_) {
-      if (entry.seq <= backup_seq) continue;
-      if (!link_send(peer, FrameKind::kRedoBatch, entry.batch.data(), entry.batch.size())) {
-        peer.alive = false;
-        return false;
-      }
-    }
-    peer.alive = true;
-    stats_.deltas_served++;
-    metrics::counter("repl.primary.deltas_served").add(1);
-    return true;
   }
-  stats_.full_syncs_served++;
-  metrics::counter("repl.primary.full_syncs_served").add(1);
-  return sync_peer(peer);
+  peer.alive = true;
+  return true;
 }
 
 bool RedoPipeline::handle_rejoin(std::size_t peer, int timeout_ms) {
@@ -701,6 +856,9 @@ bool RedoPipeline::send_heartbeat() {
 // ---------------------------------------------------------------------------
 
 bool RedoApplier::request_rejoin(ReplicationLink& link) {
+  // A (re)request supersedes any half-received install: the buffered chunks
+  // belong to a serve that is no longer coming back.
+  clear_checkpoint_install();
   std::uint8_t req[24];
   // An incomplete image cannot be repaired by a sequence delta: ask from 0,
   // which the primary always answers with a full image sync.
@@ -714,6 +872,7 @@ bool RedoApplier::request_rejoin(ReplicationLink& link) {
 void RedoApplier::adopt_image(std::size_t size, std::uint64_t applied_seq,
                               std::uint64_t state_epoch) {
   VREP_CHECK(size <= target_.capacity());
+  clear_checkpoint_install();
   db_size_ = size;
   image_next_off_ = size;
   applied_seq_ = applied_seq;
@@ -737,6 +896,160 @@ void RedoApplier::note_corrupt_skipped(ReplicationLink& link) {
   stats_.corrupt_skipped++;
   metrics::counter("repl.backup.corrupt_skipped").add(1);
   maybe_request_resync(link);
+}
+
+void RedoApplier::clear_checkpoint_install() {
+  ckpt_installing_ = false;
+  ckpt_chunks_.clear();
+}
+
+void RedoApplier::abort_checkpoint_install(ReplicationLink& link) {
+  clear_checkpoint_install();
+  stats_.checkpoint_aborts++;
+  metrics::counter("repl.backup.checkpoint_aborts").add(1);
+  // The replica image was never touched (chunks only buffer until the End
+  // CRC verifies), so re-requesting from our real sequence is always safe.
+  awaiting_resync_ = false;
+  maybe_request_resync(link);
+}
+
+void RedoApplier::on_ckpt_begin(const Frame& frame, ReplicationLink& link) {
+  if (frame.payload.size() != 24) {
+    note_corrupt_skipped(link);
+    return;
+  }
+  std::uint64_t seq, size;
+  std::uint32_t crc, count;
+  std::memcpy(&seq, frame.payload.data(), 8);
+  std::memcpy(&size, frame.payload.data() + 8, 8);
+  std::memcpy(&crc, frame.payload.data() + 16, 4);
+  std::memcpy(&count, frame.payload.data() + 20, 4);
+  if (seq <= applied_seq_) {
+    // A replayed install start for state we already hold (duplicate fault).
+    stats_.duplicates_ignored++;
+    metrics::counter("repl.backup.duplicates_ignored").add(1);
+    return;
+  }
+  if (!image_complete() || size != db_size_) {
+    // A checkpoint delta patches an intact base image; without one (or with
+    // mismatched geometry) only a full sync can help.
+    clear_checkpoint_install();
+    awaiting_resync_ = false;
+    maybe_request_resync(link);
+    return;
+  }
+  // A fresh Begin supersedes any half-buffered install (the primary decided
+  // to re-serve, e.g. after our re-request).
+  ckpt_installing_ = true;
+  ckpt_install_seq_ = seq;
+  ckpt_install_crc_ = crc;
+  ckpt_chunks_expected_ = count;
+  ckpt_chunks_.clear();
+}
+
+void RedoApplier::on_ckpt_chunk(const Frame& frame, ReplicationLink& link) {
+  if (!ckpt_installing_) {
+    // Begin lost (or install already aborted): the chunk is unanchored.
+    // The End — or the next heartbeat — drives the re-request.
+    stats_.duplicates_ignored++;
+    metrics::counter("repl.backup.duplicates_ignored").add(1);
+    return;
+  }
+  if (frame.payload.size() < 8) {
+    abort_checkpoint_install(link);
+    return;
+  }
+  std::uint64_t off;
+  std::memcpy(&off, frame.payload.data(), 8);
+  const std::size_t len = frame.payload.size() - 8;
+  if (off + len > db_size_) {
+    abort_checkpoint_install(link);
+    return;
+  }
+  // Buffer only — the replica image stays untouched until the End CRC proves
+  // the combined result, so a torn install is never adoptable.
+  PendingChunk chunk;
+  chunk.off = off;
+  chunk.bytes.assign(frame.payload.begin() + 8, frame.payload.end());
+  ckpt_chunks_.push_back(std::move(chunk));
+}
+
+void RedoApplier::on_ckpt_end(const Frame& frame, ReplicationLink& link) {
+  if (frame.payload.size() != 12) {
+    note_corrupt_skipped(link);
+    return;
+  }
+  std::uint64_t seq;
+  std::uint32_t crc;
+  std::memcpy(&seq, frame.payload.data(), 8);
+  std::memcpy(&crc, frame.payload.data() + 8, 4);
+  if (!ckpt_installing_) {
+    if (seq <= applied_seq_) {
+      // Duplicate End after a completed install.
+      stats_.duplicates_ignored++;
+      metrics::counter("repl.backup.duplicates_ignored").add(1);
+      return;
+    }
+    // The Begin never arrived: nothing buffered, re-request cleanly.
+    awaiting_resync_ = false;
+    maybe_request_resync(link);
+    return;
+  }
+  if (seq != ckpt_install_seq_ || crc != ckpt_install_crc_) {
+    abort_checkpoint_install(link);
+    return;
+  }
+  // Sort + dedupe the buffered chunks (duplicate faults re-deliver a run
+  // verbatim), then demand exactly the announced disjoint ascending set —
+  // anything else is a torn transfer.
+  std::sort(ckpt_chunks_.begin(), ckpt_chunks_.end(),
+            [](const PendingChunk& a, const PendingChunk& b) { return a.off < b.off; });
+  ckpt_chunks_.erase(std::unique(ckpt_chunks_.begin(), ckpt_chunks_.end(),
+                                 [](const PendingChunk& a, const PendingChunk& b) {
+                                   return a.off == b.off && a.bytes == b.bytes;
+                                 }),
+                     ckpt_chunks_.end());
+  bool shape_ok = ckpt_chunks_.size() == ckpt_chunks_expected_;
+  std::uint64_t prev_end = 0;
+  for (const PendingChunk& c : ckpt_chunks_) {
+    if (c.off < prev_end) shape_ok = false;
+    prev_end = c.off + c.bytes.size();
+  }
+  if (!shape_ok) {
+    abort_checkpoint_install(link);
+    return;
+  }
+  // Verify BEFORE applying: CRC of the merged view (current image where no
+  // chunk covers, buffered chunk bytes where one does) must equal the
+  // watermark's full-image CRC. Only then do the chunks touch the replica.
+  Crc32 merged;
+  const std::uint8_t* base = target_.data();
+  std::size_t at = 0;
+  for (const PendingChunk& c : ckpt_chunks_) {
+    if (at < c.off) merged.update(base + at, c.off - at);
+    merged.update(c.bytes.data(), c.bytes.size());
+    at = c.off + c.bytes.size();
+  }
+  if (at < db_size_) merged.update(base + at, db_size_ - at);
+  if (merged.value() != ckpt_install_crc_) {
+    // Transfer faults fail the shape check above, so a merged-CRC mismatch
+    // means our base image diverges from what the watermark promises.
+    // Distrust it entirely — re-request as imageless (full sync) rather than
+    // loop on checkpoint deltas that can never verify.
+    image_next_off_ = 0;
+    abort_checkpoint_install(link);
+    return;
+  }
+  for (const PendingChunk& c : ckpt_chunks_) {
+    target_.write(c.off, c.bytes.data(), c.bytes.size());
+  }
+  applied_seq_ = ckpt_install_seq_;
+  state_epoch_ = frame.epoch;
+  clear_checkpoint_install();
+  awaiting_resync_ = false;
+  stats_.checkpoint_installs++;
+  metrics::counter("repl.backup.checkpoint_installs").add(1);
+  link.send(FrameKind::kConsumerAck, epoch(), &applied_seq_, 8);
 }
 
 void RedoApplier::apply_validated(const std::uint8_t* payload, std::size_t size) {
@@ -844,9 +1157,10 @@ RedoApplier::FrameResult RedoApplier::on_frame(const Frame& frame, ReplicationLi
       return FrameResult::kOk;
     }
     if (frame.epoch > cur) {
-      // A newer primary only introduces itself through a sync start.
+      // A newer primary only introduces itself through a sync start (a
+      // checkpoint install begin is one: it anchors the resync it leads).
       if (frame.kind == FrameKind::kHello || frame.kind == FrameKind::kRejoinDelta ||
-          frame.kind == FrameKind::kEpochFence) {
+          frame.kind == FrameKind::kEpochFence || frame.kind == FrameKind::kCkptBegin) {
         membership_->join_epoch(frame.epoch);
       } else {
         return FrameResult::kOk;
@@ -861,6 +1175,7 @@ RedoApplier::FrameResult RedoApplier::on_frame(const Frame& frame, ReplicationLi
       std::memcpy(&size, frame.payload.data(), 8);
       std::memcpy(&applied_seq_, frame.payload.data() + 8, 8);
       if (size > target_.capacity()) return FrameResult::kCorrupt;
+      clear_checkpoint_install();  // a full sync supersedes any install
       db_size_ = size;
       image_next_off_ = 0;  // image transfer restarts
       state_epoch_ = frame.epoch;
@@ -952,12 +1267,26 @@ RedoApplier::FrameResult RedoApplier::on_frame(const Frame& frame, ReplicationLi
         metrics::counter("repl.backup.resyncs").add(1);
       } else {
         // Unusable delta (should not happen): re-request from where we
-        // actually are.
+        // actually are. A half-buffered install died with the serve that
+        // fed it.
+        if (ckpt_installing_) {
+          abort_checkpoint_install(link);
+          break;
+        }
         awaiting_resync_ = false;
         maybe_request_resync(link);
       }
       break;
     }
+    case FrameKind::kCkptBegin:
+      on_ckpt_begin(frame, link);
+      break;
+    case FrameKind::kCkptChunk:
+      on_ckpt_chunk(frame, link);
+      break;
+    case FrameKind::kCkptEnd:
+      on_ckpt_end(frame, link);
+      break;
     case FrameKind::kHeartbeat: {
       // Liveness — but the heartbeat also carries the primary's committed
       // sequence, which closes the trailing-drop window: a gap with no
@@ -966,6 +1295,13 @@ RedoApplier::FrameResult RedoApplier::on_frame(const Frame& frame, ReplicationLi
         std::uint64_t committed;
         std::memcpy(&committed, frame.payload.data(), 8);
         if (committed > applied_seq_) {
+          if (ckpt_installing_) {
+            // The End (or the serve's whole tail) was lost: drop the
+            // buffered install and re-request — heartbeats double as the
+            // install retry timer exactly as they do for lost deltas.
+            abort_checkpoint_install(link);
+            break;
+          }
           stats_.gaps_detected++;
           metrics::counter("repl.backup.gaps_detected").add(1);
           // Heartbeats double as the resync retry timer: if a previous

@@ -47,10 +47,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "cluster/membership.hpp"
 #include "repl/link.hpp"
+#include "rio/arena.hpp"
 #include "util/metrics.hpp"
 
 namespace vrep::repl {
@@ -137,8 +139,11 @@ class RedoPipeline {
     std::uint64_t txns_shipped = 0;
     std::uint64_t rejoins_served = 0;
     std::uint64_t deltas_served = 0;      // incremental catch-up from history
-    std::uint64_t full_syncs_served = 0;  // gap unservable: whole image shipped
+    std::uint64_t full_syncs_served = 0;  // no delta nor checkpoint could repair
     std::uint64_t two_safe_degraded = 0;  // 2-safe commits that fell back to 1-safe
+    std::uint64_t checkpoints_completed = 0;     // fuzzy checkpoints finished
+    std::uint64_t redo_truncated_bytes = 0;      // history dropped at watermarks
+    std::uint64_t checkpoint_deltas_served = 0;  // checkpoint+delta rejoins
   };
 
   // What a commit() actually guaranteed when it returned. 1-safe commits are
@@ -274,11 +279,52 @@ class RedoPipeline {
   bool handle_rejoin(int timeout_ms) { return handle_rejoin(0, timeout_ms); }
   bool send_heartbeat();
 
-  // The delta-vs-full-image policy, exposed so backends with out-of-band
-  // image transfer (the simulated ring seeds images by direct copy) can
-  // consult the exact same rule the in-band path applies.
-  enum class RejoinDecision { kDelta, kFullImage };
+  // The rejoin policy, exposed so backends with out-of-band image transfer
+  // (the simulated ring seeds images by direct copy) can consult the exact
+  // same rule the in-band path applies. Three-way: replay from the redo
+  // history when it covers the gap; otherwise patch the completed checkpoint
+  // image (only the pages dirtied after the rejoiner's sequence) and replay
+  // from the watermark; full image only as last resort.
+  enum class RejoinDecision { kDelta, kCheckpointDelta, kFullImage };
   RejoinDecision decide_rejoin(std::uint64_t backup_seq, std::uint64_t state_epoch) const;
+
+  // ---- fuzzy checkpoints -------------------------------------------------
+  // A completed fuzzy checkpoint: the commit sequence at which the retained
+  // image is transactionally consistent, the lineage epoch it was produced
+  // under, and the CRC of the full image (installs verify against it).
+  struct Checkpoint {
+    std::uint64_t seq = 0;
+    std::uint64_t state_epoch = 0;
+    std::uint32_t crc = 0;
+    bool valid = false;
+  };
+
+  // Granularity of dirty-page tracking; a checkpoint+delta rejoin ships only
+  // the pages dirtied after the rejoiner's sequence, making its cost
+  // O(delta) instead of O(database).
+  static constexpr std::size_t kCkptPageBytes = 4096;
+
+  // Turn on incremental fuzzy checkpointing (strictly opt-in: disabled, the
+  // pipeline behaves byte-identically to the pre-checkpoint engine). Every
+  // `interval_txns` commits a new checkpoint build starts; each commit then
+  // advances a background copy of the source database by
+  // `copy_bytes_per_commit` while patching that commit's redo into the
+  // already-copied prefix, so the finished image is consistent at its
+  // completion sequence without ever pausing the commit path. Completion
+  // durably records the watermark {seq, epoch, crc} and truncates redo
+  // history at it — the bounded history stays bounded without pushing
+  // laggards off a full-image cliff.
+  void enable_checkpoints(std::uint64_t interval_txns,
+                          std::size_t copy_bytes_per_commit = 256 * 1024);
+  bool checkpoints_enabled() const { return ckpt_enabled_; }
+  const Checkpoint& checkpoint() const { return ckpt_; }
+  const std::vector<std::uint8_t>& checkpoint_image() const { return ckpt_image_; }
+  // Maximal {offset, length} page runs of the completed checkpoint dirtied
+  // after `backup_seq` (what a checkpoint+delta rejoin ships), capped at the
+  // image-chunk frame size. Out-of-band backends use this to seed by direct
+  // copy under the same O(delta) rule.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> checkpoint_delta_runs(
+      std::uint64_t backup_seq) const;
 
   // ---- state ------------------------------------------------------------
   // True while at least one peer link is usable.
@@ -339,6 +385,11 @@ class RedoPipeline {
   bool serve_rejoin(PeerSlot& peer, std::uint64_t backup_seq, std::uint64_t node_id,
                     std::uint64_t state_epoch);
   bool history_covers(std::uint64_t from_seq) const;
+  // Per-commit checkpoint work: dirty-page accounting, the background image
+  // copy + prefix patching, and completion (watermark + history truncation).
+  void step_checkpoint(std::uint64_t seq);
+  void complete_checkpoint(std::uint64_t seq);
+  bool serve_checkpoint_delta(PeerSlot& peer, std::uint64_t backup_seq);
   bool shared_lineage(std::uint64_t backup_seq, std::uint64_t state_epoch) const;
   // Ack / fence / in-band rejoin handling shared by drain() and the waits.
   void on_control_frame(PeerSlot& peer, const Frame& frame);
@@ -369,6 +420,20 @@ class RedoPipeline {
   std::uint64_t local_resolved_upto_ = 0;
   std::uint64_t degraded_upto_ = 0;
   CommitOutcome last_commit_outcome_ = CommitOutcome::kLocalDurable;
+  // Fuzzy checkpoint state (entirely inert unless ckpt_enabled_).
+  bool ckpt_enabled_ = false;
+  bool ckpt_building_ = false;
+  std::uint64_t ckpt_interval_ = 0;   // commits between checkpoint starts
+  std::size_t ckpt_copy_bytes_ = 0;   // background copy advance per commit
+  std::uint64_t ckpt_anchor_ = 0;     // last completion (or enable) sequence
+  std::uint64_t dirty_floor_ = 0;     // page dirtiness tracked above this seq
+  rio::SnapshotCursor ckpt_snap_;     // background copy progress (build)
+  std::vector<std::uint8_t> ckpt_build_;  // image under construction
+  std::vector<std::uint8_t> ckpt_image_;  // last completed image
+  Checkpoint ckpt_;
+  std::vector<std::uint64_t> page_seq_;       // last commit seq dirtying each page
+  std::vector<std::uint64_t> ckpt_page_seq_;  // page_seq_ snapshot at completion
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> staged_spans_;  // this txn
 };
 
 // ---------------------------------------------------------------------------
@@ -383,6 +448,11 @@ class RedoApplier {
   struct Target {
     virtual void write(std::uint64_t off, const void* src, std::size_t len) = 0;
     virtual std::size_t capacity() const = 0;
+    // Read view of the replica image. Checkpoint installs verify the
+    // combined (current image + buffered chunks) CRC against the watermark
+    // BEFORE any chunk is written, so a torn install never reaches the
+    // replica bytes.
+    virtual const std::uint8_t* data() const = 0;
 
    protected:
     ~Target() = default;
@@ -395,6 +465,8 @@ class RedoApplier {
     std::uint64_t corrupt_skipped = 0;     // payload-corrupt frames skipped
     std::uint64_t stale_fenced = 0;        // stale-epoch frames rejected
     std::uint64_t resyncs = 0;             // completed kRejoinDelta / kHello resyncs
+    std::uint64_t checkpoint_installs = 0;  // CRC-verified checkpoint adoptions
+    std::uint64_t checkpoint_aborts = 0;    // torn/stale installs discarded
   };
 
   // With a `membership`, stale-epoch frames are fenced and the epoch follows
@@ -456,11 +528,23 @@ class RedoApplier {
   // saw it): account it and repair the gap in-band.
   void note_corrupt_skipped(ReplicationLink& link);
 
+  // True while a checkpoint install is buffering chunks (between kCkptBegin
+  // and the verified kCkptEnd). The replica image is untouched until the
+  // End's CRC proves the combined result, so a mid-install takeover still
+  // promotes the clean pre-install state.
+  bool checkpoint_installing() const { return ckpt_installing_; }
+
  private:
   bool apply_batch(const Frame& frame);
   void apply_validated(const std::uint8_t* payload, std::size_t size);
   void on_group_frame(const Frame& frame, ReplicationLink& link);
   void maybe_request_resync(ReplicationLink& link);
+  void on_ckpt_begin(const Frame& frame, ReplicationLink& link);
+  void on_ckpt_chunk(const Frame& frame, ReplicationLink& link);
+  void on_ckpt_end(const Frame& frame, ReplicationLink& link);
+  void clear_checkpoint_install();
+  // Drop a torn/unverifiable install and re-request from our real sequence.
+  void abort_checkpoint_install(ReplicationLink& link);
 
   Target& target_;
   cluster::Membership* membership_;
@@ -471,6 +555,16 @@ class RedoApplier {
   std::uint64_t state_epoch_ = 0;
   bool awaiting_resync_ = false;
   Stats stats_;
+  // Checkpoint install buffer (see checkpoint_installing()).
+  struct PendingChunk {
+    std::uint64_t off;
+    std::vector<std::uint8_t> bytes;
+  };
+  bool ckpt_installing_ = false;
+  std::uint64_t ckpt_install_seq_ = 0;
+  std::uint32_t ckpt_install_crc_ = 0;
+  std::uint32_t ckpt_chunks_expected_ = 0;
+  std::vector<PendingChunk> ckpt_chunks_;
 };
 
 }  // namespace vrep::repl

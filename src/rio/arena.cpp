@@ -4,6 +4,7 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -60,6 +61,20 @@ Arena::~Arena() {
 
 void Arena::sync() {
   if (mapped_ && data_ != nullptr) ::msync(data_, size_, MS_SYNC);
+}
+
+void SnapshotCursor::reset(const std::uint8_t* base, std::size_t len) {
+  base_ = base;
+  len_ = len;
+  off_ = 0;
+}
+
+std::size_t SnapshotCursor::step(std::uint8_t* shadow_base, std::size_t max_bytes) {
+  if (off_ >= len_) return 0;
+  const std::size_t n = std::min(max_bytes, len_ - off_);
+  std::memcpy(shadow_base + off_, base_ + off_, n);
+  off_ += n;
+  return n;
 }
 
 std::uint8_t* Layout::carve(std::size_t len, std::size_t align) {

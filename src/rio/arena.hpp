@@ -54,6 +54,36 @@ class Arena {
   bool mapped_ = false;  // true => munmap, false => delete[]
 };
 
+// Incremental chunked iteration over a memory region — the building block
+// for fuzzy (write-while-serving) snapshots of an arena: each step() copies
+// one bounded chunk into the same offset of a shadow region, so a caller can
+// spread a full-image copy across many short slices of work (e.g. one per
+// commit) while the source keeps being written. Writes that land *behind*
+// the cursor are the caller's to patch (see RedoPipeline::step_checkpoint);
+// writes ahead of it are picked up when the cursor passes them.
+class SnapshotCursor {
+ public:
+  SnapshotCursor() = default;
+  SnapshotCursor(const std::uint8_t* base, std::size_t len) : base_(base), len_(len) {}
+
+  // Restart the iteration over a (possibly different) source region.
+  void reset(const std::uint8_t* base, std::size_t len);
+
+  // Copy up to `max_bytes` from the source at the cursor into the same
+  // offset of `shadow_base` (a region of at least the source's length) and
+  // advance. Returns the bytes copied (0 when done).
+  std::size_t step(std::uint8_t* shadow_base, std::size_t max_bytes);
+
+  bool done() const { return off_ >= len_; }
+  std::size_t offset() const { return off_; }
+  std::size_t length() const { return len_; }
+
+ private:
+  const std::uint8_t* base_ = nullptr;
+  std::size_t len_ = 0;
+  std::size_t off_ = 0;
+};
+
 // Deterministic sequential carving of an arena into sub-regions.
 class Layout {
  public:

@@ -372,6 +372,78 @@ TEST(GroupCommitCrashTest, BackupNeverAppliesPartialGroup) {
   EXPECT_GT(*unacked_depths.rbegin(), 0u) << "every crash point had an empty window";
 }
 
+TEST(CheckpointCrashTest, CrashMidCheckpointNeverPerturbsTheSurvivor) {
+  using namespace groupcrash;
+
+  // Same sweep as GroupCommitCrashTest, but the primary runs fuzzy
+  // checkpointing in its commit path (4-commit builds starting every 6
+  // commits, so ~half the crash points strike mid-build, and several strike
+  // inside the completion/truncation step itself). The checkpoint build is
+  // volatile primary state: killing the primary at ANY point must leave the
+  // survivor exactly where the checkpoint-free sweep would — whole-group
+  // boundary, bit-identical to the fault-free reference at that commit.
+  constexpr std::uint64_t kCkptInterval = 6;
+  constexpr std::size_t kCkptCopyBytes = 16 * 1024;  // 64 KiB db: 4-commit builds
+
+  std::vector<std::uint32_t> crc_at;
+  std::uint64_t total_writes = 0;
+  {
+    Topology t;
+    t.primary->enable_checkpoints(kCkptInterval, kCkptCopyBytes);
+    crc_at.push_back(Crc32::of(t.primary->db(), t.config.db_size));
+    rio::CrashInjector counter;
+    t.pnode->cpu().bus().set_write_hook(&counter);
+    for (std::uint64_t seq = 1; seq <= kTxns; ++seq) {
+      txn(*t.primary, seq);
+      crc_at.push_back(Crc32::of(t.primary->db(), t.config.db_size));
+    }
+    t.pnode->cpu().bus().set_write_hook(nullptr);
+    total_writes = counter.writes_seen();
+    // The reference run must genuinely checkpoint (and truncate) mid-sweep.
+    ASSERT_GE(t.primary->pipeline().stats().checkpoints_completed, 5u);
+    ASSERT_GT(t.primary->pipeline().stats().redo_truncated_bytes, 0u);
+  }
+  ASSERT_GT(total_writes, 100u);
+
+  constexpr int kSweepPoints = 24;
+  std::set<std::uint64_t> ckpt_phases;  // completed-count at the crash instant
+  for (int i = 0; i < kSweepPoints; ++i) {
+    const std::uint64_t crash_at = 1 + (total_writes - 2) * static_cast<std::uint64_t>(i) /
+                                           static_cast<std::uint64_t>(kSweepPoints);
+    Topology t;
+    t.primary->enable_checkpoints(kCkptInterval, kCkptCopyBytes);
+    rio::CrashInjector injector;
+    t.pnode->cpu().bus().set_write_hook(&injector);
+    injector.arm(crash_at);
+    std::uint64_t committed = 0;
+    try {
+      for (std::uint64_t seq = 1; seq <= kTxns; ++seq) {
+        txn(*t.primary, seq);
+        committed = seq;
+      }
+      FAIL() << "crash at write " << crash_at << " of " << total_writes << " never fired";
+    } catch (const rio::SimulatedCrash&) {
+    }
+    t.pnode->cpu().bus().set_write_hook(nullptr);
+    // Record the checkpoint phase the crash struck at (how many builds had
+    // completed), for the vacuity check below.
+    ckpt_phases.insert(t.primary->pipeline().stats().checkpoints_completed);
+
+    const std::uint64_t applied = t.backup->takeover(t.pnode->cpu().clock().now());
+    ASSERT_EQ(applied % kGroup, 0u)
+        << "crash at write " << crash_at << ": survivor applied " << applied
+        << " — a partially-shipped group was applied";
+    ASSERT_LT(applied, crc_at.size());
+    ASSERT_EQ(Crc32::of(t.backup->db(), t.config.db_size), crc_at[applied])
+        << "crash at write " << crash_at
+        << " (checkpointing enabled): survivor image != fault-free reference at commit "
+        << applied;
+    ASSERT_GE(committed, applied);
+  }
+  EXPECT_GE(ckpt_phases.size(), 3u)
+      << "sweep struck too few distinct checkpoint phases — assertions near-vacuous";
+}
+
 INSTANTIATE_TEST_SUITE_P(AllVersions, CrashSweepTest, ::testing::ValuesIn(kAllVersions),
                          [](const auto& info) {
                            switch (info.param) {

@@ -257,6 +257,80 @@ TEST(FaultInjector, TornFrameThenReconnectRejoinsWithDelta) {
   EXPECT_EQ(std::memcmp(backup.db(), primary.db(), config.db_size), 0);
 }
 
+TEST(FaultInjector, CheckpointDeltaInstallUnderFaultsConvergesUntorn) {
+  // A laggard whose gap outgrew the (tiny) redo history rejoins against a
+  // checkpointed primary — and the serve runs through a drop/duplicate
+  // injector, so checkpoint frames (Begin/Chunk/End) are lost and replayed
+  // mid-install. The applier must never install a torn checkpoint: faulted
+  // attempts abort cleanly (replica untouched) and the re-request converges
+  // once the frames arrive whole. The full image path must stay untaken —
+  // the checkpoint covers the gap even though the history no longer does.
+  LoopbackPair pair;
+  core::StoreConfig config;
+  config.db_size = 128 * 1024;
+  rio::Arena arena =
+      rio::Arena::create(core::required_arena_size(core::VersionKind::kV3InlineLog, config));
+  // History holds only the last ~14 batches; checkpoints every 10 commits
+  // (4-commit fuzzy builds: 32 KiB steps over 128 KiB).
+  WirePrimary primary(arena, config, &pair.client, /*format=*/true, nullptr,
+                      WirePrimary::Lineage{0, 0}, /*redo_history_bytes=*/4096);
+  primary.enable_checkpoints(/*interval_txns=*/10, /*copy_bytes_per_commit=*/32 * 1024);
+  rio::Arena replica = rio::Arena::create(config.db_size);
+  WireBackup backup(replica);
+
+  WireBackup::ServeResult phase1{};
+  std::thread serve1([&] { phase1 = backup.serve(pair.server, 2000); });
+  ASSERT_TRUE(primary.sync_backup());
+  Rng rng(42);
+  for (int i = 0; i < 30; ++i) commit_random_txn(primary, rng, config.db_size, 256);
+  ASSERT_TRUE(await_ack(primary, 30));
+  pair.client.close_peer();
+  serve1.join();
+  ASSERT_EQ(phase1, WireBackup::ServeResult::kConnectionLost);
+  ASSERT_EQ(backup.applied_seq(), 30u);
+  const std::vector<std::uint8_t> at_30(backup.db(), backup.db() + config.db_size);
+
+  // Link down, primary commits on: checkpoints complete and truncate the
+  // history past sequence 30 — without them this would be a full-image
+  // rejoin (see FullImageFallbackWhenHistoryEvicted above).
+  for (int i = 0; i < 30; ++i) commit_random_txn(primary, rng, config.db_size, 256);
+  ASSERT_GE(primary.stats().checkpoints_completed, 2u);
+  ASSERT_GT(primary.stats().redo_truncated_bytes, 0u);
+
+  // Reconnect; the rejoin serve goes through the injector. The install is
+  // expected to tear at least once; heartbeats after the chaos window drive
+  // the re-request/re-serve until it lands whole.
+  pair.reconnect();
+  FaultPlan plan;
+  plan.seed = 909;
+  plan.drop = 0.25;
+  plan.duplicate = 0.25;
+  FaultInjectingTransport chaos(pair.client, plan);
+  ASSERT_TRUE(backup.request_rejoin(pair.server));
+  std::thread serve2([&] { backup.serve(pair.server, 2000); });
+  primary.attach_transport(&chaos);
+  ASSERT_TRUE(primary.handle_rejoin(2000));
+  // Chaos window over: converge over the clean transport (re-requests are
+  // answered in-band from the heartbeat drain).
+  primary.attach_transport(&pair.client);
+  EXPECT_TRUE(await_ack(primary, 60));
+  pair.client.close_peer();
+  serve2.join();
+
+  EXPECT_GT(chaos.stats().faults(), 0u) << "fault schedule never fired";
+  EXPECT_EQ(backup.applied_seq(), 60u);
+  EXPECT_EQ(std::memcmp(backup.db(), primary.db(), config.db_size), 0)
+      << "backup after faulted checkpoint install != primary bytes";
+  EXPECT_EQ(backup.stats().checkpoint_installs, 1u)
+      << "exactly one install may verify; torn attempts must not count";
+  EXPECT_GE(primary.stats().checkpoint_deltas_served, 1u);
+  EXPECT_EQ(primary.stats().full_syncs_served, 0u)
+      << "a checkpoint-covered laggard must never fall off the full-image cliff";
+  // The first serve ran under 25% drop across ~10+ frames: it tore, and the
+  // applier recovered by aborting (never by installing garbage).
+  EXPECT_GE(backup.stats().checkpoint_aborts, 1u);
+}
+
 TEST(Fencing, SplitBrainOldPrimaryIsFencedThenRejoins) {
   // The split-brain regression: a paused-then-resumed primary keeps
   // committing in the old epoch after the backup promoted. Its frames must

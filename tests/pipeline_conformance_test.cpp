@@ -304,6 +304,9 @@ class MemSource final : public repl::RedoPipeline::Source {
   const std::uint8_t* db() const override { return db_.data(); }
   std::size_t db_size() const override { return db_.size(); }
   std::uint64_t committed_seq() const override { return committed; }
+  // Checkpoint tests commit real writes: the fuzzy build copies from db(),
+  // so the staged bytes must actually land there first.
+  std::uint8_t* mutable_db() { return db_.data(); }
 
   std::uint64_t committed = 0;
 
@@ -640,6 +643,356 @@ TEST(PipelineRegressionDeathTest, StageRejectsChunksBeyondU32WireFormat) {
   EXPECT_DEATH(pipe.stage(std::uint64_t{1} << 32, &byte, 1), "CHECK");
   EXPECT_DEATH(pipe.stage((std::uint64_t{1} << 32) - 1, &byte, 2), "CHECK");
   pipe.discard();
+}
+
+// ---- fuzzy checkpoints + O(delta) rejoin -----------------------------------
+//
+// The checkpoint scenario used throughout: a 64 KiB database (16 checkpoint
+// pages), one 64-byte write per commit at a sequence-derived page so dirty
+// pages are attributable to exact sequences, checkpoints every 4 commits
+// with a 16 KiB background copy step (a build spans 4 commits — genuinely
+// fuzzy, writes land mid-build). Twenty commits complete two checkpoints
+// (sequences 7 and 14) and leave a third build in flight; the watermark at
+// 14 truncates the redo history, so sequences 1..13 are only reachable
+// through checkpoint+delta.
+
+constexpr std::size_t kCkptDb = 64 * 1024;
+constexpr std::size_t kCkptPage = repl::RedoPipeline::kCkptPageBytes;
+
+// Page the write of sequence `seq` lands in: (seq * 5) mod 16 visits 14
+// distinct pages across sequences 1..14 (pages 0 and 11 stay clean).
+std::size_t ckpt_page_of(std::uint64_t seq) { return (seq * 5) % (kCkptDb / kCkptPage); }
+
+void commit_page_txn(repl::RedoPipeline& pipe, MemSource& source, std::uint64_t seq) {
+  pipe.begin();
+  const std::uint64_t off = ckpt_page_of(seq) * kCkptPage + 128;
+  std::uint8_t data[64];
+  for (std::size_t i = 0; i < sizeof data; ++i) {
+    data[i] = static_cast<std::uint8_t>(seq * 31 + i);
+  }
+  std::memcpy(source.mutable_db() + off, data, sizeof data);
+  pipe.stage(off, data, sizeof data);
+  source.committed = seq;
+  pipe.commit(seq);
+}
+
+struct CkptScenario {
+  MemSource source{kCkptDb};
+  ScriptedLink link;
+  repl::RedoPipeline pipe{source, &link};
+  std::vector<std::uint8_t> db_at_13;  // a laggard backup's last-synced state
+  std::vector<std::uint8_t> db_at_14;  // oracle for the checkpoint image
+
+  CkptScenario() {
+    pipe.enable_checkpoints(/*interval_txns=*/4, /*copy_bytes_per_commit=*/16 * 1024);
+    for (std::uint64_t seq = 1; seq <= 20; ++seq) {
+      commit_page_txn(pipe, source, seq);
+      if (seq == 13) db_at_13.assign(source.db(), source.db() + kCkptDb);
+      if (seq == 14) db_at_14.assign(source.db(), source.db() + kCkptDb);
+    }
+  }
+
+  // Serve a rejoin claiming sequence `seq`; returns the frames that went out.
+  std::vector<repl::Frame> serve(std::uint64_t seq) {
+    link.sent.clear();
+    repl::Frame request{repl::FrameKind::kRejoinRequest, 1, std::vector<std::uint8_t>(24)};
+    const std::uint64_t node = 7, state_epoch = 1;
+    std::memcpy(request.payload.data(), &seq, 8);
+    std::memcpy(request.payload.data() + 8, &node, 8);
+    std::memcpy(request.payload.data() + 16, &state_epoch, 8);
+    link.inbound.push_back(std::move(request));
+    EXPECT_TRUE(pipe.handle_rejoin(/*timeout_ms=*/0));
+    return link.sent;
+  }
+};
+
+class MemTarget final : public repl::RedoApplier::Target {
+ public:
+  explicit MemTarget(std::size_t size) : mem(size, 0) {}
+  void write(std::uint64_t off, const void* src, std::size_t len) override {
+    std::memcpy(mem.data() + off, src, len);
+  }
+  std::size_t capacity() const override { return mem.size(); }
+  const std::uint8_t* data() const override { return mem.data(); }
+
+  std::vector<std::uint8_t> mem;
+};
+
+TEST(CheckpointRegression, FuzzyBuildIsConsistentAtItsWatermark) {
+  // The background copy runs concurrently with commits (4 commits per
+  // build), yet the finished image must equal the database at exactly the
+  // completion sequence — writes behind the cursor patched in, writes ahead
+  // picked up in passing.
+  CkptScenario s;
+  ASSERT_EQ(s.pipe.stats().checkpoints_completed, 2u);
+  const auto& ckpt = s.pipe.checkpoint();
+  ASSERT_TRUE(ckpt.valid);
+  EXPECT_EQ(ckpt.seq, 14u);
+  EXPECT_EQ(ckpt.state_epoch, 1u);
+  const auto& image = s.pipe.checkpoint_image();
+  ASSERT_EQ(image.size(), kCkptDb);
+  EXPECT_EQ(Crc32::of(image.data(), image.size()), ckpt.crc);
+  EXPECT_EQ(std::memcmp(image.data(), s.db_at_14.data(), kCkptDb), 0)
+      << "fuzzy checkpoint image != database at the watermark sequence";
+  EXPECT_GT(s.pipe.stats().redo_truncated_bytes, 0u)
+      << "completion must truncate the redo history at the watermark";
+}
+
+TEST(CheckpointRegression, TruncatedLaggardGetsCheckpointDeltaNotFullImage) {
+  // The silent cliff this PR removes: a backup whose sequence fell behind
+  // the truncation watermark — but which the completed checkpoint covers —
+  // used to be pushed off to a full image transfer. Pin the three-way
+  // policy directly.
+  using Decision = repl::RedoPipeline::RejoinDecision;
+  CkptScenario s;
+
+  // History was truncated at 14: it covers 14..20 and nothing older.
+  EXPECT_EQ(s.pipe.decide_rejoin(20, 1), Decision::kDelta);
+  EXPECT_EQ(s.pipe.decide_rejoin(14, 1), Decision::kDelta);
+  // Behind the truncation watermark but inside the checkpoint's tracked
+  // dirtiness range: checkpoint+delta, NOT the full-image cliff.
+  EXPECT_EQ(s.pipe.decide_rejoin(13, 1), Decision::kCheckpointDelta);
+  EXPECT_EQ(s.pipe.decide_rejoin(7, 1), Decision::kCheckpointDelta);
+  EXPECT_EQ(s.pipe.decide_rejoin(1, 1), Decision::kCheckpointDelta);
+  // Genuine last resorts keep getting the image: fresh joiners, claimed
+  // futures, divergent lineages.
+  EXPECT_EQ(s.pipe.decide_rejoin(0, 1), Decision::kFullImage);
+  EXPECT_EQ(s.pipe.decide_rejoin(21, 1), Decision::kFullImage);
+  EXPECT_EQ(s.pipe.decide_rejoin(~std::uint64_t{0}, 1), Decision::kFullImage);
+
+  // Contrast: the same laggard against a checkpoint-less pipeline whose
+  // small history evicted sequence 13 — that is the cliff.
+  MemSource source2(kCkptDb);
+  ScriptedLink link2;
+  repl::RedoPipeline no_ckpt(source2, &link2, nullptr, {}, /*redo_history_bytes=*/200);
+  for (std::uint64_t seq = 1; seq <= 20; ++seq) commit_page_txn(no_ckpt, source2, seq);
+  EXPECT_EQ(no_ckpt.decide_rejoin(13, 1), Decision::kFullImage)
+      << "without a checkpoint, an evicted gap can only be repaired by the image";
+}
+
+TEST(CheckpointRegression, CheckpointDeltaServeShipsOnlyPagesDirtiedAfterTheLaggard) {
+  // The O(delta) claim on the wire: a backup at 13 rejoining against the
+  // checkpoint at 14 needs exactly one page (the page sequence 14 dirtied),
+  // not the 64 KiB image — plus the redo tail 15..20.
+  CkptScenario s;
+  const auto runs = s.pipe.checkpoint_delta_runs(13);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].first, ckpt_page_of(14) * kCkptPage);
+  EXPECT_EQ(runs[0].second, kCkptPage);
+
+  const auto frames = s.serve(13);
+  EXPECT_EQ(s.link.count(repl::FrameKind::kCkptBegin), 1u);
+  EXPECT_EQ(s.link.count(repl::FrameKind::kCkptChunk), 1u);
+  EXPECT_EQ(s.link.count(repl::FrameKind::kCkptEnd), 1u);
+  EXPECT_EQ(s.link.count(repl::FrameKind::kRejoinDelta), 1u);
+  EXPECT_EQ(s.link.count(repl::FrameKind::kRedoBatch), 6u) << "redo tail 15..20";
+  EXPECT_EQ(s.link.count(repl::FrameKind::kHello), 0u) << "no image transfer";
+  EXPECT_EQ(s.link.count(repl::FrameKind::kDbChunk), 0u);
+  for (const auto& f : frames) {
+    if (f.kind == repl::FrameKind::kRejoinDelta) {
+      std::uint64_t from, count;
+      std::memcpy(&from, f.payload.data(), 8);
+      std::memcpy(&count, f.payload.data() + 8, 8);
+      EXPECT_EQ(from, 14u) << "replay resumes from the watermark";
+      EXPECT_EQ(count, 6u);
+    }
+  }
+  EXPECT_EQ(s.pipe.stats().checkpoint_deltas_served, 1u);
+  EXPECT_EQ(s.pipe.stats().deltas_served, 0u);
+  EXPECT_EQ(s.pipe.stats().full_syncs_served, 0u)
+      << "full_syncs_served must only count genuine last resorts";
+
+  // A fresh joiner (sequence 0) IS a genuine last resort.
+  s.serve(0);
+  EXPECT_EQ(s.link.count(repl::FrameKind::kHello), 1u);
+  EXPECT_EQ(s.pipe.stats().full_syncs_served, 1u);
+}
+
+TEST(CheckpointRegression, ApplierInstallsCheckpointDeltaAndResumesReplay) {
+  // Backup-side round trip: a laggard at 13 fed the serve's frames must
+  // land on the primary's exact bytes — checkpoint page installed under the
+  // watermark CRC, then redo 15..20 replayed on top.
+  CkptScenario s;
+  MemTarget target(kCkptDb);
+  repl::RedoApplier applier(target);
+  applier.seed(s.db_at_13.data(), kCkptDb, /*applied_seq=*/13, /*state_epoch=*/1);
+
+  ScriptedLink backup_link;
+  for (const auto& f : s.serve(13)) applier.on_frame(f, backup_link);
+
+  EXPECT_EQ(applier.applied_seq(), 20u);
+  EXPECT_EQ(std::memcmp(target.mem.data(), s.source.db(), kCkptDb), 0)
+      << "checkpoint+delta rejoin must converge to the primary's bytes";
+  EXPECT_EQ(applier.stats().checkpoint_installs, 1u);
+  EXPECT_EQ(applier.stats().checkpoint_aborts, 0u);
+  EXPECT_EQ(applier.stats().batches_applied, 6u);
+  EXPECT_EQ(applier.stats().resyncs, 1u) << "one resync: install + replay is one repair";
+  EXPECT_GE(backup_link.count(repl::FrameKind::kConsumerAck), 1u);
+}
+
+TEST(CheckpointRegression, DroppedChunkAbortsInstallUntornAndRerequestConverges) {
+  // A checkpoint chunk lost in flight: the End's shape check must reject
+  // the torn set BEFORE any byte touches the replica, and the clean
+  // re-request (from the backup's real sequence) must converge.
+  CkptScenario s;
+  MemTarget target(kCkptDb);
+  repl::RedoApplier applier(target);
+  applier.seed(s.db_at_13.data(), kCkptDb, 13, 1);
+
+  ScriptedLink backup_link;
+  for (const auto& f : s.serve(13)) {
+    if (f.kind == repl::FrameKind::kCkptChunk) continue;  // dropped
+    applier.on_frame(f, backup_link);
+  }
+  EXPECT_EQ(applier.stats().checkpoint_aborts, 1u);
+  EXPECT_EQ(applier.stats().checkpoint_installs, 0u);
+  EXPECT_EQ(applier.applied_seq(), 13u) << "aborted install must not advance the sequence";
+  EXPECT_EQ(std::memcmp(target.mem.data(), s.db_at_13.data(), kCkptDb), 0)
+      << "a torn install must never leave partial checkpoint bytes in the replica";
+
+  // The abort re-requested from the REAL sequence (the base image is still
+  // intact), not from 0 — no gratuitous full sync.
+  ASSERT_GE(backup_link.count(repl::FrameKind::kRejoinRequest), 1u);
+  std::uint64_t from = ~std::uint64_t{0};
+  for (const auto& f : backup_link.sent) {
+    if (f.kind == repl::FrameKind::kRejoinRequest) {
+      std::memcpy(&from, f.payload.data(), 8);
+      break;
+    }
+  }
+  EXPECT_EQ(from, 13u);
+
+  // Second serve, delivered whole: converges.
+  for (const auto& f : s.serve(13)) applier.on_frame(f, backup_link);
+  EXPECT_EQ(applier.stats().checkpoint_installs, 1u);
+  EXPECT_EQ(applier.applied_seq(), 20u);
+  EXPECT_EQ(std::memcmp(target.mem.data(), s.source.db(), kCkptDb), 0);
+  EXPECT_EQ(s.pipe.stats().full_syncs_served, 0u);
+}
+
+TEST(CheckpointRegression, DuplicatedChunkIsDedupedAndInstalls) {
+  // Duplicate faults re-deliver a chunk verbatim; the install dedupes the
+  // exact copy and verifies normally.
+  CkptScenario s;
+  MemTarget target(kCkptDb);
+  repl::RedoApplier applier(target);
+  applier.seed(s.db_at_13.data(), kCkptDb, 13, 1);
+
+  ScriptedLink backup_link;
+  for (const auto& f : s.serve(13)) {
+    applier.on_frame(f, backup_link);
+    if (f.kind == repl::FrameKind::kCkptChunk) applier.on_frame(f, backup_link);
+  }
+  EXPECT_EQ(applier.stats().checkpoint_aborts, 0u);
+  EXPECT_EQ(applier.stats().checkpoint_installs, 1u);
+  EXPECT_EQ(applier.applied_seq(), 20u);
+  EXPECT_EQ(std::memcmp(target.mem.data(), s.source.db(), kCkptDb), 0);
+}
+
+TEST(CheckpointRegression, TruncatedChunkFrameAbortsInstallCleanly) {
+  // A chunk frame cut short (below even its offset header) is a torn
+  // transfer: abort, replica untouched, re-request from the real sequence.
+  CkptScenario s;
+  MemTarget target(kCkptDb);
+  repl::RedoApplier applier(target);
+  applier.seed(s.db_at_13.data(), kCkptDb, 13, 1);
+
+  ScriptedLink backup_link;
+  for (auto f : s.serve(13)) {
+    if (f.kind == repl::FrameKind::kCkptChunk) f.payload.resize(4);
+    applier.on_frame(f, backup_link);
+  }
+  EXPECT_GE(applier.stats().checkpoint_aborts, 1u);
+  EXPECT_EQ(applier.stats().checkpoint_installs, 0u);
+  EXPECT_EQ(std::memcmp(target.mem.data(), s.db_at_13.data(), kCkptDb), 0);
+
+  for (const auto& f : s.serve(13)) applier.on_frame(f, backup_link);
+  EXPECT_EQ(applier.stats().checkpoint_installs, 1u);
+  EXPECT_EQ(std::memcmp(target.mem.data(), s.source.db(), kCkptDb), 0);
+}
+
+TEST(CheckpointRegression, CorruptChunkPayloadFailsMergedCrcAndFallsBackToImage) {
+  // A bit-flip in a chunk's payload passes the shape check but must fail
+  // the merged-CRC verify — and since transfer faults are caught by the
+  // carrier CRC, a merged-CRC mismatch means the BASE image cannot be
+  // trusted: the applier re-requests as imageless (full sync) instead of
+  // looping on checkpoint deltas that can never verify.
+  CkptScenario s;
+  MemTarget target(kCkptDb);
+  repl::RedoApplier applier(target);
+  applier.seed(s.db_at_13.data(), kCkptDb, 13, 1);
+
+  ScriptedLink backup_link;
+  for (auto f : s.serve(13)) {
+    if (f.kind == repl::FrameKind::kCkptChunk) f.payload[100] ^= 0x40;
+    applier.on_frame(f, backup_link);
+  }
+  EXPECT_GE(applier.stats().checkpoint_aborts, 1u);
+  EXPECT_EQ(applier.stats().checkpoint_installs, 0u);
+  EXPECT_EQ(applier.applied_seq(), 13u);
+  EXPECT_EQ(std::memcmp(target.mem.data(), s.db_at_13.data(), kCkptDb), 0)
+      << "unverifiable chunks must never be applied";
+  std::uint64_t from = ~std::uint64_t{0};
+  for (const auto& f : backup_link.sent) {
+    if (f.kind == repl::FrameKind::kRejoinRequest) {
+      std::memcpy(&from, f.payload.data(), 8);
+      break;
+    }
+  }
+  EXPECT_EQ(from, 0u) << "a distrusted base image must re-request the full sync";
+
+  // The full sync converges.
+  for (const auto& f : s.serve(0)) applier.on_frame(f, backup_link);
+  EXPECT_EQ(s.pipe.stats().full_syncs_served, 1u);
+  EXPECT_EQ(applier.applied_seq(), 20u);
+  EXPECT_EQ(std::memcmp(target.mem.data(), s.source.db(), kCkptDb), 0);
+}
+
+TEST(CheckpointRegression, LostEndIsRetriedViaHeartbeat) {
+  // The serve dies after its chunks (End lost): the next heartbeat showing
+  // a committed sequence we don't hold doubles as the install retry timer.
+  CkptScenario s;
+  MemTarget target(kCkptDb);
+  repl::RedoApplier applier(target);
+  applier.seed(s.db_at_13.data(), kCkptDb, 13, 1);
+
+  ScriptedLink backup_link;
+  for (const auto& f : s.serve(13)) {
+    if (f.kind == repl::FrameKind::kCkptEnd) break;  // serve dies here
+    applier.on_frame(f, backup_link);
+  }
+  EXPECT_TRUE(applier.checkpoint_installing());
+
+  repl::Frame heartbeat{repl::FrameKind::kHeartbeat, 1, std::vector<std::uint8_t>(8)};
+  const std::uint64_t committed = 20;
+  std::memcpy(heartbeat.payload.data(), &committed, 8);
+  applier.on_frame(heartbeat, backup_link);
+  EXPECT_FALSE(applier.checkpoint_installing());
+  EXPECT_EQ(applier.stats().checkpoint_aborts, 1u);
+  EXPECT_EQ(std::memcmp(target.mem.data(), s.db_at_13.data(), kCkptDb), 0);
+  EXPECT_GE(backup_link.count(repl::FrameKind::kRejoinRequest), 1u);
+
+  for (const auto& f : s.serve(13)) applier.on_frame(f, backup_link);
+  EXPECT_EQ(applier.stats().checkpoint_installs, 1u);
+  EXPECT_EQ(applier.applied_seq(), 20u);
+  EXPECT_EQ(std::memcmp(target.mem.data(), s.source.db(), kCkptDb), 0);
+}
+
+TEST(CheckpointRegression, DisabledPipelineServesExactlyAsBefore) {
+  // Checkpointing is strictly opt-in: a pipeline that never enabled it must
+  // not grow new frame kinds, new stats, or new decisions.
+  MemSource source(kCkptDb);
+  ScriptedLink link;
+  repl::RedoPipeline pipe(source, &link);
+  for (std::uint64_t seq = 1; seq <= 20; ++seq) commit_page_txn(pipe, source, seq);
+  EXPECT_FALSE(pipe.checkpoints_enabled());
+  EXPECT_EQ(pipe.stats().checkpoints_completed, 0u);
+  EXPECT_EQ(pipe.stats().redo_truncated_bytes, 0u);
+  EXPECT_FALSE(pipe.checkpoint().valid);
+  EXPECT_EQ(pipe.decide_rejoin(13, 1), repl::RedoPipeline::RejoinDecision::kDelta)
+      << "default history still covers everything";
+  EXPECT_EQ(link.count(repl::FrameKind::kCkptBegin), 0u);
+  EXPECT_EQ(link.count(repl::FrameKind::kCkptEnd), 0u);
 }
 
 }  // namespace
