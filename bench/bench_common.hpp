@@ -83,6 +83,10 @@ class JsonReport {
 
   bool enabled() const { return !path_.empty(); }
 
+  // Root-level annotation next to "bench" (e.g. the wallclock flag and
+  // hw_threads count that switch check_drift.py into shape mode).
+  void set_root(const std::string& key, Json value) { root_.set(key, std::move(value)); }
+
   static Json histogram_json(const Histogram& h) {
     Json j = Json::object();
     j.set("count", Json(h.total_count()));

@@ -10,12 +10,41 @@ snapshot may legitimately gain counters as instrumentation grows, but the
 measured numbers — tps, traffic bytes, packet counts, latency percentiles —
 may not move without an intentional, reviewed baseline update.
 
+Wall-clock benches (root "wallclock": true — the smp_* family) cannot be
+compared exactly: elapsed time depends on the machine. For those the check
+switches to shape mode:
+  - deterministic fields (config identity, committed counts, backup
+    convergence flags) must match the baseline exactly;
+  - timing fields (seconds/tps/latch_contended/queue_full_waits) are only
+    sanity-checked (present, finite, positive where required);
+  - scaling gates use the FRESH run's recorded hw_threads, so a 1-CPU box
+    validates structure only: tps must be roughly monotone in workers
+    (>= 0.85x the previous sweep point) when the host has at least that many
+    hardware threads, and Debit-Credit must reach >= 1.8x tps at 4 workers
+    vs 1 when hw_threads >= 6 (4 workers + sequencer + backup each get a
+    core).
+
 Exit status: 0 when within tolerance, 1 on drift (each drifting path is
 printed), 2 on usage/shape errors.
 """
 import argparse
 import json
+import math
 import sys
+
+# Cell fields in wall-clock benches that must still match the committed
+# baseline exactly (everything the machine cannot change).
+WALLCLOCK_EXACT_FIELDS = (
+    "name", "workload", "workers", "partitions", "txns_per_worker",
+    "committed", "window", "group", "two_safe", "backup_applied", "crc_match",
+)
+# Machine-dependent fields: sanity-checked only. True = must be > 0.
+WALLCLOCK_TIMING_FIELDS = {
+    "seconds": True,
+    "tps": True,
+    "latch_contended": False,
+    "queue_full_waits": False,
+}
 
 
 def walk(path, a, b, rtol, drifts):
@@ -42,6 +71,49 @@ def walk(path, a, b, rtol, drifts):
         drifts.append(f"{path}: {a!r} -> {b!r}")
 
 
+def check_wallclock(baseline, fresh, rtol, drifts):
+    """Shape mode for wall-clock benches: exact config/convergence fields,
+    sanity-only timing fields, hw-aware scaling gates."""
+    base_cells = baseline["cells"]
+    fresh_cells = fresh["cells"]
+    if len(base_cells) != len(fresh_cells):
+        drifts.append(f"cells: length {len(base_cells)} -> {len(fresh_cells)}")
+        return
+    for i, (a, b) in enumerate(zip(base_cells, fresh_cells)):
+        for key in WALLCLOCK_EXACT_FIELDS:
+            if key in a or key in b:
+                walk(f"cells[{i}].{key}", a.get(key), b.get(key), rtol, drifts)
+        for key, positive in WALLCLOCK_TIMING_FIELDS.items():
+            v = b.get(key)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) or not math.isfinite(v):
+                drifts.append(f"cells[{i}].{key}: not a finite number ({v!r})")
+            elif positive and v <= 0:
+                drifts.append(f"cells[{i}].{key}: must be > 0, got {v}")
+            elif not positive and v < 0:
+                drifts.append(f"cells[{i}].{key}: must be >= 0, got {v}")
+
+    # Scaling gates are judged against the FRESH machine's core count; a
+    # laptop or small CI runner only validates structure, not speedup.
+    hw = fresh.get("hw_threads", 0)
+    hw = hw if isinstance(hw, int) and not isinstance(hw, bool) else 0
+    points = [(c.get("workers"), c.get("tps"), c.get("workload")) for c in fresh_cells]
+    points = [(w, t, wl) for (w, t, wl) in points
+              if isinstance(w, int) and isinstance(t, (int, float)) and t > 0]
+    points.sort(key=lambda p: p[0])
+    for (w_lo, t_lo, _), (w_hi, t_hi, _) in zip(points, points[1:]):
+        if w_hi > w_lo and hw >= w_hi and t_hi < 0.85 * t_lo:
+            drifts.append(
+                f"scaling: tps dropped {t_lo:.0f} -> {t_hi:.0f} from "
+                f"{w_lo} to {w_hi} workers on a {hw}-thread host")
+    by_workers = {w: t for (w, t, _) in points}
+    is_dc = any(isinstance(wl, str) and "debit" in wl.lower() for (_, _, wl) in points)
+    if is_dc and hw >= 6 and 1 in by_workers and 4 in by_workers:
+        if by_workers[4] < 1.8 * by_workers[1]:
+            drifts.append(
+                f"scaling: Debit-Credit 4-worker tps {by_workers[4]:.0f} is below "
+                f"1.8x the 1-worker tps {by_workers[1]:.0f} on a {hw}-thread host")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -58,7 +130,12 @@ def main():
         return 2
 
     drifts = []
-    walk("cells", baseline["cells"], fresh["cells"], args.rtol, drifts)
+    if baseline.get("wallclock") is True:
+        check_wallclock(baseline, fresh, args.rtol, drifts)
+        mode = "wallclock shape"
+    else:
+        walk("cells", baseline["cells"], fresh["cells"], args.rtol, drifts)
+        mode = f"cells exact, rtol={args.rtol}"
     if drifts:
         print(f"{args.baseline}: {len(drifts)} drifting value(s):")
         for d in drifts[:50]:
@@ -66,7 +143,7 @@ def main():
         if len(drifts) > 50:
             print(f"  ... and {len(drifts) - 50} more")
         return 1
-    print(f"{args.baseline}: cells match within rtol={args.rtol}")
+    print(f"{args.baseline}: ok ({mode})")
     return 0
 
 

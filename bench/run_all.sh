@@ -24,7 +24,9 @@ for pair in \
     "fig1_bandwidth BENCH_fig1.json" \
     "availability_failover BENCH_availability.json" \
     "ablation_two_safe BENCH_ablation_two_safe.json" \
-    "recovery_time BENCH_recovery.json"; do
+    "recovery_time BENCH_recovery.json" \
+    "smp_debitcredit BENCH_smp_debitcredit.json" \
+    "smp_orderentry BENCH_smp_orderentry.json"; do
   bin="${pair% *}"
   out="${pair#* }"
   echo "== $bin -> $out"

@@ -1,0 +1,9 @@
+// Wall-clock SMP Debit-Credit: real worker threads through exec::SmpExecutor
+// against a live in-process backup. The measured counterpart to the
+// simulated Figure 2 sweep (fig2_smp_debitcredit).
+#include "smp_common.hpp"
+
+int main(int argc, char** argv) {
+  return vrep::bench::run_smp_bench_main(argc, argv, vrep::wl::WorkloadKind::kDebitCredit,
+                                         "smp_debitcredit", "SMP Debit-Credit");
+}

@@ -1,0 +1,9 @@
+// Wall-clock SMP Order-Entry: real worker threads through exec::SmpExecutor
+// against a live in-process backup. The measured counterpart to the
+// simulated Figure 3 sweep (fig3_smp_orderentry).
+#include "smp_common.hpp"
+
+int main(int argc, char** argv) {
+  return vrep::bench::run_smp_bench_main(argc, argv, vrep::wl::WorkloadKind::kOrderEntry,
+                                         "smp_orderentry", "SMP Order-Entry");
+}

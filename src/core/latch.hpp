@@ -1,0 +1,44 @@
+// Partition latch for the SMP executor (src/exec).
+//
+// The paper scopes concurrency control out of the transaction store
+// ("provided by a layer above"; api.hpp): a store instance is used by one
+// transaction stream at a time. This is that layer's bottom brick — plain
+// mutual exclusion guarding one store partition, with a contention counter
+// so benches and tests can see how often workers actually collided.
+//
+// try_lock-first keeps the uncontended fast path to a single atomic
+// exchange; the counter only moves on collisions and is relaxed (monitoring
+// only, read after the worker threads are joined).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace vrep::core {
+
+class Latch {
+ public:
+  Latch() = default;
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void lock() {
+    if (mu_.try_lock()) return;
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    mu_.lock();
+  }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+
+  // Acquisitions that found the latch held by another thread.
+  std::uint64_t contended() const { return contended_.load(std::memory_order_relaxed); }
+
+ private:
+  std::mutex mu_;
+  std::atomic<std::uint64_t> contended_{0};
+};
+
+using LatchGuard = std::lock_guard<Latch>;
+
+}  // namespace vrep::core

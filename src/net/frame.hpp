@@ -16,9 +16,17 @@
 #include <vector>
 
 #include "net/transport.hpp"
+#include "util/check.hpp"
 #include "util/crc32.hpp"
 
 namespace vrep::net {
+
+// Largest payload a framed transport carries. Enforced symmetrically: the
+// receive side rejects any header claiming more (the length field cannot be
+// trusted, framing is lost), and the send side CHECKs the bound before
+// framing — the u32 length field must never silently truncate a larger
+// payload into a frame the receiver will misparse.
+inline constexpr std::size_t kMaxFramePayload = 64u << 20;
 
 struct FrameHeader {
   std::uint64_t epoch;
@@ -41,6 +49,7 @@ inline std::uint32_t frame_header_crc(const FrameHeader& hdr) {
 // Encode one frame exactly as a transport's send() would put it on the wire.
 inline std::vector<std::uint8_t> encode_frame(MsgType type, std::uint64_t epoch,
                                               const void* payload, std::size_t len) {
+  VREP_CHECK(len <= kMaxFramePayload);
   FrameHeader hdr{};
   hdr.epoch = epoch;
   hdr.len = static_cast<std::uint32_t>(len);

@@ -104,7 +104,7 @@ std::optional<Message> InprocTransport::recv(int timeout_ms) {
   error_ = TransportError::kNone;
   FrameHeader hdr;
   if (!read_fully(&hdr, sizeof hdr, timeout_ms)) return std::nullopt;
-  if (frame_header_crc(hdr) != hdr.header_crc || hdr.len > (64u << 20)) {
+  if (frame_header_crc(hdr) != hdr.header_crc || hdr.len > kMaxFramePayload) {
     // Same rule as TcpTransport: the length field cannot be trusted, framing
     // is lost for good. Close so the protocol layer resyncs via rejoin.
     error_ = TransportError::kCorrupt;

@@ -7,10 +7,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <limits>
 
 #include "net/frame.hpp"
+#include "util/check.hpp"
 #include "util/crc32.hpp"
 #include "util/metrics.hpp"
 
@@ -97,8 +101,14 @@ bool TcpTransport::send_bytes(const void* bytes, std::size_t len) {
   std::size_t sent = 0;
   while (sent < len) {
     const ssize_t wrote = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
-    if (wrote <= 0) {
+    if (wrote < 0) {
       if (errno == EINTR) continue;
+      error_ = Error::kClosed;
+      return false;
+    }
+    if (wrote == 0) {
+      // Peer closed. errno is stale here and must not be consulted — a
+      // leftover EINTR from an earlier call would spin this loop forever.
       error_ = Error::kClosed;
       return false;
     }
@@ -109,6 +119,10 @@ bool TcpTransport::send_bytes(const void* bytes, std::size_t len) {
 
 bool TcpTransport::send(MsgType type, std::uint64_t epoch, const void* payload,
                         std::size_t len) {
+  // Mirror the receive-side frame bound: hdr.len is u32, so a larger payload
+  // would silently truncate and corrupt framing at the receiver. Checked
+  // before any socket state so callers hit it deterministically.
+  VREP_CHECK(len <= kMaxFramePayload);
   if (fd_ < 0) return false;
   FrameHeader hdr{};
   hdr.epoch = epoch;
@@ -138,8 +152,13 @@ bool TcpTransport::send(MsgType type, std::uint64_t epoch, const void* payload,
     msg.msg_iov = cur;
     msg.msg_iovlen = static_cast<std::size_t>(n);
     const ssize_t wrote = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
-    if (wrote <= 0) {
+    if (wrote < 0) {
       if (errno == EINTR) continue;
+      error_ = Error::kClosed;
+      return false;
+    }
+    if (wrote == 0) {
+      // Peer closed; errno is stale for a zero return (see send_bytes).
       error_ = Error::kClosed;
       return false;
     }
@@ -152,12 +171,27 @@ bool TcpTransport::send(MsgType type, std::uint64_t epoch, const void* payload,
   return true;
 }
 
-bool TcpTransport::read_fully(void* buf, std::size_t len, int timeout_ms) {
+bool TcpTransport::read_fully(void* buf, std::size_t len,
+                              const std::optional<std::chrono::steady_clock::time_point>& deadline) {
   auto* p = static_cast<std::uint8_t*>(buf);
   std::size_t got = 0;
   while (got < len) {
+    // Budget against one absolute deadline shared by every poll of this
+    // recv(): a peer trickling one byte per window can no longer restart
+    // the timeout with each byte and stall the receiver forever.
+    int wait_ms = -1;
+    if (deadline.has_value()) {
+      const auto left = std::chrono::ceil<std::chrono::milliseconds>(
+                            *deadline - std::chrono::steady_clock::now())
+                            .count();
+      // An expired budget still polls once at zero: recv(timeout_ms=0) is
+      // the non-blocking ack-drain idiom and must deliver data that has
+      // already arrived. Only an actually-unready socket is a timeout.
+      wait_ms = static_cast<int>(
+          std::clamp<long long>(left, 0, std::numeric_limits<int>::max()));
+    }
     pollfd pfd{fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, timeout_ms);
+    const int ready = ::poll(&pfd, 1, wait_ms);
     if (ready == 0) {
       error_ = Error::kTimeout;
       return false;
@@ -184,9 +218,15 @@ bool TcpTransport::read_fully(void* buf, std::size_t len, int timeout_ms) {
 
 std::optional<Message> TcpTransport::recv(int timeout_ms) {
   error_ = Error::kNone;
+  // One overall deadline for the whole frame (header + payload); -1 waits
+  // forever, as before.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (timeout_ms >= 0) {
+    deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  }
   FrameHeader hdr;
-  if (!read_fully(&hdr, sizeof hdr, timeout_ms)) return std::nullopt;
-  if (frame_header_crc(hdr) != hdr.header_crc || hdr.len > (64u << 20)) {
+  if (!read_fully(&hdr, sizeof hdr, deadline)) return std::nullopt;
+  if (frame_header_crc(hdr) != hdr.header_crc || hdr.len > kMaxFramePayload) {
     // The length field cannot be trusted: framing is lost for good. Close so
     // the peer reconnects and the protocol layer resyncs via rejoin.
     error_ = Error::kCorrupt;
@@ -198,7 +238,7 @@ std::optional<Message> TcpTransport::recv(int timeout_ms) {
   msg.type = static_cast<MsgType>(hdr.type);
   msg.epoch = hdr.epoch;
   msg.payload.resize(hdr.len);
-  if (!read_fully(msg.payload.data(), hdr.len, timeout_ms)) return std::nullopt;
+  if (!read_fully(msg.payload.data(), hdr.len, deadline)) return std::nullopt;
   if (Crc32::of(msg.payload.data(), msg.payload.size()) != hdr.payload_crc) {
     // Payload bytes were consumed in full, so the stream stays aligned; the
     // receiver may skip this frame and resynchronise in-band.

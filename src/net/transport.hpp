@@ -22,6 +22,7 @@
 // mirroring the simulated ring's checksummed commit markers.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -116,7 +117,11 @@ class TcpTransport final : public Transport {
   bool send_bytes(const void* bytes, std::size_t len) override;
 
  private:
-  bool read_fully(void* buf, std::size_t len, int timeout_ms);
+  // Read exactly `len` bytes, honoring one absolute deadline (nullopt =
+  // wait forever). recv() shares the same deadline between its header and
+  // payload reads so the whole frame is bounded by a single budget.
+  bool read_fully(void* buf, std::size_t len,
+                  const std::optional<std::chrono::steady_clock::time_point>& deadline);
   int listen_fd_ = -1;
   int fd_ = -1;
   std::uint16_t port_ = 0;

@@ -1,9 +1,12 @@
 // TCP transport framing and wire replication (loopback, two threads).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <thread>
 
+#include "net/frame.hpp"
 #include "net/transport.hpp"
 #include "net/wire_repl.hpp"
 #include "util/rng.hpp"
@@ -124,6 +127,100 @@ TEST(Transport, ClosedPeerIsDetected) {
   EXPECT_EQ(pair.server.last_error(), TcpTransport::Error::kClosed);
 }
 
+// Sends `frame` one byte every `interval` from a background thread until
+// stopped — a peer that is alive but trickling below any useful rate.
+struct Trickler {
+  Trickler(TcpTransport& t, std::vector<std::uint8_t> frame,
+           std::chrono::milliseconds interval)
+      : transport(t), bytes(std::move(frame)) {
+    thread = std::thread([this, interval] {
+      for (std::size_t i = 0; i < bytes.size() && !stop.load(); ++i) {
+        if (!transport.send_bytes(bytes.data() + i, 1)) return;
+        std::this_thread::sleep_for(interval);
+      }
+    });
+  }
+  ~Trickler() {
+    stop.store(true);
+    thread.join();
+  }
+  TcpTransport& transport;
+  std::vector<std::uint8_t> bytes;
+  std::atomic<bool> stop{false};
+  std::thread thread;
+};
+
+TEST(Transport, TricklingHeaderCannotStallRecvPastItsDeadline) {
+  // Regression: read_fully used to restart the full timeout on every poll()
+  // that saw a byte, so a peer dribbling one byte per window kept recv()
+  // blocked indefinitely. The deadline must cap the WHOLE receive.
+  LoopbackPair pair;
+  std::vector<std::uint8_t> payload(256, 0x5a);
+  auto frame = TcpTransport::encode_frame(MsgType::kRedoBatch, 1, payload.data(), payload.size());
+  Trickler trickler(pair.client, std::move(frame), std::chrono::milliseconds(20));
+  const auto t0 = std::chrono::steady_clock::now();
+  auto msg = pair.server.recv(150);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(msg.has_value());
+  EXPECT_EQ(pair.server.last_error(), TcpTransport::Error::kTimeout);
+  // Pre-fix behavior would sit through ~280 polls x 20ms (several seconds);
+  // the budget is 150ms, so even a loaded CI box stays well under a second.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 1'000);
+}
+
+TEST(Transport, RecvDeadlineSpansHeaderAndPayload) {
+  // The header arriving promptly must not grant the payload a fresh budget:
+  // one deadline covers the whole frame.
+  LoopbackPair pair;
+  std::vector<std::uint8_t> payload(256, 0xc3);
+  auto frame = TcpTransport::encode_frame(MsgType::kRedoBatch, 1, payload.data(), payload.size());
+  constexpr std::size_t kHeader = sizeof(FrameHeader);
+  ASSERT_TRUE(pair.client.send_bytes(frame.data(), kHeader));  // header at once
+  std::vector<std::uint8_t> rest(frame.begin() + kHeader, frame.end());
+  Trickler trickler(pair.client, std::move(rest), std::chrono::milliseconds(20));
+  const auto t0 = std::chrono::steady_clock::now();
+  auto msg = pair.server.recv(150);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(msg.has_value());
+  EXPECT_EQ(pair.server.last_error(), TcpTransport::Error::kTimeout);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 1'000);
+}
+
+TEST(Transport, SlowButSteadyPeerStillCompletesWithinDeadline) {
+  // The overall deadline must not break a legitimate multi-read receive:
+  // a frame delivered in a few chunks well inside the budget goes through.
+  LoopbackPair pair;
+  std::vector<std::uint8_t> payload(4096, 0x11);
+  auto frame = TcpTransport::encode_frame(MsgType::kRedoBatch, 1, payload.data(), payload.size());
+  std::thread chunked([&] {
+    const std::size_t half = frame.size() / 2;
+    ASSERT_TRUE(pair.client.send_bytes(frame.data(), half));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(pair.client.send_bytes(frame.data() + half, frame.size() - half));
+  });
+  auto msg = pair.server.recv(2'000);
+  chunked.join();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload.size(), payload.size());
+}
+
+TEST(TransportDeathTest, SendRefusesPayloadAboveFrameBound) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The u32 length field used to truncate silently — a >4 GiB payload (or
+  // anything above the receive-side 64 MiB cap) would corrupt framing at the
+  // receiver. The bound is CHECKed before any socket state, so no peer is
+  // needed and the payload pointer is never dereferenced.
+  TcpTransport transport;
+  EXPECT_DEATH(transport.send(MsgType::kDbChunk, 1, nullptr, kMaxFramePayload + 1),
+               "len <= kMaxFramePayload");
+}
+
+TEST(TransportDeathTest, EncodeFrameRefusesPayloadAboveFrameBound) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(encode_frame(MsgType::kDbChunk, 1, nullptr, kMaxFramePayload + 1),
+               "len <= kMaxFramePayload");
+}
+
 TEST(WireRepl, BackupTracksPrimaryOverTcp) {
   LoopbackPair pair;
   core::StoreConfig config;
@@ -132,6 +229,11 @@ TEST(WireRepl, BackupTracksPrimaryOverTcp) {
   rio::Arena primary_arena =
       rio::Arena::create(core::required_arena_size(core::VersionKind::kV3InlineLog, config));
   WirePrimary primary(primary_arena, config, &pair.client, /*format=*/true);
+  // 2-safe: every commit waits for the backup's ack, so the abrupt close
+  // below cannot strand in-flight redo. 1-safe is *documented* to lose
+  // trailing transactions on a primary crash — with it this test only passed
+  // when the backup outran the primary (it does not under TSan slowdown).
+  primary.set_two_safe(true);
 
   rio::Arena backup_arena = rio::Arena::create(config.db_size);
   WireBackup backup(backup_arena);
