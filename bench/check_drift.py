@@ -37,6 +37,9 @@ import sys
 WALLCLOCK_EXACT_FIELDS = (
     "name", "workload", "workers", "partitions", "txns_per_worker",
     "committed", "window", "group", "two_safe", "backup_applied", "crc_match",
+    # shard_scaling cells (BENCH_shards.json): deterministic counts drawn
+    # from fixed seeds plus the replica/invariant verdict.
+    "shards", "remote_pct", "threads", "txns", "cross_committed", "consistent",
 )
 # Machine-dependent fields: sanity-checked only. True = must be > 0.
 WALLCLOCK_TIMING_FIELDS = {
@@ -84,6 +87,8 @@ def check_wallclock(baseline, fresh, rtol, drifts):
             if key in a or key in b:
                 walk(f"cells[{i}].{key}", a.get(key), b.get(key), rtol, drifts)
         for key, positive in WALLCLOCK_TIMING_FIELDS.items():
+            if key not in a and key not in b:
+                continue  # not every wall-clock bench emits every counter
             v = b.get(key)
             if not isinstance(v, (int, float)) or isinstance(v, bool) or not math.isfinite(v):
                 drifts.append(f"cells[{i}].{key}: not a finite number ({v!r})")

@@ -26,7 +26,8 @@ for pair in \
     "ablation_two_safe BENCH_ablation_two_safe.json" \
     "recovery_time BENCH_recovery.json" \
     "smp_debitcredit BENCH_smp_debitcredit.json" \
-    "smp_orderentry BENCH_smp_orderentry.json"; do
+    "smp_orderentry BENCH_smp_orderentry.json" \
+    "shard_scaling BENCH_shards.json"; do
   bin="${pair% *}"
   out="${pair#* }"
   echo "== $bin -> $out"

@@ -92,12 +92,22 @@ class Membership {
   std::size_t backup_count() const { return view_.backups.size(); }
 
   // Backup side: learned the primary's current epoch from a kHello /
-  // kRejoinDelta frame. Epochs only move forward.
-  void join_epoch(std::uint64_t epoch) {
+  // kRejoinDelta frame. Epochs only move forward: a stale epoch (a delayed
+  // hello from a fenced old primary) is dropped and counted, NOT adopted —
+  // and must not crash the backup, since a fenced straggler can always
+  // resend arbitrarily late. Returns true iff the epoch was adopted.
+  bool join_epoch(std::uint64_t epoch) {
     VREP_CHECK(role_ == Role::kBackup);
-    VREP_CHECK(epoch >= view_.epoch);
+    if (epoch < view_.epoch) {
+      stale_joins_ += 1;
+      return false;
+    }
     view_.epoch = epoch;
+    return true;
   }
+
+  // Stale-epoch joins dropped by join_epoch() (fenced-straggler hellos).
+  std::uint64_t stale_joins() const { return stale_joins_; }
 
   // A fenced primary (someone took over in a newer epoch) steps down so it
   // can rejoin as backup. Adopts the fencing epoch; join_epoch() will move
@@ -118,6 +128,7 @@ class Membership {
   int self_;
   Role role_;
   View view_{};
+  std::uint64_t stale_joins_ = 0;
 };
 
 }  // namespace vrep::cluster

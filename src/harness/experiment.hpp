@@ -46,13 +46,23 @@ struct ExperimentConfig {
   // watermark. 0 = off (the classic bounded-history behavior, default).
   std::uint64_t checkpoint_interval = 0;
   std::size_t checkpoint_copy_bytes = 256 * 1024;
+  // Extension: partitioned multi-primary. shards > 1 routes the run through
+  // shard::ShardedCluster (per-shard pipelines + 2PC for the remote-branch
+  // mix) instead of the virtual-time node; `remote_fraction` of the
+  // transactions touch a second shard. streams/version/mode are ignored on
+  // this path; txns = txns_per_stream.
+  unsigned shards = 1;
+  double remote_fraction = 0.0;
+  unsigned backups_per_shard = 1;
   sim::AlphaCostModel cost{};
 };
 
 struct ExperimentResult {
-  double seconds = 0;              // virtual elapsed time (max over streams)
+  double seconds = 0;              // virtual elapsed time (max over streams);
+                                   // wall-clock on the sharded path
   double tps = 0;                  // aggregate committed transactions / s
   std::uint64_t committed = 0;
+  std::uint64_t cross_committed = 0;  // sharded path: 2PC commits
   sim::TrafficStats traffic{};     // bytes written through to the backup
   std::uint64_t packets = 0;       // Memory Channel packets on the wire
   double avg_packet_bytes = 0;

@@ -17,7 +17,9 @@ static_assert(static_cast<int>(repl::FrameKind::kRedoBatch) == static_cast<int>(
               static_cast<int>(repl::FrameKind::kRedoGroup) == static_cast<int>(MsgType::kRedoGroup) &&
               static_cast<int>(repl::FrameKind::kCkptBegin) == static_cast<int>(MsgType::kCkptBegin) &&
               static_cast<int>(repl::FrameKind::kCkptChunk) == static_cast<int>(MsgType::kCkptChunk) &&
-              static_cast<int>(repl::FrameKind::kCkptEnd) == static_cast<int>(MsgType::kCkptEnd));
+              static_cast<int>(repl::FrameKind::kCkptEnd) == static_cast<int>(MsgType::kCkptEnd) &&
+              static_cast<int>(repl::FrameKind::kXPrepare) == static_cast<int>(MsgType::kXPrepare) &&
+              static_cast<int>(repl::FrameKind::kXDecide) == static_cast<int>(MsgType::kXDecide));
 static_assert(static_cast<int>(repl::LinkError::kTimeout) == static_cast<int>(TransportError::kTimeout) &&
               static_cast<int>(repl::LinkError::kCorrupt) == static_cast<int>(TransportError::kCorrupt));
 

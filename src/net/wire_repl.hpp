@@ -233,6 +233,10 @@ class WireBackup : private repl::RedoApplier::Target {
     applier_.seed(db, size, applied_seq, state_epoch);
   }
 
+  // Protocol engine (shared with the simulated backend) — direct access for
+  // tests, drivers and in-doubt resolution at takeover.
+  repl::RedoApplier& applier() { return applier_; }
+
   std::uint64_t applied_seq() const { return applier_.applied_seq(); }
   // Epoch under which the last applied state (image or batch) was produced.
   std::uint64_t state_epoch() const { return applier_.state_epoch(); }

@@ -49,6 +49,8 @@ enum class FrameKind : std::uint8_t {
   kCkptBegin = 10,     // checkpoint install start: watermark + image geometry
   kCkptChunk = 11,     // checkpoint page run: u64 offset | bytes
   kCkptEnd = 12,       // checkpoint install end: watermark seq + full-image crc
+  kXPrepare = 13,      // 2PC phase 1: u64 xid | staged redo batch (in-doubt)
+  kXDecide = 14,       // 2PC phase 2: u64 xid | u8 commit (1) / abort (0)
 };
 
 struct Frame {

@@ -410,6 +410,8 @@ void RedoPipeline::push_history(std::uint64_t seq) {
 void RedoPipeline::enable_checkpoints(std::uint64_t interval_txns,
                                       std::size_t copy_bytes_per_commit) {
   VREP_CHECK(interval_txns >= 1 && copy_bytes_per_commit >= 1);
+  VREP_CHECK(in_doubt_.empty() &&
+             "fuzzy checkpoints do not compose with cross-shard prepares yet");
   ckpt_enabled_ = true;
   ckpt_interval_ = interval_txns;
   ckpt_copy_bytes_ = copy_bytes_per_commit;
@@ -684,6 +686,94 @@ RedoPipeline::CommitOutcome RedoPipeline::sync() {
 
 RedoPipeline::CommitOutcome RedoPipeline::commit(std::uint64_t seq) {
   return wait(commit_async(seq));
+}
+
+void RedoPipeline::insert_history(std::uint64_t seq, std::vector<std::uint8_t> batch) {
+  history_bytes_ += batch.size();
+  // Later sequences may already be in the history when a decision lands;
+  // keep it seq-ordered so rejoin replays stay ascending.
+  auto it = std::lower_bound(
+      history_.begin(), history_.end(), seq,
+      [](const HistoryEntry& e, std::uint64_t s) { return e.seq < s; });
+  history_.insert(it, HistoryEntry{seq, std::move(batch)});
+  while (history_bytes_ > history_capacity_ && !history_.empty()) {
+    history_bytes_ -= history_.front().batch.size();
+    history_.pop_front();
+  }
+}
+
+RedoPipeline::CommitTicket RedoPipeline::prepare_cross(std::uint64_t seq, std::uint64_t xid) {
+  VREP_CHECK(!ckpt_enabled_ &&
+             "fuzzy checkpoints do not compose with cross-shard prepares yet");
+  VREP_CHECK(in_doubt_.find(xid) == in_doubt_.end() && "xid already prepared");
+  std::memcpy(batch_.data(), &seq, 8);
+  // Anything buffered in the pending group precedes this prepare on the
+  // wire; ship it so the backup sees sequences in order.
+  ship_group();
+  std::vector<std::uint8_t> payload(8 + batch_.size());
+  std::memcpy(payload.data(), &xid, 8);
+  std::memcpy(payload.data() + 8, batch_.data(), batch_.size());
+  for (PeerSlot& p : peers_) {
+    if (!p.alive || fenced_) continue;
+    if (link_send(p, FrameKind::kXPrepare, payload.data(), payload.size())) {
+      p.shipped->add(1);
+    } else {
+      p.alive = false;
+    }
+  }
+  shipped_seq_ = seq;
+  last_ticket_seq_ = seq;
+  stats_.prepares_shipped++;
+  metrics::counter("repl.primary.prepares_shipped").add(1);
+  in_doubt_.emplace(xid, InDoubtTxn{seq, std::move(batch_)});
+  batch_.clear();
+  for (PeerSlot& p : peers_) {
+    if (p.alive) drain(p);
+  }
+  CommitOutcome outcome = CommitOutcome::kLocalDurable;
+  if (!two_safe_) {
+    local_resolved_upto_ = seq;
+  } else {
+    // Same bounded-window backpressure as commit_async: the coordinator's
+    // conformance rule (decision only after every prepare is covered) rides
+    // on these acks.
+    if (window_ == 1) {
+      wait_covered(seq);
+    } else if (window_target() > quorum_acked_cache_) {
+      wait_covered(window_target());
+    }
+    outcome = outcome_of(seq);
+  }
+  last_commit_outcome_ = outcome;
+  return CommitTicket{seq};
+}
+
+bool RedoPipeline::decide_cross(std::uint64_t xid, bool commit) {
+  auto it = in_doubt_.find(xid);
+  if (it == in_doubt_.end()) return false;
+  std::uint8_t payload[9];
+  std::memcpy(payload, &xid, 8);
+  payload[8] = commit ? 1 : 0;
+  for (PeerSlot& p : peers_) {
+    if (!p.alive || fenced_) continue;
+    if (!link_send(p, FrameKind::kXDecide, payload, sizeof payload)) p.alive = false;
+  }
+  stats_.decides_shipped++;
+  metrics::counter("repl.primary.decides_shipped").add(1);
+  if (commit) {
+    insert_history(it->second.seq, std::move(it->second.batch));
+  } else {
+    // The sequence was consumed by the prepare; an empty batch keeps the
+    // replay history contiguous while writing nothing.
+    std::vector<std::uint8_t> empty(8);
+    std::memcpy(empty.data(), &it->second.seq, 8);
+    insert_history(it->second.seq, std::move(empty));
+  }
+  in_doubt_.erase(it);
+  for (PeerSlot& p : peers_) {
+    if (p.alive) drain(p);
+  }
+  return true;
 }
 
 bool RedoPipeline::sync_peer(PeerSlot& peer) {
@@ -1145,6 +1235,93 @@ void RedoApplier::on_group_frame(const Frame& frame, ReplicationLink& link) {
   link.send(FrameKind::kConsumerAck, epoch(), &applied_seq_, 8);
 }
 
+void RedoApplier::on_prepare_frame(const Frame& frame, ReplicationLink& link) {
+  if (!image_complete()) {
+    maybe_request_resync(link);
+    return;
+  }
+  if (frame.payload.size() < 16) {
+    note_corrupt_skipped(link);
+    return;
+  }
+  std::uint64_t xid;
+  std::memcpy(&xid, frame.payload.data(), 8);
+  const std::uint8_t* batch = frame.payload.data() + 8;
+  const std::size_t batch_len = frame.payload.size() - 8;
+  // Validate NOW, while the primary still holds the bytes: a decision frame
+  // carries only the xid, so a corrupt buffered batch could not be repaired
+  // later.
+  if (!batch_valid(batch, batch_len, db_size_)) {
+    note_corrupt_skipped(link);
+    return;
+  }
+  const std::uint64_t seq = batch_seq(batch);
+  if (seq <= applied_seq_) {
+    stats_.duplicates_ignored++;  // prepare replay (duplicate fault)
+    metrics::counter("repl.backup.duplicates_ignored").add(1);
+    // Still ack: the coordinator blocks on coverage of this sequence.
+    link.send(FrameKind::kConsumerAck, epoch(), &applied_seq_, 8);
+    return;
+  }
+  if (seq != applied_seq_ + 1) {
+    stats_.gaps_detected++;
+    metrics::counter("repl.backup.gaps_detected").add(1);
+    maybe_request_resync(link);
+    return;
+  }
+  in_doubt_[xid].assign(batch, batch + batch_len);
+  // The prepare consumes its sequence — the bytes stay out of the image
+  // until the decision — so the redo stream continues past it and 2-safe
+  // coverage extends to the prepare.
+  applied_seq_ = seq;
+  state_epoch_ = frame.epoch;
+  stats_.prepares_buffered++;
+  metrics::counter("repl.backup.prepares_buffered").add(1);
+  // Ack every prepare immediately: the coordinator's phase-1 durability wait
+  // rides on it, and prepares are rare enough that batching buys nothing.
+  link.send(FrameKind::kConsumerAck, epoch(), &applied_seq_, 8);
+}
+
+void RedoApplier::on_decide_frame(const Frame& frame) {
+  if (frame.payload.size() != 9) {
+    stats_.corrupt_skipped++;
+    metrics::counter("repl.backup.corrupt_skipped").add(1);
+    return;
+  }
+  std::uint64_t xid;
+  std::memcpy(&xid, frame.payload.data(), 8);
+  if (!resolve_in_doubt(xid, frame.payload[8] != 0)) {
+    stats_.duplicates_ignored++;  // decision replay after resolution
+    metrics::counter("repl.backup.duplicates_ignored").add(1);
+  }
+}
+
+std::vector<std::uint64_t> RedoApplier::in_doubt_xids() const {
+  std::vector<std::uint64_t> xids;
+  xids.reserve(in_doubt_.size());
+  for (const auto& [xid, batch] : in_doubt_) xids.push_back(xid);
+  return xids;
+}
+
+bool RedoApplier::resolve_in_doubt(std::uint64_t xid, bool commit) {
+  auto it = in_doubt_.find(xid);
+  if (it == in_doubt_.end()) return false;
+  if (commit) {
+    // The batch was validated at prepare; applied_seq_ already advanced past
+    // it when the prepare consumed its sequence, so only the writes land.
+    BatchReader reader(it->second.data(), it->second.size());
+    RedoChunk chunk;
+    while (reader.next(&chunk)) target_.write(chunk.db_off, chunk.data, chunk.len);
+    stats_.decides_committed++;
+    metrics::counter("repl.backup.decides_committed").add(1);
+  } else {
+    stats_.decides_aborted++;
+    metrics::counter("repl.backup.decides_aborted").add(1);
+  }
+  in_doubt_.erase(it);
+  return true;
+}
+
 RedoApplier::FrameResult RedoApplier::on_frame(const Frame& frame, ReplicationLink& link) {
   if (membership_ != nullptr) {
     const std::uint64_t cur = membership_->view().epoch;
@@ -1318,6 +1495,12 @@ RedoApplier::FrameResult RedoApplier::on_frame(const Frame& frame, ReplicationLi
       }
       break;
     }
+    case FrameKind::kXPrepare:
+      on_prepare_frame(frame, link);
+      break;
+    case FrameKind::kXDecide:
+      on_decide_frame(frame);
+      break;
     case FrameKind::kEpochFence:
       break;  // epoch already adopted above (if newer)
     default:

@@ -47,6 +47,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -144,6 +145,8 @@ class RedoPipeline {
     std::uint64_t checkpoints_completed = 0;     // fuzzy checkpoints finished
     std::uint64_t redo_truncated_bytes = 0;      // history dropped at watermarks
     std::uint64_t checkpoint_deltas_served = 0;  // checkpoint+delta rejoins
+    std::uint64_t prepares_shipped = 0;          // 2PC phase-1 frames shipped
+    std::uint64_t decides_shipped = 0;           // 2PC phase-2 frames shipped
   };
 
   // What a commit() actually guaranteed when it returned. 1-safe commits are
@@ -240,6 +243,32 @@ class RedoPipeline {
   CommitOutcome sync();
 
   CommitOutcome last_commit_outcome() const { return last_commit_outcome_; }
+
+  // ---- cross-shard 2PC hooks ---------------------------------------------
+  // Phase 1 of cross-shard two-phase commit (shard::CrossShardCoordinator).
+  // Encodes the staged chunks as sequence `seq` and ships them to every live
+  // peer as one kXPrepare frame ([u64 xid | batch payload]); backups buffer
+  // the batch in-doubt — the sequence is consumed (applied_seq advances,
+  // acks cover it, so 2-safe coverage extends to prepares) but the bytes do
+  // NOT touch the replica image until the decision arrives. The batch is
+  // retained here, OUTSIDE the replay history, until decide_cross() resolves
+  // it; drivers must resolve every in-doubt transaction before serving a
+  // rejoin, or the replayed history would have a hole at `seq`. Any pending
+  // group is shipped first so frames stay in sequence order. In 2-safe mode
+  // this blocks under the same bounded-window backpressure as commit_async.
+  // Fuzzy checkpoints do not compose with prepares yet (the staged bytes are
+  // not in the source image at prepare time); enabling both is refused.
+  CommitTicket prepare_cross(std::uint64_t seq, std::uint64_t xid);
+  // Phase 2: resolve a prepared transaction and fan the kXDecide frame
+  // ([u64 xid | u8 commit]) out to every live peer. Commit moves the held
+  // batch into the replay history at its sequence; abort replaces it with an
+  // empty batch (sequence consumed, zero chunks) so the history stays
+  // contiguous and rejoin replays advance a laggard's sequence past the
+  // aborted slot without writing anything. Returns false when `xid` is
+  // unknown (already resolved).
+  bool decide_cross(std::uint64_t xid, bool commit);
+  // Prepared-but-undecided transactions currently held.
+  std::size_t in_doubt() const { return in_doubt_.size(); }
 
   // Transactions coalesced per wire frame (default 1: one frame per commit,
   // the classic stream). Groups of 2+ ship as one kRedoGroup frame / one
@@ -366,6 +395,11 @@ class RedoPipeline {
     std::vector<std::uint8_t> batch;  // kRedoBatch payload (seq-prefixed)
   };
 
+  struct InDoubtTxn {
+    std::uint64_t seq;
+    std::vector<std::uint8_t> batch;  // kRedoBatch payload (seq-prefixed)
+  };
+
   bool link_send(PeerSlot& peer, FrameKind kind, const void* payload, std::size_t len);
   void fence(std::uint64_t newer_epoch);
   void drain(PeerSlot& peer);
@@ -381,6 +415,9 @@ class RedoPipeline {
   std::uint64_t window_target() const;
   std::uint64_t shipped_watermark() const;
   void push_history(std::uint64_t seq);
+  // Insert a decided cross-shard batch at its sequence position (later
+  // sequences may already be in the history when the decision lands).
+  void insert_history(std::uint64_t seq, std::vector<std::uint8_t> batch);
   bool sync_peer(PeerSlot& peer);
   bool serve_rejoin(PeerSlot& peer, std::uint64_t backup_seq, std::uint64_t node_id,
                     std::uint64_t state_epoch);
@@ -400,6 +437,7 @@ class RedoPipeline {
   std::vector<PeerSlot> peers_;
   std::vector<std::uint8_t> batch_;  // staged redo payload for this txn
   std::vector<PendingTxn> pending_group_;  // committed but not yet shipped
+  std::map<std::uint64_t, InDoubtTxn> in_doubt_;  // xid -> prepared, undecided
   std::deque<HistoryEntry> history_;
   std::size_t history_bytes_ = 0;
   std::size_t history_capacity_;
@@ -467,6 +505,9 @@ class RedoApplier {
     std::uint64_t resyncs = 0;             // completed kRejoinDelta / kHello resyncs
     std::uint64_t checkpoint_installs = 0;  // CRC-verified checkpoint adoptions
     std::uint64_t checkpoint_aborts = 0;    // torn/stale installs discarded
+    std::uint64_t prepares_buffered = 0;    // kXPrepare batches held in-doubt
+    std::uint64_t decides_committed = 0;    // in-doubt resolved by applying
+    std::uint64_t decides_aborted = 0;      // in-doubt resolved by discarding
   };
 
   // With a `membership`, stale-epoch frames are fenced and the epoch follows
@@ -534,10 +575,24 @@ class RedoApplier {
   // promotes the clean pre-install state.
   bool checkpoint_installing() const { return ckpt_installing_; }
 
+  // ---- cross-shard 2PC (backup side) -------------------------------------
+  // Prepared-but-undecided transactions buffered by kXPrepare frames: their
+  // sequences are consumed (applied_seq covers them) but the bytes have not
+  // touched the replica image. A promoted backup resolves them against the
+  // coordinator's home-shard decision log before serving traffic.
+  std::size_t in_doubt() const { return in_doubt_.size(); }
+  std::vector<std::uint64_t> in_doubt_xids() const;
+  // Resolve one buffered in-doubt transaction: commit applies its chunks to
+  // the image, abort discards them. Used both by the kXDecide frame handler
+  // and by the takeover driver. Returns false when `xid` is not held.
+  bool resolve_in_doubt(std::uint64_t xid, bool commit);
+
  private:
   bool apply_batch(const Frame& frame);
   void apply_validated(const std::uint8_t* payload, std::size_t size);
   void on_group_frame(const Frame& frame, ReplicationLink& link);
+  void on_prepare_frame(const Frame& frame, ReplicationLink& link);
+  void on_decide_frame(const Frame& frame);
   void maybe_request_resync(ReplicationLink& link);
   void on_ckpt_begin(const Frame& frame, ReplicationLink& link);
   void on_ckpt_chunk(const Frame& frame, ReplicationLink& link);
@@ -565,6 +620,9 @@ class RedoApplier {
   std::uint32_t ckpt_install_crc_ = 0;
   std::uint32_t ckpt_chunks_expected_ = 0;
   std::vector<PendingChunk> ckpt_chunks_;
+  // In-doubt 2PC batches: xid -> validated kRedoBatch payload, buffered at
+  // prepare and applied/discarded at decide (or takeover resolution).
+  std::map<std::uint64_t, std::vector<std::uint8_t>> in_doubt_;
 };
 
 }  // namespace vrep::repl

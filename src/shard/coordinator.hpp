@@ -1,0 +1,114 @@
+// Two-phase commit across shards, over the per-shard redo pipelines.
+//
+// The coordinator commits one transaction that touches a HOME shard plus
+// one or more REMOTE shards:
+//
+//   latch every touched shard, ascending shard id   (deadlock avoidance)
+//   phase 1  for each remote, ascending id:
+//              stage its writes; prepare_cross(seq, xid)
+//              -> backups buffer the batch in-doubt; the remote primary's
+//                 image is untouched (deferred apply)
+//   commit   home shard: ONE ordinary commit carrying the home writes AND
+//            the 16-byte decision record (shard/decision_log.hpp). The
+//            moment this commit is durable — 2-safe: quorum-covered on the
+//            home backups — the transaction is committed, whoever dies next.
+//   phase 2  for each remote, ascending id (shard-sequence order):
+//              apply the deferred bytes to the remote image; decide_cross
+//              -> backups resolve their in-doubt buffer
+//
+// Failure rule (presumed abort): if any participant's primary dies before
+// the home commit, the coordinator aborts — no decision record exists, so
+// every surviving or promoted replica independently resolves the prepare as
+// abort. If a remote primary dies after the home commit, the transaction IS
+// committed; the remote's promoted backup finds the decision record in the
+// home shard's surviving image and resolves commit. Both rules read the
+// same bytes, so no transaction can resolve both ways.
+//
+// xids encode their home shard (top 16 bits), so in-doubt resolution can
+// find the decision log with no side channel.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/latch.hpp"
+#include "repl/pipeline.hpp"
+#include "shard/decision_log.hpp"
+#include "shard/shard_map.hpp"
+
+namespace vrep::shard {
+
+class CrossShardCoordinator {
+ public:
+  // One shard's commit surface for the duration of one transaction. The
+  // cluster rebuilds these per transaction — a takeover swaps the pipeline
+  // and the image out from under a long-lived view.
+  struct Participant {
+    ShardId id = 0;
+    core::Latch* latch = nullptr;
+    repl::RedoPipeline* pipeline = nullptr;
+    std::uint8_t* db = nullptr;
+    std::uint64_t* committed = nullptr;  // the shard Source's sequence counter
+  };
+
+  struct Write {
+    std::uint64_t off = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  // Writes are produced by a generator invoked AFTER the participant
+  // latches are held: a write's new bytes depend on the current image
+  // (balance += amount), so computing them before latching would race with
+  // concurrent transactions on the same records.
+  using WriteGen = std::function<std::vector<Write>()>;
+
+  struct RemoteOp {
+    Participant shard;
+    WriteGen writes;
+  };
+
+  // Chaos injection point: called between 2PC phases; returns the id of a
+  // shard whose primary just "died", or kNoKill. The coordinator reacts the
+  // way a live deployment would: presumed abort before the decision is
+  // durable, push forward through the survivors after.
+  enum class Phase : std::uint8_t { kAfterPrepare, kAfterHomeCommit };
+  static constexpr ShardId kNoKill = ~ShardId{0};
+  using ChaosHook = std::function<ShardId(Phase, std::uint64_t xid)>;
+
+  explicit CrossShardCoordinator(DecisionLog dlog) : dlog_(dlog) {}
+
+  // Globally unique, home-shard-tagged transaction id.
+  std::uint64_t next_xid(ShardId home) {
+    return (static_cast<std::uint64_t>(home) << 48) |
+           (xid_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
+  static ShardId home_of(std::uint64_t xid) { return static_cast<ShardId>(xid >> 48); }
+
+  struct Outcome {
+    bool committed = false;
+    bool prepared = false;  // phase 1 reached at least one remote
+    std::uint64_t home_seq = 0;
+    std::vector<std::uint64_t> remote_seqs;  // one per remote, in call order
+    // Remotes whose primary resolved in-band (phase 2 or live abort); a
+    // remote missing here was dead and resolves at takeover instead.
+    std::vector<ShardId> decided;
+  };
+
+  // Commit one cross-shard transaction. Latches every participant for the
+  // full duration (the per-shard single-writer rule the executors already
+  // follow); `remotes` need not be sorted. The home shard must not appear
+  // among the remotes.
+  Outcome commit(const Participant& home, std::vector<RemoteOp> remotes,
+                 const WriteGen& home_writes, std::uint64_t xid,
+                 const ChaosHook& chaos = {});
+
+  const DecisionLog& decision_log() const { return dlog_; }
+
+ private:
+  DecisionLog dlog_;
+  std::atomic<std::uint64_t> xid_counter_{0};
+};
+
+}  // namespace vrep::shard

@@ -1,0 +1,91 @@
+#include "shard/shard_map.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace vrep::shard {
+
+namespace {
+constexpr std::uint64_t kHashMax = std::numeric_limits<std::uint64_t>::max();
+}  // namespace
+
+ShardMap ShardMap::uniform(unsigned num_shards) {
+  VREP_CHECK(num_shards >= 1);
+  std::vector<std::uint64_t> upper(num_shards);
+  // Equal slices of the hash space; the last bound absorbs the remainder.
+  const std::uint64_t stride = kHashMax / num_shards;
+  for (unsigned i = 0; i + 1 < num_shards; ++i) {
+    upper[i] = stride * (i + 1);
+  }
+  upper[num_shards - 1] = kHashMax;
+  return ShardMap(std::move(upper), /*version=*/1);
+}
+
+ShardMap::ShardMap(std::vector<std::uint64_t> upper_bounds, std::uint64_t version,
+                   std::vector<std::string> names)
+    : upper_(std::move(upper_bounds)), names_(std::move(names)), version_(version) {
+  VREP_CHECK(!upper_.empty());
+  VREP_CHECK(upper_.back() == kHashMax);  // total coverage of the hash space
+  for (std::size_t i = 1; i < upper_.size(); ++i) {
+    VREP_CHECK(upper_[i - 1] < upper_[i]);  // strictly ascending, no empty range
+  }
+  VREP_CHECK(version_ >= 1);
+  if (names_.empty()) {
+    names_.reserve(upper_.size());
+    for (std::size_t i = 0; i < upper_.size(); ++i) {
+      names_.push_back("shard-" + std::to_string(i));
+    }
+  }
+  VREP_CHECK(names_.size() == upper_.size());
+}
+
+ShardId ShardMap::shard_of(std::uint64_t hash) const {
+  const auto it = std::lower_bound(upper_.begin(), upper_.end(), hash);
+  return static_cast<ShardId>(it - upper_.begin());
+}
+
+Json ShardMap::to_json() const {
+  Json root = Json::object();
+  root.set("version", Json(version_));
+  Json shards = Json::array();
+  for (std::size_t i = 0; i < upper_.size(); ++i) {
+    Json entry = Json::object();
+    entry.set("id", Json(static_cast<std::uint64_t>(i)));
+    entry.set("name", Json(names_[i]));
+    entry.set("upper", Json(upper_[i]));
+    shards.push(std::move(entry));
+  }
+  root.set("shards", std::move(shards));
+  return root;
+}
+
+std::optional<ShardMap> ShardMap::from_json(const Json& json) {
+  const Json* version = json.find("version");
+  const Json* shards = json.find("shards");
+  if (version == nullptr || shards == nullptr || !shards->is_array() ||
+      shards->size() == 0) {
+    return std::nullopt;
+  }
+  std::vector<std::uint64_t> upper;
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < shards->size(); ++i) {
+    const Json& entry = shards->at(i);
+    const Json* id = entry.find("id");
+    const Json* name = entry.find("name");
+    const Json* bound = entry.find("upper");
+    if (id == nullptr || name == nullptr || bound == nullptr || id->u64() != i) {
+      return std::nullopt;
+    }
+    upper.push_back(bound->u64());
+    names.push_back(name->str());
+  }
+  if (upper.back() != kHashMax) return std::nullopt;
+  for (std::size_t i = 1; i < upper.size(); ++i) {
+    if (upper[i - 1] >= upper[i]) return std::nullopt;
+  }
+  return ShardMap(std::move(upper), version->u64(), std::move(names));
+}
+
+}  // namespace vrep::shard

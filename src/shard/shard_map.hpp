@@ -1,0 +1,77 @@
+// Partitioned ownership: which shard owns which slice of the key space.
+//
+// The map is a sorted list of inclusive upper bounds over the 64-bit *hash*
+// space (keys are hashed first, so contiguous key ranges spread evenly):
+// shard i owns (upper[i-1], upper[i]]. The last bound is always 2^64-1, so
+// every hash has exactly one owner. The map carries a version so a later
+// reconfiguration (split / merge / rebalance — ROADMAP follow-ups) can fence
+// routers still holding the old map, exactly the way membership epochs
+// fence stale replicas.
+//
+// The map round-trips through util::Json so deployments can ship it as a
+// config artifact; shard names may carry arbitrary BMP strings (the JSON
+// parser decodes full \uXXXX escapes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace vrep::shard {
+
+using ShardId = std::uint32_t;
+
+// splitmix64: cheap, well-mixed 64-bit hash for routing keys.
+inline std::uint64_t hash_key(std::uint64_t key) {
+  std::uint64_t z = key + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+class ShardMap {
+ public:
+  // N equal hash ranges, version 1, shards named "shard-<i>".
+  static ShardMap uniform(unsigned num_shards);
+
+  // Explicit bounds (strictly ascending, last == 2^64-1); one name per
+  // shard (empty vector = default names).
+  ShardMap(std::vector<std::uint64_t> upper_bounds, std::uint64_t version,
+           std::vector<std::string> names = {});
+
+  ShardId shard_of(std::uint64_t hash) const;
+  unsigned num_shards() const { return static_cast<unsigned>(upper_.size()); }
+  std::uint64_t version() const { return version_; }
+  std::uint64_t upper_bound(ShardId shard) const { return upper_.at(shard); }
+  const std::string& name(ShardId shard) const { return names_.at(shard); }
+
+  bool operator==(const ShardMap& other) const {
+    return version_ == other.version_ && upper_ == other.upper_ && names_ == other.names_;
+  }
+
+  Json to_json() const;
+  static std::optional<ShardMap> from_json(const Json& json);
+
+ private:
+  std::vector<std::uint64_t> upper_;  // inclusive upper bound per shard
+  std::vector<std::string> names_;
+  std::uint64_t version_ = 1;
+};
+
+// Key -> owning shard, through the map's hash ranges. Carries the map
+// version so a routing decision can be checked against a reconfigured map.
+class Router {
+ public:
+  explicit Router(const ShardMap& map) : map_(&map) {}
+
+  ShardId route(std::uint64_t key) const { return map_->shard_of(hash_key(key)); }
+  std::uint64_t map_version() const { return map_->version(); }
+
+ private:
+  const ShardMap* map_;
+};
+
+}  // namespace vrep::shard

@@ -1,0 +1,524 @@
+#include "shard/sharded_cluster.hpp"
+
+#include <cstring>
+#include <deque>
+#include <optional>
+
+#include "cluster/membership.hpp"
+#include "core/latch.hpp"
+#include "repl/pipeline.hpp"
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+#include "util/metrics.hpp"
+
+namespace vrep::shard {
+
+namespace {
+
+// The deterministic inline-delivery loopback carrier: one object per
+// (primary, backup) pair. send() delivers the frame to the applier
+// synchronously; the applier's responses (acks, fences, rejoin requests)
+// queue in `inbox_` for the pipeline's next recv(). kill() snaps the
+// carrier the way a process death would: sends fail, recv reports closed.
+class InlineLink final : public repl::ReplicationLink {
+ public:
+  explicit InlineLink(repl::RedoApplier* applier) : applier_(applier), reply_(this) {}
+
+  void kill() { down_ = true; }
+  // The backup -> primary direction (request_rejoin sends through this).
+  repl::ReplicationLink& reply_link() { return reply_; }
+
+  bool send(repl::FrameKind kind, std::uint64_t epoch, const void* payload,
+            std::size_t len) override {
+    if (down_) {
+      err_ = repl::LinkError::kClosed;
+      return false;
+    }
+    const auto* p = static_cast<const std::uint8_t*>(payload);
+    repl::Frame frame{kind, epoch, std::vector<std::uint8_t>(p, p + len)};
+    applier_->on_frame(frame, reply_);
+    return true;
+  }
+
+  std::optional<repl::Frame> recv(int timeout_ms) override {
+    (void)timeout_ms;  // inline delivery: either it is queued or it never will be
+    if (!inbox_.empty()) {
+      repl::Frame frame = std::move(inbox_.front());
+      inbox_.pop_front();
+      err_ = repl::LinkError::kNone;
+      return frame;
+    }
+    err_ = down_ ? repl::LinkError::kClosed : repl::LinkError::kTimeout;
+    return std::nullopt;
+  }
+
+  repl::LinkError last_error() const override { return err_; }
+  bool connected() const override { return !down_; }
+
+ private:
+  struct Reply final : repl::ReplicationLink {
+    explicit Reply(InlineLink* owner) : owner_(owner) {}
+    bool send(repl::FrameKind kind, std::uint64_t epoch, const void* payload,
+              std::size_t len) override {
+      if (owner_->down_) return false;
+      const auto* p = static_cast<const std::uint8_t*>(payload);
+      owner_->inbox_.push_back(repl::Frame{kind, epoch, std::vector<std::uint8_t>(p, p + len)});
+      return true;
+    }
+    std::optional<repl::Frame> recv(int) override { return std::nullopt; }
+    repl::LinkError last_error() const override { return repl::LinkError::kTimeout; }
+    bool connected() const override { return !owner_->down_; }
+
+   private:
+    InlineLink* owner_;
+  };
+
+  repl::RedoApplier* applier_;
+  Reply reply_;
+  std::deque<repl::Frame> inbox_;
+  repl::LinkError err_ = repl::LinkError::kNone;
+  bool down_ = false;
+};
+
+// Replica bytes land in a plain buffer.
+struct BufferTarget final : repl::RedoApplier::Target {
+  explicit BufferTarget(std::size_t size) : bytes(size, 0) {}
+  void write(std::uint64_t off, const void* src, std::size_t len) override {
+    VREP_CHECK(off + len <= bytes.size());
+    std::memcpy(bytes.data() + off, src, len);
+  }
+  std::size_t capacity() const override { return bytes.size(); }
+  const std::uint8_t* data() const override { return bytes.data(); }
+
+  std::vector<std::uint8_t> bytes;
+};
+
+// Little-endian i32 balance update against a raw image.
+std::vector<std::uint8_t> bumped_balance(const std::uint8_t* db, std::uint64_t off,
+                                         std::int32_t amount) {
+  std::int32_t balance;
+  std::memcpy(&balance, db + off, sizeof balance);
+  balance += amount;
+  std::vector<std::uint8_t> bytes(sizeof balance);
+  std::memcpy(bytes.data(), &balance, sizeof balance);
+  return bytes;
+}
+
+}  // namespace
+
+TxnDecision plan_txn(const Router& router, const wl::DebitCredit& workload,
+                     unsigned num_shards, Rng& rng, double remote_fraction) {
+  TxnDecision d;
+  // The client's branch (the teller's node) picks the home shard; the
+  // remote-branch rule then sends the account to a different shard.
+  d.home = router.route(rng.next_u64());
+  const bool want_remote =
+      num_shards > 1 && wl::DebitCredit::draw_remote(rng, remote_fraction);
+  d.plan = workload.plan_txn(rng);
+  if (want_remote) {
+    d.cross = true;
+    const auto pick = static_cast<ShardId>(rng.below(num_shards - 1));
+    d.remote = pick >= d.home ? pick + 1 : pick;
+  } else {
+    d.remote = d.home;
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Shard
+// ---------------------------------------------------------------------------
+
+struct ShardedCluster::Shard {
+  struct Backup {
+    explicit Backup(int node, std::size_t db_size)
+        : node_id(node),
+          target(db_size),
+          membership(std::make_unique<cluster::Membership>(node, cluster::Role::kBackup)),
+          applier(target, membership.get(), static_cast<std::uint64_t>(node)) {}
+
+    int node_id;
+    BufferTarget target;
+    std::unique_ptr<cluster::Membership> membership;
+    repl::RedoApplier applier;
+    std::unique_ptr<InlineLink> link;  // primary-side endpoint
+  };
+
+  struct Src final : repl::RedoPipeline::Source {
+    Shard* owner = nullptr;
+    const std::uint8_t* db() const override { return owner->db.data(); }
+    std::size_t db_size() const override { return owner->db.size(); }
+    std::uint64_t committed_seq() const override { return owner->committed; }
+  };
+
+  ShardId id = 0;
+  std::vector<std::uint8_t> db;
+  std::uint64_t committed = 0;
+  Src source;
+  std::unique_ptr<cluster::Membership> membership;  // the acting primary's
+  core::Latch latch;
+  std::unique_ptr<repl::RedoPipeline> pipeline;
+  std::vector<std::unique_ptr<Backup>> backups;
+  bool primary_alive = true;
+};
+
+// ---------------------------------------------------------------------------
+// ShardedCluster
+// ---------------------------------------------------------------------------
+
+ShardedCluster::ShardedCluster(const ShardedConfig& config)
+    : config_(config),
+      workload_bytes_(config.shard_db_size - config.decision_slots * DecisionLog::kSlotBytes),
+      map_(ShardMap::uniform(config.shards)),
+      workload_(workload_bytes_) {
+  VREP_CHECK(config_.shards >= 1);
+  VREP_CHECK(config_.decision_slots >= 2);
+  VREP_CHECK(workload_bytes_ > 0 && workload_bytes_ < config_.shard_db_size);
+  coordinator_ = std::make_unique<CrossShardCoordinator>(
+      DecisionLog(workload_bytes_, config_.decision_slots));
+
+  shards_.reserve(config_.shards);
+  for (unsigned i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->id = i;
+    shard->db.assign(config_.shard_db_size, 0);
+    shard->source.owner = shard.get();
+    shard->membership = std::make_unique<cluster::Membership>(0, cluster::Role::kPrimary);
+    shard->pipeline = std::make_unique<repl::RedoPipeline>(
+        shard->source, nullptr, shard->membership.get(), repl::RedoPipeline::Lineage{0, 0},
+        config_.redo_history_bytes);
+    for (unsigned b = 0; b < config_.backups_per_shard; ++b) {
+      auto backup = std::make_unique<Shard::Backup>(static_cast<int>(b) + 1,
+                                                    config_.shard_db_size);
+      backup->link = std::make_unique<InlineLink>(&backup->applier);
+      if (b == 0) {
+        shard->pipeline->attach_link(0, backup->link.get());
+      } else {
+        shard->pipeline->add_peer(backup->link.get());
+      }
+      shard->membership->adopt_backup(backup->node_id);
+      shard->backups.push_back(std::move(backup));
+    }
+    shard->pipeline->set_two_safe(config_.two_safe && !shard->backups.empty());
+    shard->pipeline->set_quorum(config_.quorum);
+    if (!shard->backups.empty()) {
+      VREP_CHECK(shard->pipeline->sync_backup());  // seed the replicas
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedCluster::~ShardedCluster() = default;
+
+CrossShardCoordinator::Participant ShardedCluster::participant(Shard& shard) {
+  CrossShardCoordinator::Participant p;
+  p.id = shard.id;
+  p.latch = &shard.latch;
+  p.pipeline = shard.pipeline.get();
+  p.db = shard.db.data();
+  p.committed = &shard.committed;
+  return p;
+}
+
+std::uint64_t ShardedCluster::run_local(Shard& shard, const wl::DebitCredit::TxnPlan& plan) {
+  core::LatchGuard guard(shard.latch);
+  repl::RedoPipeline& pipeline = *shard.pipeline;
+  std::uint8_t* db = shard.db.data();
+
+  pipeline.begin();
+  auto write = [&](std::uint64_t off, const std::vector<std::uint8_t>& bytes) {
+    pipeline.stage(off, bytes.data(), bytes.size());
+    std::memcpy(db + off, bytes.data(), bytes.size());
+  };
+  for (const std::uint64_t off : {workload_.account_offset(plan.account),
+                                  workload_.teller_offset(plan.teller),
+                                  workload_.branch_offset(plan.branch)}) {
+    write(off, bumped_balance(db, off, plan.amount));
+  }
+  const wl::DebitCredit::HistoryRecord rec{plan.account, plan.teller, plan.branch,
+                                           plan.amount};
+  std::vector<std::uint8_t> hist(sizeof rec);
+  std::memcpy(hist.data(), &rec, sizeof rec);
+  write(workload_.history_offset(shard.committed), hist);
+
+  const std::uint64_t seq = shard.committed + 1;
+  shard.committed = seq;
+  pipeline.commit(seq);
+  return seq;
+}
+
+ShardedCluster::TxnOutcome ShardedCluster::run_one(
+    const TxnDecision& d, const CrossShardCoordinator::ChaosHook& chaos) {
+  TxnOutcome out;
+  out.cross = d.cross;
+  out.home = d.home;
+  out.remote = d.remote;
+  Shard& home = *shards_[d.home];
+
+  if (!d.cross) {
+    out.home_seq = run_local(home, d.plan);
+    out.committed = true;
+    return out;
+  }
+
+  Shard& remote = *shards_[d.remote];
+  const std::uint64_t xid = coordinator_->next_xid(d.home);
+  out.xid = xid;
+
+  // The account rides the remote shard; teller, branch and the audit record
+  // stay home.
+  const wl::DebitCredit::TxnPlan plan = d.plan;
+  CrossShardCoordinator::WriteGen remote_writes = [this, &remote, plan] {
+    std::vector<CrossShardCoordinator::Write> w;
+    const std::uint64_t off = workload_.account_offset(plan.account);
+    w.push_back({off, bumped_balance(remote.db.data(), off, plan.amount)});
+    return w;
+  };
+  CrossShardCoordinator::WriteGen home_writes = [this, &home, plan] {
+    std::vector<CrossShardCoordinator::Write> w;
+    for (const std::uint64_t off : {workload_.teller_offset(plan.teller),
+                                    workload_.branch_offset(plan.branch)}) {
+      w.push_back({off, bumped_balance(home.db.data(), off, plan.amount)});
+    }
+    const wl::DebitCredit::HistoryRecord rec{plan.account, plan.teller, plan.branch,
+                                             plan.amount};
+    std::vector<std::uint8_t> hist(sizeof rec);
+    std::memcpy(hist.data(), &rec, sizeof rec);
+    w.push_back({workload_.history_offset(home.committed), std::move(hist)});
+    return w;
+  };
+
+  std::vector<CrossShardCoordinator::RemoteOp> remotes;
+  remotes.push_back({participant(remote), std::move(remote_writes)});
+  const CrossShardCoordinator::Outcome result =
+      coordinator_->commit(participant(home), std::move(remotes), home_writes, xid, chaos);
+
+  out.committed = result.committed;
+  out.prepared = result.prepared;
+  out.home_seq = result.home_seq;
+  out.remote_seq = result.remote_seqs.empty() ? 0 : result.remote_seqs.front();
+  // Every in-band resolution the coordinator performed feeds the audit.
+  for (const ShardId id : result.decided) {
+    (void)id;
+    record_resolution(xid, result.committed);
+  }
+  return out;
+}
+
+ShardedCluster::RunResult ShardedCluster::run(std::uint64_t seed, std::uint64_t txns,
+                                              double remote_fraction,
+                                              const ChaosSchedule& chaos) {
+  Rng rng(seed);
+  Router router(map_);
+  RunResult res;
+  res.trace.reserve(txns);
+  bool kill_pending = chaos.kill_after_txn != 0;
+
+  for (std::uint64_t i = 1; i <= txns; ++i) {
+    const TxnDecision d = plan_txn(router, workload_, num_shards(), rng, remote_fraction);
+
+    if (kill_pending && chaos.point == ChaosSchedule::Point::kBetweenTxns &&
+        i >= chaos.kill_after_txn) {
+      kill_primary(chaos.shard);
+      kill_pending = false;
+    }
+
+    CrossShardCoordinator::ChaosHook hook;
+    ShardId killed = CrossShardCoordinator::kNoKill;
+    if (kill_pending && d.cross && i >= chaos.kill_after_txn &&
+        chaos.point != ChaosSchedule::Point::kBetweenTxns) {
+      const ShardId victim = chaos.target == ChaosSchedule::Target::kHomeShard ? d.home
+                             : chaos.target == ChaosSchedule::Target::kRemoteShard
+                                 ? d.remote
+                                 : chaos.shard;
+      const CrossShardCoordinator::Phase fire_at =
+          chaos.point == ChaosSchedule::Point::kAfterPrepare
+              ? CrossShardCoordinator::Phase::kAfterPrepare
+              : CrossShardCoordinator::Phase::kAfterHomeCommit;
+      hook = [this, victim, fire_at, &killed](CrossShardCoordinator::Phase phase,
+                                              std::uint64_t) {
+        if (phase != fire_at || killed != CrossShardCoordinator::kNoKill) {
+          return killed;
+        }
+        // Snap the victim's links under the coordinator's latches; the
+        // promotion runs after the coordinator returns.
+        Shard& s = *shards_[victim];
+        for (auto& b : s.backups) b->link->kill();
+        s.primary_alive = false;
+        killed = victim;
+        return killed;
+      };
+      kill_pending = false;
+    }
+
+    const TxnOutcome out = run_one(d, hook);
+    if (killed != CrossShardCoordinator::kNoKill) {
+      promote(*shards_[killed]);
+    }
+    if (out.committed) {
+      res.committed += 1;
+      if (out.cross) res.cross_committed += 1;
+    } else {
+      res.chaos_aborted += 1;
+    }
+    res.trace.push_back(out);
+  }
+  res.takeovers = takeovers_;
+  return res;
+}
+
+bool ShardedCluster::execute(const TxnDecision& decision) {
+  return run_one(decision, CrossShardCoordinator::ChaosHook{}).committed;
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: kill + promote
+// ---------------------------------------------------------------------------
+
+void ShardedCluster::kill_primary(ShardId id) {
+  Shard& s = *shards_.at(id);
+  VREP_CHECK(s.primary_alive);
+  core::LatchGuard guard(s.latch);
+  for (auto& b : s.backups) b->link->kill();
+  s.primary_alive = false;
+  promote(s);
+}
+
+bool ShardedCluster::decide_in_doubt(std::uint64_t xid) const {
+  const ShardId home = CrossShardCoordinator::home_of(xid);
+  const Shard& h = *shards_.at(home);
+  // The decision record lives in the home shard's surviving image: the
+  // primary's if it is alive, else any backup's — a 2-safe home commit made
+  // the record durable on the backups before any phase-2 decide, so every
+  // surviving copy agrees.
+  const std::uint8_t* home_db =
+      h.primary_alive ? h.db.data() : h.backups.front()->target.bytes.data();
+  return coordinator_->decision_log().committed(home_db, xid);
+}
+
+void ShardedCluster::record_resolution(std::uint64_t xid, bool commit) {
+  std::lock_guard<std::mutex> lock(audit_mu_);
+  auto [it, inserted] = resolutions_.emplace(xid, commit);
+  if (!inserted && it->second != commit) {
+    resolution_conflicts_ += 1;  // a transaction resolved both ways — never
+  }
+}
+
+void ShardedCluster::promote(Shard& s) {
+  VREP_CHECK(!s.primary_alive);
+  VREP_CHECK(!s.backups.empty() && "cannot promote a shard with no backups");
+  takeovers_ += 1;
+  metrics::counter("shard.takeovers").add(1);
+
+  // Resolve every buffered in-doubt transaction on every surviving replica
+  // against the decision records BEFORE anyone serves traffic.
+  for (auto& b : s.backups) {
+    for (const std::uint64_t xid : b->applier.in_doubt_xids()) {
+      const bool commit = decide_in_doubt(xid);
+      record_resolution(xid, commit);
+      VREP_CHECK(b->applier.resolve_in_doubt(xid, commit));
+    }
+  }
+
+  // Promote backup 0 (inline delivery keeps every replica equally caught
+  // up, so view order breaks the tie): its image becomes the primary image,
+  // its takeover fences the dead primary's epoch.
+  std::unique_ptr<Shard::Backup> winner = std::move(s.backups.front());
+  s.backups.erase(s.backups.begin());
+  const std::uint64_t prev_epoch = winner->applier.state_epoch();
+  s.db = winner->target.bytes;
+  s.committed = winner->applier.applied_seq();
+  winner->membership->take_over();
+  s.membership = std::move(winner->membership);
+  s.pipeline = std::make_unique<repl::RedoPipeline>(
+      s.source, nullptr, s.membership.get(),
+      repl::RedoPipeline::Lineage{prev_epoch, s.committed}, config_.redo_history_bytes);
+  s.primary_alive = true;
+
+  // Re-adopt the surviving backups through the ordinary rejoin protocol.
+  bool first = true;
+  for (auto& b : s.backups) {
+    b->link = std::make_unique<InlineLink>(&b->applier);
+    std::size_t peer;
+    if (first) {
+      s.pipeline->attach_link(0, b->link.get());
+      peer = 0;
+      first = false;
+    } else {
+      peer = s.pipeline->add_peer(b->link.get());
+    }
+    s.membership->adopt_backup(b->node_id);
+    VREP_CHECK(b->applier.request_rejoin(b->link->reply_link()));
+    VREP_CHECK(s.pipeline->handle_rejoin(peer, /*timeout_ms=*/10));
+  }
+  s.pipeline->set_two_safe(config_.two_safe && !s.backups.empty());
+  s.pipeline->set_quorum(config_.quorum);
+}
+
+// ---------------------------------------------------------------------------
+// Inspection
+// ---------------------------------------------------------------------------
+
+const std::uint8_t* ShardedCluster::primary_db(ShardId id) const {
+  return shards_.at(id)->db.data();
+}
+std::uint64_t ShardedCluster::shard_committed(ShardId id) const {
+  return shards_.at(id)->committed;
+}
+std::uint64_t ShardedCluster::shard_epoch(ShardId id) const {
+  return shards_.at(id)->membership->view().epoch;
+}
+std::size_t ShardedCluster::backup_count(ShardId id) const {
+  return shards_.at(id)->backups.size();
+}
+const std::uint8_t* ShardedCluster::backup_db(ShardId id, std::size_t backup) const {
+  return shards_.at(id)->backups.at(backup)->target.bytes.data();
+}
+std::uint64_t ShardedCluster::backup_applied(ShardId id, std::size_t backup) const {
+  return shards_.at(id)->backups.at(backup)->applier.applied_seq();
+}
+std::size_t ShardedCluster::in_doubt(ShardId id) const {
+  const Shard& s = *shards_.at(id);
+  std::size_t n = s.pipeline->in_doubt();
+  for (const auto& b : s.backups) n += b->applier.in_doubt();
+  return n;
+}
+
+std::uint32_t ShardedCluster::shard_crc(ShardId id) const {
+  return Crc32::of(shards_.at(id)->db.data(), workload_bytes_);
+}
+
+std::string ShardedCluster::check_replicas(ShardId id) const {
+  const Shard& s = *shards_.at(id);
+  for (std::size_t b = 0; b < s.backups.size(); ++b) {
+    const auto& backup = *s.backups[b];
+    if (backup.applier.applied_seq() != s.committed) {
+      return "shard " + std::to_string(id) + " backup " + std::to_string(b) +
+             " applied " + std::to_string(backup.applier.applied_seq()) + " != committed " +
+             std::to_string(s.committed);
+    }
+    if (std::memcmp(backup.target.bytes.data(), s.db.data(), s.db.size()) != 0) {
+      return "shard " + std::to_string(id) + " backup " + std::to_string(b) +
+             " image diverges from the primary";
+    }
+  }
+  return {};
+}
+
+std::string ShardedCluster::check_global_consistency() const {
+  wl::DebitCredit::BalanceSums total;
+  for (const auto& s : shards_) {
+    const wl::DebitCredit::BalanceSums sums = workload_.balance_sums(s->db.data());
+    total.accounts += sums.accounts;
+    total.tellers += sums.tellers;
+    total.branches += sums.branches;
+  }
+  if (total.accounts != total.tellers || total.tellers != total.branches) {
+    return "global balance sums diverge: accounts=" + std::to_string(total.accounts) +
+           " tellers=" + std::to_string(total.tellers) +
+           " branches=" + std::to_string(total.branches);
+  }
+  return {};
+}
+
+}  // namespace vrep::shard

@@ -1,0 +1,190 @@
+// A partitioned multi-primary cluster: N shards, each owning a slice of the
+// hash space (shard/shard_map.hpp), its own database region, its own
+// repl::RedoPipeline with a private backup set, and its own
+// cluster::Membership epoch — a takeover on one shard fences nothing on
+// another. Cross-shard Debit-Credit transactions (the remote-branch mix)
+// commit through shard::CrossShardCoordinator's 2PC over the per-shard
+// pipelines.
+//
+// Replication runs over a deterministic inline-delivery loopback carrier:
+// send() hands the frame straight to the backup's RedoApplier and queues
+// the applier's responses for the pipeline's next recv(). Everything —
+// prepares, decides, acks, rejoins, takeovers — is therefore synchronous
+// and reproducible from the seed, which is what lets the conformance tests
+// compare surviving replica CRCs against an independently-replayed oracle.
+//
+// Per-shard database layout:
+//
+//   [ Debit-Credit records + audit ring  |  decision ring (16 B slots) ]
+//    `workload_bytes()` bytes               decision_slots * 16 bytes
+//
+// The decision ring belongs to the HOME shard of a cross-shard transaction
+// and is written by the coordinator as part of the home commit, so the
+// decision replicates exactly like any other byte (shard/decision_log.hpp
+// has the resolution rule).
+//
+// Chaos: kill_primary() drops a shard's primary mid-load; promote() elects
+// backup 0, resolves every buffered in-doubt transaction against the home
+// shards' decision records, re-fences the epoch, and re-adopts the
+// surviving backups through the ordinary rejoin protocol. The other shards
+// never stop committing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "shard/coordinator.hpp"
+#include "shard/shard_map.hpp"
+#include "util/rng.hpp"
+#include "workload/debit_credit.hpp"
+
+namespace vrep::shard {
+
+struct ShardedConfig {
+  unsigned shards = 3;
+  unsigned backups_per_shard = 1;
+  // Per-shard database region: workload records below, decision ring tail.
+  std::size_t shard_db_size = 256u << 10;
+  std::size_t decision_slots = 64;
+  bool two_safe = true;
+  unsigned quorum = 1;
+  std::size_t redo_history_bytes = 1u << 20;
+};
+
+// One transaction's routing decision + randomized picks. `plan` indexes are
+// shard-local: the account lives on `remote` when `cross`, everything else
+// on `home`.
+struct TxnDecision {
+  bool cross = false;
+  ShardId home = 0;
+  ShardId remote = 0;  // valid when cross
+  wl::DebitCredit::TxnPlan plan{};
+};
+
+// Draw one transaction: route a random key to its home shard, apply the
+// remote-branch mix, then draw the workload plan. Deterministic in the Rng,
+// and shared by the cluster's driver and the test oracle so both see the
+// same history.
+TxnDecision plan_txn(const Router& router, const wl::DebitCredit& workload,
+                     unsigned num_shards, Rng& rng, double remote_fraction);
+
+// Deterministic chaos: kill one shard's primary mid-load.
+struct ChaosSchedule {
+  // 0 = no kill. Otherwise the kill fires at the first eligible transaction
+  // index >= this (1-based): any transaction for kBetweenTxns, the first
+  // cross-shard one for the 2PC points.
+  std::uint64_t kill_after_txn = 0;
+  enum class Point : std::uint8_t { kBetweenTxns, kAfterPrepare, kAfterHomeCommit };
+  Point point = Point::kBetweenTxns;
+  enum class Target : std::uint8_t { kFixedShard, kHomeShard, kRemoteShard };
+  Target target = Target::kFixedShard;
+  ShardId shard = 0;  // kFixedShard's victim
+};
+
+class ShardedCluster {
+ public:
+  explicit ShardedCluster(const ShardedConfig& config);
+  ~ShardedCluster();
+  ShardedCluster(const ShardedCluster&) = delete;
+  ShardedCluster& operator=(const ShardedCluster&) = delete;
+
+  struct TxnOutcome {
+    bool cross = false;
+    bool committed = false;
+    bool prepared = false;  // phase 1 ran (an aborted prepare still burns a seq)
+    ShardId home = 0;
+    ShardId remote = 0;
+    std::uint64_t xid = 0;
+    std::uint64_t home_seq = 0;
+    std::uint64_t remote_seq = 0;
+  };
+  struct RunResult {
+    std::uint64_t committed = 0;
+    std::uint64_t cross_committed = 0;
+    std::uint64_t chaos_aborted = 0;  // cross txns aborted by the kill
+    std::uint64_t takeovers = 0;
+    std::vector<TxnOutcome> trace;  // one entry per transaction, in order
+  };
+
+  // Deterministic single-threaded load: `txns` transactions drawn from
+  // `seed`, a `remote_fraction` of them cross-shard, with an optional
+  // primary kill. The trace lets an oracle replay the exact history.
+  RunResult run(std::uint64_t seed, std::uint64_t txns, double remote_fraction,
+                const ChaosSchedule& chaos = ChaosSchedule{});
+
+  // Thread-safe execution of one planned transaction (the concurrency
+  // hammer): the touched shards are latched in id order. Returns committed.
+  bool execute(const TxnDecision& decision);
+
+  // ---- geometry -----------------------------------------------------------
+  unsigned num_shards() const { return static_cast<unsigned>(shards_.size()); }
+  const ShardMap& map() const { return map_; }
+  const wl::DebitCredit& workload() const { return workload_; }
+  // Bytes below the decision ring (the oracle-comparable region).
+  std::size_t workload_bytes() const { return workload_bytes_; }
+  std::size_t shard_db_size() const { return config_.shard_db_size; }
+
+  // ---- inspection (quiesced) ---------------------------------------------
+  const std::uint8_t* primary_db(ShardId id) const;
+  std::uint64_t shard_committed(ShardId id) const;
+  std::uint64_t shard_epoch(ShardId id) const;
+  std::size_t backup_count(ShardId id) const;
+  const std::uint8_t* backup_db(ShardId id, std::size_t backup) const;
+  std::uint64_t backup_applied(ShardId id, std::size_t backup) const;
+  // Prepared-but-undecided transactions still buffered anywhere on a shard
+  // (primary pipeline + every backup applier). 0 after a completed run.
+  std::size_t in_doubt(ShardId id) const;
+
+  // Workload-region CRC of the shard's primary image.
+  std::uint32_t shard_crc(ShardId id) const;
+  // Every replica of `id` caught up and byte-identical to the primary over
+  // the full region (empty string = converged).
+  std::string check_replicas(ShardId id) const;
+  // The global invariant: account/teller/branch balance sums, each totalled
+  // across all shards, are equal (empty string = consistent).
+  std::string check_global_consistency() const;
+
+  // ---- chaos + audit ------------------------------------------------------
+  // Drop a shard's primary (links die, image is lost) and promote backup 0:
+  // resolve in-doubt against the decision records, re-fence, re-adopt the
+  // surviving backups. CHECKs the shard has a backup to promote.
+  void kill_primary(ShardId id);
+
+  std::uint64_t takeovers() const { return takeovers_; }
+  // Every in-doubt resolution performed anywhere (coordinator decides and
+  // takeover resolutions), xid -> committed. A transaction resolved both
+  // ways would bump resolution_conflicts() — the invariant is 0.
+  const std::map<std::uint64_t, bool>& resolutions() const { return resolutions_; }
+  std::uint64_t resolution_conflicts() const { return resolution_conflicts_; }
+
+  CrossShardCoordinator& coordinator() { return *coordinator_; }
+
+ private:
+  struct Shard;
+
+  TxnOutcome run_one(const TxnDecision& decision, const CrossShardCoordinator::ChaosHook& chaos);
+  // Returns the commit sequence, read under the shard latch — callers must
+  // not touch shard.committed once the latch is released.
+  std::uint64_t run_local(Shard& shard, const wl::DebitCredit::TxnPlan& plan);
+  CrossShardCoordinator::Participant participant(Shard& shard);
+  void promote(Shard& shard);
+  bool decide_in_doubt(std::uint64_t xid) const;
+  void record_resolution(std::uint64_t xid, bool commit);
+
+  ShardedConfig config_;
+  std::size_t workload_bytes_;
+  ShardMap map_;
+  wl::DebitCredit workload_;
+  std::unique_ptr<CrossShardCoordinator> coordinator_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::mutex audit_mu_;
+  std::map<std::uint64_t, bool> resolutions_;
+  std::uint64_t resolution_conflicts_ = 0;
+  std::uint64_t takeovers_ = 0;
+};
+
+}  // namespace vrep::shard

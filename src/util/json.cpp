@@ -240,8 +240,23 @@ Json Parser::string_value() {
         const unsigned long cp = std::strtoul(std::string(text.substr(pos, 4)).c_str(),
                                               nullptr, 16);
         pos += 4;
-        // Only the ASCII range is decoded; our own dumps never emit more.
-        out += cp <= 0x7F ? static_cast<char>(cp) : '?';
+        // Full BMP decode to UTF-8. Surrogate halves (U+D800..U+DFFF) would
+        // need pairing logic we don't carry — reject them explicitly rather
+        // than emitting mojibake.
+        if (cp >= 0xD800 && cp <= 0xDFFF) {
+          ok = false;
+          return Json();
+        }
+        if (cp <= 0x7F) {
+          out += static_cast<char>(cp);
+        } else if (cp <= 0x7FF) {
+          out += static_cast<char>(0xC0 | (cp >> 6));
+          out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+          out += static_cast<char>(0xE0 | (cp >> 12));
+          out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
         break;
       }
       default:

@@ -2,7 +2,8 @@
 // can emit machine-readable trajectories (BENCH_*.json) and the tests can
 // round-trip them without an external dependency. Deliberately small: the
 // subset the emitter produces (null/bool/number/string/object/array, UTF-8
-// passed through verbatim, \uXXXX parsed only for code points <= 0x7F).
+// passed through verbatim, \uXXXX decoded for the full BMP; surrogate
+// halves are rejected explicitly).
 #pragma once
 
 #include <cstdint>

@@ -34,15 +34,25 @@ void DebitCredit::initialize(core::TransactionStore& store) {
   (void)store;
 }
 
+DebitCredit::TxnPlan DebitCredit::plan_txn(Rng& rng) const {
+  TxnPlan plan;
+  plan.account = static_cast<std::uint32_t>(rng.below(num_accounts_));
+  plan.teller = static_cast<std::uint32_t>(rng.below(num_tellers_));
+  // A teller belongs to a branch, as in TPC-B.
+  plan.branch = static_cast<std::uint32_t>(plan.teller % num_branches_);
+  plan.amount = static_cast<std::int32_t>(rng.range(-999'999, 999'999) | 1);
+  return plan;
+}
+
 void DebitCredit::run_txn(core::TransactionStore& store, Rng& rng) {
   sim::MemBus& bus = store.bus();
   std::uint8_t* db = store.db();
 
-  const auto account = static_cast<std::uint32_t>(rng.below(num_accounts_));
-  const auto teller = static_cast<std::uint32_t>(rng.below(num_tellers_));
-  // A teller belongs to a branch, as in TPC-B.
-  const auto branch = static_cast<std::uint32_t>(teller % num_branches_);
-  const auto amount = static_cast<std::int32_t>(rng.range(-999'999, 999'999) | 1);
+  const TxnPlan plan = plan_txn(rng);
+  const std::uint32_t account = plan.account;
+  const std::uint32_t teller = plan.teller;
+  const std::uint32_t branch = plan.branch;
+  const std::int32_t amount = plan.amount;
 
   core::Transaction txn(store);
   for (const std::size_t off :
@@ -67,8 +77,7 @@ void DebitCredit::run_txn(core::TransactionStore& store, Rng& rng) {
   txn.commit();
 }
 
-std::string DebitCredit::check_consistency(const core::TransactionStore& store) const {
-  const std::uint8_t* db = store.db();
+DebitCredit::BalanceSums DebitCredit::balance_sums(const std::uint8_t* db) const {
   auto sum_over = [&](std::size_t base, std::size_t n) {
     std::int64_t sum = 0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -78,12 +87,19 @@ std::string DebitCredit::check_consistency(const core::TransactionStore& store) 
     }
     return sum;
   };
-  const std::int64_t accounts = sum_over(accounts_off_, num_accounts_);
-  const std::int64_t tellers = sum_over(tellers_off_, num_tellers_);
-  const std::int64_t branches = sum_over(branches_off_, num_branches_);
-  if (accounts != tellers || tellers != branches) {
-    return "balance sums diverge: accounts=" + std::to_string(accounts) +
-           " tellers=" + std::to_string(tellers) + " branches=" + std::to_string(branches);
+  BalanceSums sums;
+  sums.accounts = sum_over(accounts_off_, num_accounts_);
+  sums.tellers = sum_over(tellers_off_, num_tellers_);
+  sums.branches = sum_over(branches_off_, num_branches_);
+  return sums;
+}
+
+std::string DebitCredit::check_consistency(const core::TransactionStore& store) const {
+  const BalanceSums sums = balance_sums(store.db());
+  if (sums.accounts != sums.tellers || sums.tellers != sums.branches) {
+    return "balance sums diverge: accounts=" + std::to_string(sums.accounts) +
+           " tellers=" + std::to_string(sums.tellers) +
+           " branches=" + std::to_string(sums.branches);
   }
   return {};
 }

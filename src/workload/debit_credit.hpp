@@ -27,6 +27,16 @@ namespace vrep::wl {
 
 class DebitCredit final : public Workload {
  public:
+  static constexpr std::size_t kRecordBytes = 100;
+  static constexpr std::size_t kRangeBytes = 16;  // hot prefix covered by set_range
+  struct HistoryRecord {
+    std::uint32_t account;
+    std::uint32_t teller;
+    std::uint32_t branch;
+    std::int32_t amount;
+  };
+  static_assert(sizeof(HistoryRecord) == 16);
+
   explicit DebitCredit(std::size_t db_size);
 
   const char* name() const override { return "Debit-Credit"; }
@@ -38,17 +48,48 @@ class DebitCredit final : public Workload {
   std::size_t num_tellers() const { return num_tellers_; }
   std::size_t num_branches() const { return num_branches_; }
 
- private:
-  static constexpr std::size_t kRecordBytes = 100;
-  static constexpr std::size_t kRangeBytes = 16;  // hot prefix covered by set_range
-  struct HistoryRecord {
+  // ---- planning API (shard layer / external executors) --------------------
+  // One transaction's randomized picks, drawn in exactly the order run_txn
+  // draws them (so a plan-driven executor and run_txn are RNG-equivalent).
+  struct TxnPlan {
     std::uint32_t account;
     std::uint32_t teller;
     std::uint32_t branch;
     std::int32_t amount;
   };
-  static_assert(sizeof(HistoryRecord) == 16);
+  TxnPlan plan_txn(Rng& rng) const;
 
+  // The distributed variant's remote-branch mix (TPC-B's remote rule): true
+  // when this transaction's account should be homed on a different shard.
+  static bool draw_remote(Rng& rng, double remote_fraction) {
+    return remote_fraction > 0 && rng.next_double() < remote_fraction;
+  }
+
+  // Record layout, exposed so executors that own raw database buffers (the
+  // shard layer applies redo outside a TransactionStore) can compute the
+  // same writes run_txn performs.
+  std::size_t account_offset(std::size_t i) const { return account_off(i); }
+  std::size_t teller_offset(std::size_t i) const { return teller_off(i); }
+  std::size_t branch_offset(std::size_t i) const { return branch_off(i); }
+  std::size_t history_slots() const { return history_bytes_ / sizeof(HistoryRecord); }
+  // The audit-trail slot a transaction committing at `committed_seq + 1`
+  // writes (run_txn derives it from the store's pre-commit sequence).
+  std::size_t history_offset(std::uint64_t committed_seq) const {
+    return history_off_ + (static_cast<std::size_t>(committed_seq) % history_slots()) *
+                              sizeof(HistoryRecord);
+  }
+
+  // The consistency invariant's ingredients over a raw database image; a
+  // sharded database is consistent when the three sums, each totalled
+  // across every shard, are equal.
+  struct BalanceSums {
+    std::int64_t accounts = 0;
+    std::int64_t tellers = 0;
+    std::int64_t branches = 0;
+  };
+  BalanceSums balance_sums(const std::uint8_t* db) const;
+
+ private:
   std::size_t account_off(std::size_t i) const { return accounts_off_ + i * kRecordBytes; }
   std::size_t teller_off(std::size_t i) const { return tellers_off_ + i * kRecordBytes; }
   std::size_t branch_off(std::size_t i) const { return branches_off_ + i * kRecordBytes; }

@@ -29,6 +29,7 @@
 #include "net/transport.hpp"
 #include "net/wire_repl.hpp"
 #include "repl/active.hpp"
+#include "shard/sharded_cluster.hpp"
 #include "sim/alpha_cost_model.hpp"
 #include "sim/node.hpp"
 #include "util/backoff.hpp"
@@ -556,6 +557,93 @@ TEST(ChaosCascade, SimRingCascadingFailoverMatchesOracle) {
   ASSERT_EQ(survivor_store.committed_seq(), static_cast<std::uint64_t>(kCascadeTxns));
   EXPECT_EQ(bank.check_consistency(survivor_store), "");
   EXPECT_EQ(Crc32::of(survivor_store.db(), kDbSize), oracle_crc);
+}
+
+// ---- sharded cascade --------------------------------------------------------
+//
+// The partitioned multi-primary under cascading shard-primary kills: shard
+// 1's primary dies mid-load, later shard 0's does too. The other shards
+// never stop committing (their epochs and pipelines are untouched — that is
+// the point of per-shard membership), and at the end every shard's
+// surviving image must match a fault-free oracle replay of the combined
+// history.
+
+// Replay `runs` (seed + remote mix + trace) into flat per-shard images, the
+// same deterministic plan stream the cluster drew.
+std::vector<std::vector<std::uint8_t>> sharded_oracle(
+    const shard::ShardedCluster& cluster,
+    const std::vector<std::tuple<std::uint64_t, double,
+                                 const shard::ShardedCluster::RunResult*>>& runs) {
+  const unsigned n = cluster.num_shards();
+  const wl::DebitCredit& workload = cluster.workload();
+  const shard::ShardMap map = shard::ShardMap::uniform(n);
+  const shard::Router router(map);
+  std::vector<std::vector<std::uint8_t>> dbs(
+      n, std::vector<std::uint8_t>(cluster.workload_bytes(), 0));
+  auto bump = [](std::vector<std::uint8_t>& db, std::size_t off, std::int32_t amount) {
+    std::int32_t balance;
+    std::memcpy(&balance, db.data() + off, sizeof balance);
+    balance += amount;
+    std::memcpy(db.data() + off, &balance, sizeof balance);
+  };
+  for (const auto& [seed, remote_fraction, run] : runs) {
+    Rng rng(seed);
+    for (const auto& out : run->trace) {
+      const shard::TxnDecision d =
+          shard::plan_txn(router, workload, n, rng, remote_fraction);
+      if (!out.committed) continue;
+      auto& home = dbs[d.home];
+      bump(dbs[d.cross ? d.remote : d.home], workload.account_offset(d.plan.account),
+           d.plan.amount);
+      bump(home, workload.teller_offset(d.plan.teller), d.plan.amount);
+      bump(home, workload.branch_offset(d.plan.branch), d.plan.amount);
+      const wl::DebitCredit::HistoryRecord rec{d.plan.account, d.plan.teller,
+                                               d.plan.branch, d.plan.amount};
+      std::memcpy(home.data() + workload.history_offset(out.home_seq - 1), &rec,
+                  sizeof rec);
+    }
+  }
+  return dbs;
+}
+
+TEST(ChaosCascade, ShardedClusterSurvivesCascadingShardPrimaryKills) {
+  shard::ShardedConfig config;
+  config.shards = 3;
+  config.backups_per_shard = 2;  // a promoted shard must stay replicated
+  shard::ShardedCluster cluster(config);
+  const std::uint64_t base_epoch = 1 + config.backups_per_shard;
+
+  // Load 1: shard 1's primary dies mid-load; shards 0 and 2 keep serving.
+  shard::ChaosSchedule chaos;
+  chaos.kill_after_txn = 500;
+  chaos.point = shard::ChaosSchedule::Point::kBetweenTxns;
+  chaos.shard = 1;
+  const auto run1 = cluster.run(/*seed=*/31, 1500, /*remote_fraction=*/0.25, chaos);
+  EXPECT_EQ(run1.takeovers, 1u);
+  // Inline delivery keeps the replicas synchronously covered, so even the
+  // kill loses no committed transaction.
+  EXPECT_EQ(run1.committed, 1500u);
+  EXPECT_GT(cluster.shard_epoch(1), base_epoch);
+  EXPECT_EQ(cluster.shard_epoch(0), base_epoch) << "takeover on shard 1 fenced shard 0";
+  EXPECT_EQ(cluster.shard_epoch(2), base_epoch);
+
+  // Cascading failure: shard 0's primary dies too; load continues on the
+  // twice-degraded cluster.
+  cluster.kill_primary(0);
+  const auto run2 = cluster.run(/*seed=*/77, 1000, 0.25);
+  EXPECT_EQ(run2.committed, 1000u);
+  EXPECT_EQ(cluster.takeovers(), 2u);
+  EXPECT_EQ(cluster.shard_epoch(2), base_epoch) << "shard 2 was never fenced";
+
+  const auto oracle = sharded_oracle(cluster, {{31, 0.25, &run1}, {77, 0.25, &run2}});
+  for (unsigned s = 0; s < cluster.num_shards(); ++s) {
+    EXPECT_EQ(cluster.in_doubt(s), 0u);
+    EXPECT_EQ(cluster.check_replicas(s), "") << "shard " << s;
+    EXPECT_EQ(cluster.shard_crc(s), Crc32::of(oracle[s].data(), oracle[s].size()))
+        << "shard " << s << " surviving image != fault-free oracle";
+  }
+  EXPECT_EQ(cluster.check_global_consistency(), "");
+  EXPECT_EQ(cluster.resolution_conflicts(), 0u);
 }
 
 }  // namespace

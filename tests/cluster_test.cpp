@@ -3,6 +3,7 @@
 
 #include "cluster/failure_detector.hpp"
 #include "cluster/membership.hpp"
+#include "util/rng.hpp"
 
 namespace vrep::cluster {
 namespace {
@@ -116,10 +117,26 @@ TEST(Membership, RolesStartWithHalfEmptyViews) {
 
 TEST(Membership, BackupFollowsEpochsForwardOnly) {
   Membership backup(1, Role::kBackup);
-  backup.join_epoch(4);  // hello from a primary several takeovers ahead
+  EXPECT_TRUE(backup.join_epoch(4));  // hello from a primary takeovers ahead
   EXPECT_EQ(backup.view().epoch, 4u);
-  backup.join_epoch(4);  // idempotent
-  EXPECT_DEATH(backup.join_epoch(3), "CHECK");
+  EXPECT_TRUE(backup.join_epoch(4));  // idempotent
+  EXPECT_EQ(backup.stale_joins(), 0u);
+}
+
+// Regression: a delayed kHello from a fenced old primary used to
+// VREP_CHECK-crash the backup. A stale epoch must be dropped and counted —
+// the fenced straggler will be told the current epoch and rejoin; crashing
+// the healthy backup turns one stale packet into an outage.
+TEST(Membership, StaleEpochHelloIsDroppedNotFatal) {
+  Membership backup(1, Role::kBackup);
+  EXPECT_TRUE(backup.join_epoch(5));
+  EXPECT_FALSE(backup.join_epoch(3));  // fenced old primary's delayed hello
+  EXPECT_EQ(backup.view().epoch, 5u);  // epoch did not regress
+  EXPECT_FALSE(backup.join_epoch(4));
+  EXPECT_EQ(backup.stale_joins(), 2u);
+  EXPECT_TRUE(backup.join_epoch(6));  // forward progress still fine
+  EXPECT_EQ(backup.view().epoch, 6u);
+  EXPECT_EQ(backup.stale_joins(), 2u);
 }
 
 TEST(Membership, FencedPrimaryDemotesIntoTheFencingEpoch) {
@@ -141,6 +158,104 @@ TEST(Membership, AdoptBackupRequiresPrimaryRole) {
   Membership backup(1, Role::kBackup);
   EXPECT_DEATH(backup.adopt_backup(0), "CHECK");
   EXPECT_DEATH(backup.demote_to_backup(9), "CHECK");
+}
+
+// --- View-churn suite: adopt/remove/demote interleavings -------------------
+//
+// The shard layer runs one Membership per shard and churns views
+// independently, so the invariants below must hold under arbitrary
+// interleavings, not just the happy path the older tests cover.
+
+// Epoch is strictly monotone across any sequence of view changes, and a
+// no-op (re-adopting a present backup, removing an absent one) must NOT
+// burn an epoch — reconnects are not view changes.
+TEST(MembershipChurn, EpochStrictlyMonotoneAcrossArbitraryChurn) {
+  Membership primary(0, Role::kPrimary);
+  vrep::Rng rng(0xC0FFEEu);
+  std::uint64_t last = primary.view().epoch;
+  for (int step = 0; step < 500; ++step) {
+    const int node = 1 + static_cast<int>(rng.next_u32() % 4);
+    const bool was_member = primary.has_backup(node);
+    if (rng.next_u32() % 2 == 0) {
+      primary.adopt_backup(node);
+      EXPECT_TRUE(primary.has_backup(node));
+      if (was_member) {
+        EXPECT_EQ(primary.view().epoch, last);  // reconnect, not view change
+      } else {
+        EXPECT_EQ(primary.view().epoch, last + 1);
+      }
+    } else {
+      primary.remove_backup(node);
+      EXPECT_FALSE(primary.has_backup(node));
+      if (was_member) {
+        EXPECT_EQ(primary.view().epoch, last + 1);
+      } else {
+        EXPECT_EQ(primary.view().epoch, last);
+      }
+    }
+    EXPECT_GE(primary.view().epoch, last);
+    last = primary.view().epoch;
+  }
+}
+
+// Re-adoption after removal is a NEW view change: the epoch moves again, so
+// redo the removed node acked in its old membership stint is fenced if it
+// arrives late (admits() only accepts the current epoch).
+TEST(MembershipChurn, ReAdoptionAfterRemovalReFences) {
+  Membership primary(0, Role::kPrimary);
+  primary.adopt_backup(1);
+  const std::uint64_t first_stint = primary.view().epoch;
+  EXPECT_TRUE(primary.admits(first_stint));
+
+  primary.remove_backup(1);
+  EXPECT_FALSE(primary.admits(first_stint));  // old stint is fenced
+
+  primary.adopt_backup(1);  // re-join: a fresh stint, not a resumption
+  const std::uint64_t second_stint = primary.view().epoch;
+  EXPECT_GT(second_stint, first_stint + 0);
+  EXPECT_EQ(second_stint, first_stint + 2);
+  EXPECT_FALSE(primary.admits(first_stint));
+  EXPECT_TRUE(primary.admits(second_stint));
+}
+
+// Demote/take-over round trip: a primary fenced by epoch E adopts E, and a
+// subsequent takeover moves strictly past it — the old primacy's epoch can
+// never be re-admitted by anyone.
+TEST(MembershipChurn, DemoteTakeoverInterleavingNeverReadmitsOldEpoch) {
+  Membership a(0, Role::kPrimary);
+  a.adopt_backup(1);
+  a.adopt_backup(2);
+  const std::uint64_t old_epoch = a.view().epoch;  // 3
+
+  a.demote_to_backup(old_epoch + 1);  // fenced by a takeover elsewhere
+  EXPECT_FALSE(a.admits(old_epoch));
+  EXPECT_TRUE(a.join_epoch(old_epoch + 2));   // new primary syncs us forward
+  EXPECT_FALSE(a.join_epoch(old_epoch + 1));  // ...and the fencer's own hello
+                                              // is now itself stale
+  a.take_over();  // later failover: we win again
+  EXPECT_TRUE(a.is_primary());
+  EXPECT_EQ(a.view().epoch, old_epoch + 3);
+  EXPECT_FALSE(a.admits(old_epoch));
+}
+
+// Per-shard views are independent Membership instances: churn on one shard
+// must not move another shard's epoch, and a frame stamped with shard A's
+// epoch is not admitted by shard B once their histories diverge.
+TEST(MembershipChurn, PerShardViewsNeverCrossAdmit) {
+  Membership shard_a(0, Role::kPrimary);
+  Membership shard_b(0, Role::kPrimary);
+  // Same node hosts both shards; each shard churns independently.
+  shard_a.adopt_backup(1);
+  shard_a.adopt_backup(2);
+  shard_a.remove_backup(1);  // shard A at epoch 4
+  shard_b.adopt_backup(1);   // shard B at epoch 2
+  EXPECT_EQ(shard_a.view().epoch, 4u);
+  EXPECT_EQ(shard_b.view().epoch, 2u);
+  // A frame fenced on A's view is not admissible on B and vice versa.
+  EXPECT_TRUE(shard_a.admits(4));
+  EXPECT_FALSE(shard_b.admits(4));
+  EXPECT_TRUE(shard_b.admits(2));
+  EXPECT_FALSE(shard_a.admits(2));
 }
 
 }  // namespace

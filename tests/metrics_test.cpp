@@ -76,6 +76,55 @@ TEST(Json, RejectsMalformedInput) {
   EXPECT_FALSE(Json::parse("{} trailing").has_value());
 }
 
+// \uXXXX escapes must decode the full Basic Multilingual Plane to UTF-8,
+// not just ASCII — shard-map configs carry arbitrary strings. The parser
+// used to replace anything above 0x7F with '?'.
+TEST(Json, UnicodeEscapesDecodeFullBmpToUtf8) {
+  // One code point per UTF-8 length class.
+  const auto ascii = Json::parse("\"\\u0041\"");  // 'A'
+  ASSERT_TRUE(ascii.has_value());
+  EXPECT_EQ(ascii->str(), "A");
+
+  const auto two_byte = Json::parse("\"caf\\u00e9\"");  // é -> C3 A9
+  ASSERT_TRUE(two_byte.has_value());
+  EXPECT_EQ(two_byte->str(), "caf\xc3\xa9");
+
+  const auto three_byte = Json::parse("\"\\u4e2d\\u6587\"");  // 中文
+  ASSERT_TRUE(three_byte.has_value());
+  EXPECT_EQ(three_byte->str(), "\xe4\xb8\xad\xe6\x96\x87");
+
+  const auto euro = Json::parse("\"\\u20ac\"");  // € -> E2 82 AC
+  ASSERT_TRUE(euro.has_value());
+  EXPECT_EQ(euro->str(), "\xe2\x82\xac");
+}
+
+TEST(Json, UnicodeEscapesRoundTripThroughDump) {
+  // The dumper emits raw UTF-8 bytes (only control chars are escaped), so
+  // parse -> dump -> parse must preserve the decoded bytes exactly.
+  const auto first = Json::parse("\"na\\u00efve \\u4e2d \\u20ac\"");
+  ASSERT_TRUE(first.has_value());
+  const std::string text = first->dump();
+  const auto second = Json::parse(text);
+  ASSERT_TRUE(second.has_value()) << text;
+  EXPECT_EQ(second->str(), first->str());
+  EXPECT_EQ(second->str(), "na\xc3\xafve \xe4\xb8\xad \xe2\x82\xac");
+}
+
+TEST(Json, UnicodeSurrogateEscapesAreRejectedExplicitly) {
+  // Surrogate halves are not scalar values; without pairing logic the only
+  // correct answer is a parse error, not mojibake.
+  EXPECT_FALSE(Json::parse("\"\\ud83d\\ude00\"").has_value());  // pair
+  EXPECT_FALSE(Json::parse("\"\\ud800\"").has_value());         // lone high
+  EXPECT_FALSE(Json::parse("\"\\udfff\"").has_value());         // lone low
+  // Boundary neighbours still decode.
+  const auto below = Json::parse("\"\\ud7ff\"");
+  ASSERT_TRUE(below.has_value());
+  EXPECT_EQ(below->str(), "\xed\x9f\xbf");
+  const auto above = Json::parse("\"\\ue000\"");
+  ASSERT_TRUE(above.has_value());
+  EXPECT_EQ(above->str(), "\xee\x80\x80");
+}
+
 // ---------------------------------------------------------------------------
 // Metrics registry
 // ---------------------------------------------------------------------------

@@ -995,5 +995,140 @@ TEST(CheckpointRegression, DisabledPipelineServesExactlyAsBefore) {
   EXPECT_EQ(link.count(repl::FrameKind::kCkptEnd), 0u);
 }
 
+// ---- cross-shard 2PC regression tests --------------------------------------
+//
+// The prepare/decide hooks shard::CrossShardCoordinator drives: phase-1
+// batches are buffered in-doubt on the backup (sequence consumed, bytes
+// deferred), phase-2 decides apply or discard them, and takeover resolution
+// replays the same rule through resolve_in_doubt().
+
+TEST(CrossShard2pc, PrepareBuffersInDoubtAndDecideCommitApplies) {
+  MemSource source(4096);
+  ScriptedLink link;
+  repl::RedoPipeline pipe(source, &link);
+  MemTarget target(4096);
+  repl::RedoApplier applier(target);
+  const std::vector<std::uint8_t> zeros(4096, 0);
+  applier.seed(zeros.data(), zeros.size(), 0, 1);
+  ScriptedLink reply;
+
+  commit_one(pipe, source, 1);  // an ordinary commit keeps the stream live
+  pipe.begin();
+  const std::uint8_t data[8] = {9, 9, 9, 9, 9, 9, 9, 9};
+  pipe.stage(64, data, sizeof data);
+  source.committed = 2;
+  pipe.prepare_cross(2, /*xid=*/42);
+  EXPECT_EQ(pipe.in_doubt(), 1u);
+  EXPECT_EQ(pipe.stats().prepares_shipped, 1u);
+
+  for (const auto& f : link.sent) {
+    ASSERT_EQ(applier.on_frame(f, reply), repl::RedoApplier::FrameResult::kOk);
+  }
+  EXPECT_EQ(applier.applied_seq(), 2u) << "the prepare consumes its sequence";
+  EXPECT_EQ(applier.in_doubt(), 1u);
+  EXPECT_EQ(applier.stats().prepares_buffered, 1u);
+  EXPECT_EQ(target.mem[64], 0) << "prepared bytes must not touch the image";
+
+  link.sent.clear();
+  EXPECT_TRUE(pipe.decide_cross(42, /*commit=*/true));
+  EXPECT_EQ(pipe.in_doubt(), 0u);
+  EXPECT_EQ(pipe.stats().decides_shipped, 1u);
+  EXPECT_FALSE(pipe.decide_cross(42, true)) << "already resolved";
+
+  for (const auto& f : link.sent) {
+    ASSERT_EQ(applier.on_frame(f, reply), repl::RedoApplier::FrameResult::kOk);
+  }
+  EXPECT_EQ(applier.in_doubt(), 0u);
+  EXPECT_EQ(applier.stats().decides_committed, 1u);
+  EXPECT_EQ(target.mem[64], 9) << "the decide applies the buffered bytes";
+  EXPECT_EQ(applier.applied_seq(), 2u) << "applying the decision must not re-advance";
+}
+
+TEST(CrossShard2pc, AbortKeepsHistoryContiguousAndImageUntouched) {
+  MemSource source(4096);
+  ScriptedLink link;
+  repl::RedoPipeline pipe(source, &link);
+  commit_one(pipe, source, 1);
+  pipe.begin();
+  const std::uint8_t data[8] = {7, 7, 7, 7, 7, 7, 7, 7};
+  pipe.stage(128, data, sizeof data);
+  source.committed = 2;
+  pipe.prepare_cross(2, /*xid=*/7);
+  EXPECT_TRUE(pipe.decide_cross(7, /*commit=*/false));
+  commit_one(pipe, source, 3);
+
+  // Live stream: the backup consumes the aborted slot without writing.
+  MemTarget target(4096);
+  repl::RedoApplier applier(target);
+  const std::vector<std::uint8_t> zeros(4096, 0);
+  applier.seed(zeros.data(), zeros.size(), 0, 1);
+  ScriptedLink reply;
+  for (const auto& f : link.sent) {
+    ASSERT_EQ(applier.on_frame(f, reply), repl::RedoApplier::FrameResult::kOk);
+  }
+  EXPECT_EQ(applier.applied_seq(), 3u);
+  EXPECT_EQ(applier.stats().decides_aborted, 1u);
+  EXPECT_EQ(target.mem[128], 0) << "aborted bytes leaked into the image";
+
+  // Rejoin replay: the empty batch at the aborted sequence advances a
+  // laggard past the slot — history has no hole.
+  EXPECT_EQ(pipe.decide_rejoin(1, 1), repl::RedoPipeline::RejoinDecision::kDelta);
+  MemTarget lag_target(4096);
+  repl::RedoApplier laggard(lag_target);
+  laggard.seed(zeros.data(), zeros.size(), 0, 1);
+  ASSERT_EQ(laggard.on_frame(link.sent.front(), reply),
+            repl::RedoApplier::FrameResult::kOk);  // seq 1 only
+  ASSERT_EQ(laggard.applied_seq(), 1u);
+  repl::Frame request{repl::FrameKind::kRejoinRequest, 1, std::vector<std::uint8_t>(24)};
+  const std::uint64_t claimed = 1, node = 9, state_epoch = 1;
+  std::memcpy(request.payload.data(), &claimed, 8);
+  std::memcpy(request.payload.data() + 8, &node, 8);
+  std::memcpy(request.payload.data() + 16, &state_epoch, 8);
+  link.inbound.push_back(std::move(request));
+  link.sent.clear();
+  ASSERT_TRUE(pipe.handle_rejoin(/*timeout_ms=*/0));
+  EXPECT_EQ(link.count(repl::FrameKind::kRejoinDelta), 1u);
+  for (const auto& f : link.sent) {
+    ASSERT_EQ(laggard.on_frame(f, reply), repl::RedoApplier::FrameResult::kOk);
+  }
+  EXPECT_EQ(laggard.applied_seq(), 3u);
+  EXPECT_EQ(lag_target.mem[128], 0);
+}
+
+TEST(CrossShard2pc, TakeoverResolutionAppliesOrDiscardsTheBufferedBatch) {
+  MemSource source(4096);
+  ScriptedLink link;
+  repl::RedoPipeline pipe(source, &link);
+  pipe.begin();
+  const std::uint8_t data[8] = {5, 5, 5, 5, 5, 5, 5, 5};
+  pipe.stage(256, data, sizeof data);
+  source.committed = 1;
+  pipe.prepare_cross(1, /*xid=*/99);
+
+  // Two replicas of the same in-doubt state; the takeover driver resolves
+  // one commit, one abort (as two different decision logs would).
+  MemTarget commit_target(4096), abort_target(4096);
+  repl::RedoApplier commit_side(commit_target), abort_side(abort_target);
+  const std::vector<std::uint8_t> zeros(4096, 0);
+  commit_side.seed(zeros.data(), zeros.size(), 0, 1);
+  abort_side.seed(zeros.data(), zeros.size(), 0, 1);
+  ScriptedLink reply;
+  for (const auto& f : link.sent) {
+    ASSERT_EQ(commit_side.on_frame(f, reply), repl::RedoApplier::FrameResult::kOk);
+    ASSERT_EQ(abort_side.on_frame(f, reply), repl::RedoApplier::FrameResult::kOk);
+  }
+  ASSERT_EQ(commit_side.in_doubt_xids(), std::vector<std::uint64_t>{99});
+
+  EXPECT_FALSE(commit_side.resolve_in_doubt(/*xid=*/1, true)) << "unknown xid";
+  EXPECT_TRUE(commit_side.resolve_in_doubt(99, /*commit=*/true));
+  EXPECT_TRUE(abort_side.resolve_in_doubt(99, /*commit=*/false));
+  EXPECT_EQ(commit_side.in_doubt(), 0u);
+  EXPECT_EQ(abort_side.in_doubt(), 0u);
+  EXPECT_EQ(commit_target.mem[256], 5);
+  EXPECT_EQ(abort_target.mem[256], 0);
+  EXPECT_EQ(commit_side.applied_seq(), 1u);
+  EXPECT_EQ(abort_side.applied_seq(), 1u);
+}
+
 }  // namespace
 }  // namespace vrep
