@@ -40,6 +40,9 @@ WALLCLOCK_EXACT_FIELDS = (
     # shard_scaling cells (BENCH_shards.json): deterministic counts drawn
     # from fixed seeds plus the replica/invariant verdict.
     "shards", "remote_pct", "threads", "txns", "cross_committed", "consistent",
+    # read_scaling cells (BENCH_read_scaling.json): the sweep identity and
+    # the read-your-writes verdict (every read served kOk at >= its ticket).
+    "connections", "ops_per_conn", "write_ops", "read_ops", "watermark_consistent",
 )
 # Machine-dependent fields: sanity-checked only. True = must be > 0.
 WALLCLOCK_TIMING_FIELDS = {
@@ -47,6 +50,12 @@ WALLCLOCK_TIMING_FIELDS = {
     "tps": True,
     "latch_contended": False,
     "queue_full_waits": False,
+    # read_scaling client-observed latency percentiles (ns).
+    "commit_p99_ns": True,
+    "commit_p999_ns": True,
+    "read_p99_ns": True,
+    "read_p999_ns": True,
+    "read_bounces": False,
 }
 
 

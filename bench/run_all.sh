@@ -27,7 +27,8 @@ for pair in \
     "recovery_time BENCH_recovery.json" \
     "smp_debitcredit BENCH_smp_debitcredit.json" \
     "smp_orderentry BENCH_smp_orderentry.json" \
-    "shard_scaling BENCH_shards.json"; do
+    "shard_scaling BENCH_shards.json" \
+    "read_scaling BENCH_read_scaling.json"; do
   bin="${pair% *}"
   out="${pair#* }"
   echo "== $bin -> $out"

@@ -21,6 +21,14 @@
 // Single-owner: lanes are not thread-safe against each other; the caller
 // (e.g. one sequencer thread per shard group, or a test) serializes access
 // the same way the rest of the repl layer expects.
+//
+// Inbox bound: a lane whose owner never (or rarely) drains it cannot grow
+// without limit under skewed traffic — parked frames are capped at
+// inbox_capacity() per lane. Overflow drops the NEWEST frame for that lane
+// (counted in inbox_dropped() and net.shard_mux.inbox_dropped); the lane's
+// protocol engine sees an ordinary sequence gap and repairs it with an
+// in-band resync, exactly as it would after a lossy carrier. The per-lane
+// high-water mark is published as net.shard_mux.inbox_highwater.
 #pragma once
 
 #include <cstdint>
@@ -33,18 +41,35 @@
 
 #include "repl/link.hpp"
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 
 namespace vrep::net {
 
 class ShardChannel {
  public:
   static constexpr std::size_t kEnvelopeBytes = sizeof(std::uint32_t);
+  // Default parked-frame cap per lane. Generous for interleaved multi-shard
+  // streams (a lane parks at most what arrives between two of its own
+  // recvs), tight enough that a stalled lane stays O(capacity), not O(run).
+  static constexpr std::size_t kDefaultInboxCapacity = 1024;
 
   explicit ShardChannel(repl::ReplicationLink* carrier) : carrier_(carrier) {
     VREP_CHECK(carrier_ != nullptr);
   }
   ShardChannel(const ShardChannel&) = delete;
   ShardChannel& operator=(const ShardChannel&) = delete;
+
+  // Cap on frames parked per lane (>= 1). Applies to frames parked from now
+  // on; an already-longer inbox drains normally.
+  void set_inbox_capacity(std::size_t frames) {
+    VREP_CHECK(frames >= 1);
+    inbox_capacity_ = frames;
+  }
+  std::size_t inbox_capacity() const { return inbox_capacity_; }
+  // Frames dropped because their lane's inbox was full.
+  std::uint64_t inbox_dropped() const { return inbox_dropped_; }
+  // Highest parked-frame count any lane ever reached.
+  std::size_t inbox_highwater() const { return inbox_highwater_; }
 
   // The per-shard replication endpoint (created on first use; stable
   // addresses thereafter).
@@ -118,13 +143,30 @@ class ShardChannel {
         unroutable_ += 1;
         continue;
       }
-      it->second->inbox_.push_back(std::move(*raw));
+      Lane& other = *it->second;
+      if (other.inbox_.size() >= inbox_capacity_) {
+        // The target lane is stalled (nobody drains it); dropping keeps the
+        // carrier's memory O(lanes * capacity). The lane's stream repairs
+        // the gap in-band, same as after a corrupt payload.
+        inbox_dropped_ += 1;
+        metrics::counter("net.shard_mux.inbox_dropped").add(1);
+        continue;
+      }
+      other.inbox_.push_back(std::move(*raw));
+      if (other.inbox_.size() > inbox_highwater_) {
+        inbox_highwater_ = other.inbox_.size();
+        metrics::gauge("net.shard_mux.inbox_highwater")
+            .update_max(static_cast<std::int64_t>(inbox_highwater_));
+      }
     }
   }
 
   repl::ReplicationLink* carrier_;
   std::map<std::uint32_t, std::unique_ptr<Lane>> lanes_;
   std::uint64_t unroutable_ = 0;
+  std::size_t inbox_capacity_ = kDefaultInboxCapacity;
+  std::uint64_t inbox_dropped_ = 0;
+  std::size_t inbox_highwater_ = 0;
 };
 
 }  // namespace vrep::net

@@ -51,13 +51,41 @@ bool TcpTransport::listen(std::uint16_t port) {
 
 bool TcpTransport::accept_peer(int timeout_ms) {
   close_peer();  // drop any previous peer before accepting a replacement
-  pollfd pfd{listen_fd_, POLLIN, 0};
-  if (::poll(&pfd, 1, timeout_ms) <= 0) {
-    error_ = Error::kTimeout;
+  // One absolute deadline for the whole accept (the same pattern read_fully
+  // uses): an EINTR — poll() or accept() interrupted by a signal — retries
+  // against the remaining budget instead of being misreported as a timeout.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (timeout_ms >= 0) {
+    deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  }
+  for (;;) {
+    int wait_ms = -1;
+    if (deadline.has_value()) {
+      const auto left = std::chrono::ceil<std::chrono::milliseconds>(
+                            *deadline - std::chrono::steady_clock::now())
+                            .count();
+      wait_ms = static_cast<int>(
+          std::clamp<long long>(left, 0, std::numeric_limits<int>::max()));
+    }
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready == 0) {
+      error_ = Error::kTimeout;  // only a genuinely silent socket is a timeout
+      return false;
+    }
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      error_ = Error::kClosed;  // real poll failure, distinct from kTimeout
+      return false;
+    }
+    fd_ = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd_ >= 0) break;
+    // The pending connection may have been aborted between poll and accept,
+    // or the accept itself interrupted; both leave the listener healthy.
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN) continue;
+    error_ = Error::kClosed;
     return false;
   }
-  fd_ = ::accept(listen_fd_, nullptr, nullptr);
-  if (fd_ < 0) return false;
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   error_ = Error::kNone;
@@ -67,8 +95,13 @@ bool TcpTransport::accept_peer(int timeout_ms) {
 
 bool TcpTransport::connect_to(const std::string& host, std::uint16_t port, int timeout_ms) {
   close_peer();
-  const int deadline_steps = timeout_ms / 50 + 1;
-  for (int attempt = 0; attempt < deadline_steps; ++attempt) {
+  // Budget by wall clock, not attempt count: the old timeout_ms / 50 + 1
+  // attempt loop assumed every failure was an instant ECONNREFUSED, so one
+  // slow SYN (a blackholed peer sitting in the kernel's retry backoff) could
+  // overshoot the caller's budget by orders of magnitude.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(std::max(timeout_ms, 0));
+  for (;;) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) return false;
     sockaddr_in addr{};
@@ -84,7 +117,14 @@ bool TcpTransport::connect_to(const std::string& host, std::uint16_t port, int t
     }
     ::close(fd_);
     fd_ = -1;
-    ::usleep(50'000);  // the server may not be listening yet
+    const auto left = deadline - std::chrono::steady_clock::now();
+    if (left <= std::chrono::milliseconds::zero()) break;
+    // The server may not be listening yet; retry until the deadline, never
+    // sleeping past it.
+    const auto nap = std::min<std::chrono::microseconds>(
+        std::chrono::duration_cast<std::chrono::microseconds>(left),
+        std::chrono::microseconds(50'000));
+    ::usleep(static_cast<unsigned>(nap.count()));
   }
   error_ = Error::kTimeout;
   return false;

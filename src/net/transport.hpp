@@ -45,6 +45,14 @@ enum class MsgType : std::uint8_t {
   kCkptEnd = 12,       // checkpoint install end: watermark seq + full-image crc
   kXPrepare = 13,      // 2PC phase 1: u64 xid | staged redo batch (in-doubt)
   kXDecide = 14,       // 2PC phase 2: u64 xid | u8 commit (1) / abort (0)
+  // Client <-> AsyncServer frames (net-only: these never traverse a
+  // repl::ReplicationLink, so they have no repl::FrameKind counterpart).
+  kClientCommit = 15,  // client -> server: u64 op_id | u64 key | op bytes
+  kCommitReply = 16,   // server -> client: u64 op_id | u64 seq | u8 outcome
+  kReadRequest = 17,   // client -> server: u64 op_id | u64 key | u64 off |
+                       //                   u32 len | u64 min_seq
+  kReadReply = 18,     // server -> client: u64 op_id | u64 at_seq | u8 status
+                       //                   | data bytes (kOk only)
 };
 
 struct Message {

@@ -103,14 +103,24 @@ WireBackup::ServeResult WireBackup::serve(Transport& transport, const ServeOptio
           // Payload corruption: the frame was consumed whole, the stream is
           // aligned. Skip it; if it was a batch, the sequence gap triggers
           // an in-band resync from the last good sequence.
-          applier_.note_corrupt_skipped(link);
+          {
+            std::lock_guard<std::mutex> lock(apply_mu_);
+            applier_.note_corrupt_skipped(link);
+          }
           continue;
         default:
           return ServeResult::kCorrupt;
       }
     }
     if (options.detector != nullptr) options.detector->heartbeat(now);
-    if (applier_.on_frame(*frame, link) == repl::RedoApplier::FrameResult::kCorrupt) {
+    repl::RedoApplier::FrameResult applied;
+    {
+      // Atomic with respect to read()/watermark(): a concurrent reader sees
+      // whole batches only, never a half-applied group.
+      std::lock_guard<std::mutex> lock(apply_mu_);
+      applied = applier_.on_frame(*frame, link);
+    }
+    if (applied == repl::RedoApplier::FrameResult::kCorrupt) {
       return ServeResult::kCorrupt;
     }
   }

@@ -42,6 +42,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "cluster/failure_detector.hpp"
@@ -237,6 +238,24 @@ class WireBackup : private repl::RedoApplier::Target {
   // tests, drivers and in-doubt resolution at takeover.
   repl::RedoApplier& applier() { return applier_; }
 
+  // ---- thread-safe snapshot reads ----------------------------------------
+  // serve() applies each frame under the same lock these take, so a read
+  // observes whole batches only: a prefix-consistent snapshot at the
+  // returned at_seq (see RedoApplier::read_at_watermark for the
+  // read-your-writes min_seq contract). The unlocked accessors below remain
+  // quiesced-only (serve() stopped or same thread).
+  repl::RedoApplier::ReadResult read(std::uint64_t off, std::uint32_t len,
+                                     std::uint64_t min_seq, std::uint8_t* out) const {
+    std::lock_guard<std::mutex> lock(apply_mu_);
+    return applier_.read_at_watermark(off, len, min_seq, out);
+  }
+  // The applied watermark as the reading side sees it (lock-synchronised
+  // with serve()'s applies).
+  std::uint64_t watermark() const {
+    std::lock_guard<std::mutex> lock(apply_mu_);
+    return applier_.applied_seq();
+  }
+
   std::uint64_t applied_seq() const { return applier_.applied_seq(); }
   // Epoch under which the last applied state (image or batch) was produced.
   std::uint64_t state_epoch() const { return applier_.state_epoch(); }
@@ -259,6 +278,8 @@ class WireBackup : private repl::RedoApplier::Target {
 
   rio::Arena* arena_;
   repl::RedoApplier applier_;
+  // Serializes serve()'s per-frame applies against read()/watermark().
+  mutable std::mutex apply_mu_;
 };
 
 }  // namespace vrep::net

@@ -630,6 +630,21 @@ RedoPipeline::TicketState RedoPipeline::ticket_state(CommitTicket ticket) const 
   return TicketState::kPending;
 }
 
+void RedoPipeline::poll_acks() {
+  const std::uint64_t shipped = shipped_watermark();
+  for (PeerSlot& peer : peers_) {
+    if (!peer.alive) continue;
+    drain(peer);
+    // An applier acks in answer to a probe carrying our shipped watermark
+    // (wait_covered's protocol), not per applied batch — so a lagging peer
+    // must be probed here or an async caller would poll forever.
+    if (peer.alive && !fenced_ && peer.acked_seq < shipped &&
+        !link_send(peer, FrameKind::kHeartbeat, &shipped, 8)) {
+      peer.alive = false;
+    }
+  }
+}
+
 RedoPipeline::CommitTicket RedoPipeline::commit_async(std::uint64_t seq) {
   std::memcpy(batch_.data(), &seq, 8);
   // Retain the batch even while every link is down or we are fenced: a later
@@ -986,6 +1001,29 @@ void RedoApplier::note_corrupt_skipped(ReplicationLink& link) {
   stats_.corrupt_skipped++;
   metrics::counter("repl.backup.corrupt_skipped").add(1);
   maybe_request_resync(link);
+}
+
+RedoApplier::ReadResult RedoApplier::read_at_watermark(std::uint64_t off, std::uint32_t len,
+                                                       std::uint64_t min_seq,
+                                                       std::uint8_t* out) const {
+  ReadResult result;
+  result.at_seq = applied_seq_;
+  if (applied_seq_ < min_seq) {
+    // Read-your-writes bounce: this replica has not yet applied the
+    // client's own commit. at_seq tells the caller how far behind it is.
+    result.status = ReadStatus::kLagging;
+    metrics::counter("repl.backup.reads_bounced").add(1);
+    return result;
+  }
+  if (!image_complete() || off > db_size_ || len > db_size_ - off) {
+    result.status = ReadStatus::kOutOfBounds;
+    metrics::counter("repl.backup.reads_oob").add(1);
+    return result;
+  }
+  if (len != 0) std::memcpy(out, target_.data() + off, len);
+  result.status = ReadStatus::kOk;
+  metrics::counter("repl.backup.reads_served").add(1);
+  return result;
 }
 
 void RedoApplier::clear_checkpoint_install() {

@@ -233,6 +233,12 @@ class RedoPipeline {
 
   // Resolution state of `ticket` right now, O(1) (no link traffic).
   TicketState ticket_state(CommitTicket ticket) const;
+  // Non-blocking ack pump: drain whatever control frames (acks, rejoin
+  // requests, fences) every live peer has already sent, advancing the
+  // watermarks ticket_state derives from — the async front end's way of
+  // resolving commit_async tickets without ever blocking in wait(). Also
+  // refreshes peer_acked_seq so read routing can skip stale backups.
+  void poll_acks();
   // Block until `ticket` resolves: ship its group if still buffered, then
   // (2-safe) wait for the covering quorum. Returns immediately — without
   // touching any link — when the ticket is already resolved.
@@ -556,6 +562,26 @@ class RedoApplier {
 
   std::uint64_t applied_seq() const { return applied_seq_; }
   std::uint64_t next_expected_seq() const { return applied_seq_ + 1; }
+
+  // ---- snapshot reads at the applied watermark ----------------------------
+  // A backup serves reads from its replica image at applied_seq(). Batches
+  // apply atomically with respect to the caller's serialization (the wire
+  // backends lock per frame), so a read observes a prefix-consistent state:
+  // every commit <= at_seq, nothing after. Read-your-writes: a client holding
+  // CommitTicket seq S passes min_seq = S and is bounced (kLagging) until
+  // this replica has applied S — it can then retry here or pick a replica
+  // whose advertised watermark (RedoPipeline::peer_acked_seq) already covers S.
+  enum class ReadStatus : std::uint8_t {
+    kOk = 0,           // `len` bytes copied from the state as of at_seq
+    kLagging = 1,      // applied_seq() < min_seq: retry or pick another replica
+    kOutOfBounds = 2,  // range outside the image, or no complete image yet
+  };
+  struct ReadResult {
+    ReadStatus status = ReadStatus::kOutOfBounds;
+    std::uint64_t at_seq = 0;  // watermark the answer was produced at
+  };
+  ReadResult read_at_watermark(std::uint64_t off, std::uint32_t len,
+                               std::uint64_t min_seq, std::uint8_t* out) const;
   // Epoch under which the last applied state (image or batch) was produced.
   std::uint64_t state_epoch() const { return state_epoch_; }
   std::size_t db_size() const { return db_size_; }

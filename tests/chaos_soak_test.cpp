@@ -154,6 +154,33 @@ TEST(ChaosSoak, SurvivorMatchesFaultFreeOracle) {
   std::uint64_t total_faults = 0;
   std::vector<std::uint64_t> takeover_seqs;
 
+  // Watermark-read audit, threaded through the whole soak: every few
+  // transactions a "client" reads the backup at min_seq = the primary's
+  // advertised acked watermark (exactly what the async front end uses to
+  // pick a replica). Served reads must satisfy at_seq >= min_seq
+  // (read-your-writes), never exceed what the primary has committed, and
+  // be monotone ACROSS failovers — a served at_seq can never go backwards,
+  // because backups only ever serve their applied prefix, which is by
+  // definition the surviving lineage. That is the "no read observes a
+  // rolled-back sequence" acceptance bar, under the full fault schedule.
+  std::uint64_t last_served_at_seq = 0;
+  int reads_ok = 0;
+  auto audit_read = [&] {
+    const std::uint64_t min_seq = node[cur].primary->backup_acked_seq();
+    if (min_seq == 0) return;  // rejoin handshake not done in this epoch yet
+    std::uint8_t out[64];
+    const repl::RedoApplier::ReadResult r =
+        node[cur ^ 1].backup->read(0, sizeof out, min_seq, out);
+    if (r.status == repl::RedoApplier::ReadStatus::kLagging) return;
+    ASSERT_EQ(r.status, repl::RedoApplier::ReadStatus::kOk);
+    ASSERT_GE(r.at_seq, min_seq) << "served read older than the acked watermark";
+    ASSERT_LE(r.at_seq, node[cur].primary->committed_seq())
+        << "read observed a sequence the primary never committed";
+    ASSERT_GE(r.at_seq, last_served_at_seq) << "served watermark went backwards";
+    last_served_at_seq = r.at_seq;
+    ++reads_ok;
+  };
+
   std::vector<int> phases(std::begin(kKillAt), std::end(kKillAt));
   phases.push_back(kTxns);  // final phase: run to the end, no kill
   for (const int phase_end : phases) {
@@ -164,6 +191,7 @@ TEST(ChaosSoak, SurvivorMatchesFaultFreeOracle) {
       bank.run_txn(*node[cur].primary, rng);
       ++next_seq;
       if (next_seq % 16 == 0) node[cur].primary->send_heartbeat();
+      if (next_seq % 8 == 0) audit_read();
     }
     // Also snapshot the state *after* the phase's last transaction: if the
     // backup is fully caught up at the kill, the rewind target is
@@ -184,6 +212,29 @@ TEST(ChaosSoak, SurvivorMatchesFaultFreeOracle) {
     ASSERT_LE(takeover_seq, node[dead].primary->committed_seq());
     ASSERT_GT(takeover_seq, 0u);
     const std::uint64_t shared_epoch = node[heir].backup->state_epoch();
+
+    // Takeover mid-read: a client caught between the kill and the
+    // promotion. Its ticket at the heir's watermark is served exactly
+    // there; a ticket from the dead primary's unreplicated 1-safe tail
+    // must bounce (kLagging), never be answered with older bytes — the
+    // bounce is what sends that client back to re-commit on the heir.
+    {
+      std::uint8_t out[64];
+      repl::RedoApplier::ReadResult r =
+          node[heir].backup->read(0, sizeof out, takeover_seq, out);
+      ASSERT_EQ(r.status, repl::RedoApplier::ReadStatus::kOk);
+      ASSERT_EQ(r.at_seq, takeover_seq);
+      ASSERT_GE(r.at_seq, last_served_at_seq);
+      last_served_at_seq = r.at_seq;
+      ++reads_ok;
+      const std::uint64_t lost_tail = node[dead].primary->committed_seq();
+      if (lost_tail > takeover_seq) {
+        r = node[heir].backup->read(0, sizeof out, lost_tail, out);
+        ASSERT_EQ(r.status, repl::RedoApplier::ReadStatus::kLagging)
+            << "a rolled-back ticket was served";
+        ASSERT_EQ(r.at_seq, takeover_seq);
+      }
+    }
 
     node[heir].membership->take_over();
     node[heir].store_arena = std::make_unique<rio::Arena>(
@@ -244,6 +295,7 @@ TEST(ChaosSoak, SurvivorMatchesFaultFreeOracle) {
   // ---- The acceptance bar: >=200 txns, >=3 failover/rejoin cycles, and the
   // survivor's database is byte-identical to the fault-free oracle.
   EXPECT_EQ(failovers, 3);
+  EXPECT_GE(reads_ok, 8) << "the watermark-read audit barely exercised the backup";
   EXPECT_EQ(node[cur].primary->committed_seq(), static_cast<std::uint64_t>(kTxns));
   EXPECT_EQ(bank.check_consistency(*node[cur].primary), "");
   EXPECT_EQ(Crc32::of(node[cur].primary->db(), kDbSize), oracle_crc);

@@ -1,5 +1,7 @@
 // TCP transport framing and wire replication (loopback, two threads).
 #include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
 
 #include <atomic>
 #include <chrono>
@@ -202,6 +204,104 @@ TEST(Transport, SlowButSteadyPeerStillCompletesWithinDeadline) {
   chunked.join();
   ASSERT_TRUE(msg.has_value());
   EXPECT_EQ(msg->payload.size(), payload.size());
+}
+
+// ---- accept_peer / connect_to deadline semantics ---------------------------
+
+// A no-op handler installed WITHOUT SA_RESTART, so pthread_kill genuinely
+// interrupts blocking syscalls with EINTR instead of restarting them.
+void install_interrupting_handler(int signo) {
+  struct sigaction sa {};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ASSERT_EQ(sigaction(signo, &sa, nullptr), 0);
+}
+
+TEST(Transport, SignalInterruptedAcceptStillAcceptsThePeer) {
+  // Regression: accept_peer treated poll() < 0 as kTimeout, so an EINTR —
+  // a profiler tick, a child reaping, any signal — made the accept "time
+  // out" instantly. It must retry against its one absolute deadline and
+  // accept the (deliberately late) peer.
+  install_interrupting_handler(SIGUSR1);
+  TcpTransport server;
+  ASSERT_TRUE(server.listen(0));
+  const std::uint16_t port = server.bound_port();
+
+  std::atomic<bool> stop{false};
+  const pthread_t accepter = pthread_self();
+  std::thread pepper([&] {
+    // Shower the accepting thread with signals while it sits in poll().
+    while (!stop.load()) {
+      pthread_kill(accepter, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  TcpTransport client;
+  bool client_ok = false;
+  std::thread connector([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    client_ok = client.connect_to("127.0.0.1", port);
+  });
+
+  const bool accepted = server.accept_peer(5'000);
+  stop.store(true);
+  pepper.join();
+  connector.join();
+  EXPECT_TRUE(accepted) << "EINTR misclassified as timeout or failure";
+  EXPECT_TRUE(client_ok);
+  EXPECT_EQ(server.last_error(), TcpTransport::Error::kNone);
+}
+
+TEST(Transport, SignalInterruptedAcceptStillHonorsItsDeadline) {
+  // The EINTR retry must not restart the budget: with nobody connecting and
+  // a steady signal stream, accept_peer still returns kTimeout close to its
+  // deadline instead of looping forever (or bailing early).
+  install_interrupting_handler(SIGUSR1);
+  TcpTransport server;
+  ASSERT_TRUE(server.listen(0));
+  std::atomic<bool> stop{false};
+  const pthread_t accepter = pthread_self();
+  std::thread pepper([&] {
+    while (!stop.load()) {
+      pthread_kill(accepter, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool accepted = server.accept_peer(150);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  stop.store(true);
+  pepper.join();
+  EXPECT_FALSE(accepted);
+  EXPECT_EQ(server.last_error(), TcpTransport::Error::kTimeout);
+  EXPECT_GE(elapsed, 140) << "an EINTR must not be reported as a timeout early";
+  EXPECT_LT(elapsed, 2'000) << "the retry must not restart the budget";
+}
+
+TEST(Transport, ConnectToNeverListeningPeerTimesOutOnSchedule) {
+  // Regression: connect_to budgeted by attempt count (timeout_ms / 50 + 1),
+  // not wall clock. Against a never-listening port it must give up close to
+  // timeout_ms — neither instantly nor after an attempt-count-shaped
+  // overshoot — and report kTimeout.
+  std::uint16_t dead_port;
+  {
+    TcpTransport placeholder;  // grab an ephemeral port, then free it
+    ASSERT_TRUE(placeholder.listen(0));
+    dead_port = placeholder.bound_port();
+  }
+  TcpTransport client;
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool connected = client.connect_to("127.0.0.1", dead_port, 300);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_FALSE(connected);
+  EXPECT_EQ(client.last_error(), TcpTransport::Error::kTimeout);
+  EXPECT_GE(elapsed, 250) << "gave up before the budget was spent";
+  EXPECT_LT(elapsed, 2'000) << "overshot a 300ms budget";
 }
 
 TEST(TransportDeathTest, SendRefusesPayloadAboveFrameBound) {

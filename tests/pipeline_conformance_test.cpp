@@ -995,6 +995,162 @@ TEST(CheckpointRegression, DisabledPipelineServesExactlyAsBefore) {
   EXPECT_EQ(link.count(repl::FrameKind::kCkptEnd), 0u);
 }
 
+// ---- read-your-writes snapshot reads ---------------------------------------
+//
+// The backup read API: snapshot reads at the applied watermark with the
+// CommitTicket min_seq contract — a reader holding ticket S bounces until
+// the replica has applied S, and never observes state older than S once
+// served. Wire-level coverage (epoll server, real TCP) lives in
+// async_server_test; takeover-under-load coverage in chaos_soak_test.
+
+TEST(ReadYourWrites, LaggardBackupBouncesUntilItAppliesTheTicketSeq) {
+  MemSource source(4096);
+  ScriptedLink link;
+  repl::RedoPipeline pipe(source, &link);
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) commit_one(pipe, source, seq);
+  ASSERT_EQ(link.count(repl::FrameKind::kRedoBatch), 3u);
+
+  MemTarget target(4096);
+  repl::RedoApplier applier(target);
+  const std::vector<std::uint8_t> zeros(4096, 0);
+  applier.seed(zeros.data(), zeros.size(), 0, 1);
+  ScriptedLink reply;
+  // The backup lags: only sequences 1..2 arrived.
+  applier.on_frame(link.sent[0], reply);
+  applier.on_frame(link.sent[1], reply);
+  ASSERT_EQ(applier.applied_seq(), 2u);
+
+  std::uint8_t out[8] = {0};
+  // A reader holding ticket 3 must bounce — and learn how far the replica got.
+  repl::RedoApplier::ReadResult r = applier.read_at_watermark(0, 8, /*min_seq=*/3, out);
+  EXPECT_EQ(r.status, repl::RedoApplier::ReadStatus::kLagging);
+  EXPECT_EQ(r.at_seq, 2u);
+
+  // A reader holding ticket 2 is served NOW, at watermark 2 — its own
+  // commit is visible (commit_one writes its seq as the first byte).
+  r = applier.read_at_watermark(0, 8, /*min_seq=*/2, out);
+  EXPECT_EQ(r.status, repl::RedoApplier::ReadStatus::kOk);
+  EXPECT_EQ(r.at_seq, 2u);
+  EXPECT_EQ(out[0], 2);
+
+  // Sequence 3 lands: the bounced reader's retry now observes its write.
+  applier.on_frame(link.sent[2], reply);
+  r = applier.read_at_watermark(0, 8, /*min_seq=*/3, out);
+  EXPECT_EQ(r.status, repl::RedoApplier::ReadStatus::kOk);
+  EXPECT_EQ(r.at_seq, 3u);
+  EXPECT_EQ(out[0], 3) << "a served read must never show state older than min_seq";
+
+  // Bounds discipline is separate from staleness: a range past the image
+  // answers kOutOfBounds, not a park-forever kLagging.
+  r = applier.read_at_watermark(4090, 8, 0, out);
+  EXPECT_EQ(r.status, repl::RedoApplier::ReadStatus::kOutOfBounds);
+}
+
+TEST(ReadYourWrites, TakeoverMidReadNeverServesRolledBackSequences) {
+  // A 1-safe primary dies with committed-but-unshipped sequences 11..15.
+  // The promoted backup holds exactly 1..10: a reader holding ticket 10
+  // is served; a reader holding ticket 15 (a commit the takeover rolled
+  // back) must bounce forever rather than ever be told "kOk" on older
+  // bytes — the bounce is what routes it to the new primary for a fresh
+  // commit, preserving "never observe state older than your ticket".
+  MemSource source(4096);
+  ScriptedLink link;
+  repl::RedoPipeline pipe(source, &link);
+  pipe.set_commit_window(16);
+  for (std::uint64_t seq = 1; seq <= 10; ++seq) commit_one(pipe, source, seq);
+  ASSERT_EQ(link.count(repl::FrameKind::kRedoBatch), 10u);
+  // Sequences 11..15 commit locally but never ship (buffered group).
+  pipe.set_group_size(8);
+  for (std::uint64_t seq = 11; seq <= 15; ++seq) commit_async_one(pipe, source, seq);
+  ASSERT_EQ(link.count(repl::FrameKind::kRedoBatch), 10u) << "11..15 must stay buffered";
+  ASSERT_EQ(link.count(repl::FrameKind::kRedoGroup), 0u);
+
+  MemTarget target(4096);
+  repl::RedoApplier applier(target);
+  const std::vector<std::uint8_t> zeros(4096, 0);
+  applier.seed(zeros.data(), zeros.size(), 0, 1);
+  ScriptedLink reply;
+  for (const auto& f : link.sent) applier.on_frame(f, reply);
+  ASSERT_EQ(applier.applied_seq(), 10u);
+
+  // Mid-read takeover: the primary is gone (link dropped, never flushed).
+  // The reader that was about to read with ticket 10 still succeeds …
+  std::uint8_t out[8] = {0};
+  repl::RedoApplier::ReadResult r = applier.read_at_watermark(0, 8, /*min_seq=*/10, out);
+  EXPECT_EQ(r.status, repl::RedoApplier::ReadStatus::kOk);
+  EXPECT_EQ(r.at_seq, 10u);
+  EXPECT_EQ(out[0], 10);
+
+  // … while the reader holding lost ticket 15 is refused, now and after
+  // the promotion: at_seq tells it the surviving lineage ends at 10.
+  r = applier.read_at_watermark(0, 8, /*min_seq=*/15, out);
+  EXPECT_EQ(r.status, repl::RedoApplier::ReadStatus::kLagging);
+  EXPECT_EQ(r.at_seq, 10u) << "no read may ever observe a rolled-back sequence";
+
+  // The promoted lineage continues from 10 under a new epoch; a fresh
+  // commit (the bounced client's retry) becomes readable at ITS ticket.
+  MemSource promoted(4096);
+  std::memcpy(promoted.mutable_db(), target.mem.data(), 4096);
+  promoted.committed = applier.applied_seq();
+  ScriptedLink new_link;
+  repl::RedoPipeline new_pipe(promoted, &new_link);
+  commit_one(new_pipe, promoted, 11);
+  applier.on_frame(new_link.sent.back(), reply);
+  r = applier.read_at_watermark(0, 8, /*min_seq=*/11, out);
+  EXPECT_EQ(r.status, repl::RedoApplier::ReadStatus::kOk);
+  EXPECT_EQ(r.at_seq, 11u);
+  EXPECT_EQ(out[0], 11);
+}
+
+TEST(ReadYourWrites, WireBackupServesTheTicketSeqOnceAcked) {
+  // End to end over a real transport: commit ticket S on a WirePrimary,
+  // wait for the backup's covering ack (poll_acks, the async front end's
+  // pump), then a locked WireBackup::read at min_seq = S must return the
+  // committed bytes — while min_seq past the watermark still bounces.
+  const StoreConfig config = conformance_config();
+  rio::Arena arena =
+      rio::Arena::create(core::required_arena_size(core::VersionKind::kV3InlineLog, config));
+  net::InprocTransport a, b;
+  net::InprocTransport::pair(a, b);
+  net::WirePrimary primary(arena, config, &a, /*format=*/true);
+  primary.set_two_safe(true);
+  primary.set_commit_window(8);
+  rio::Arena replica = rio::Arena::create(config.db_size);
+  net::WireBackup backup(replica);
+  std::thread backup_thread([&] { backup.serve(b, 4000); });
+  ASSERT_TRUE(primary.sync_backup());
+
+  const std::uint64_t off = 512, value = 0x5afe5afe5afe5afeull;
+  std::uint8_t* db = primary.db();
+  primary.begin_transaction();
+  primary.set_range(db + off, 8);
+  primary.bus().write(db + off, &value, 8, sim::TrafficClass::kModified);
+  primary.commit_transaction();
+  const std::uint64_t ticket = primary.committed_seq();
+
+  for (int i = 0; i < 5000 && primary.peer_acked_seq(0) < ticket; ++i) {
+    primary.pipeline().poll_acks();
+    usleep(200);
+  }
+  ASSERT_GE(primary.peer_acked_seq(0), ticket) << "backup never acked the commit";
+
+  std::uint8_t out[8] = {0};
+  repl::RedoApplier::ReadResult r = backup.read(off, 8, ticket, out);
+  EXPECT_EQ(r.status, repl::RedoApplier::ReadStatus::kOk);
+  EXPECT_GE(r.at_seq, ticket);
+  std::uint64_t got;
+  std::memcpy(&got, out, 8);
+  EXPECT_EQ(got, value);
+
+  r = backup.read(off, 8, backup.watermark() + 100, out);
+  EXPECT_EQ(r.status, repl::RedoApplier::ReadStatus::kLagging)
+      << "a ticket past the watermark must bounce, not serve stale bytes";
+
+  a.close_peer();
+  b.close_peer();
+  backup_thread.join();
+}
+
 // ---- cross-shard 2PC regression tests --------------------------------------
 //
 // The prepare/decide hooks shard::CrossShardCoordinator drives: phase-1

@@ -215,6 +215,45 @@ TEST(ShardMux, FramesForUnknownShardsAreCountedNotFatal) {
   EXPECT_EQ(channel.unroutable(), 2u);
 }
 
+TEST(ShardMux, StalledLaneInboxIsBoundedAndDropsAreCounted) {
+  LoopCarrier carrier;
+  net::ShardChannel channel(&carrier);
+  repl::ReplicationLink& live = channel.lane(1);
+  channel.lane(2);  // opened but never drained: the stalled lane
+  channel.set_inbox_capacity(8);
+  ASSERT_EQ(channel.inbox_capacity(), 8u);
+
+  // Skewed traffic: a flood for the stalled lane, one frame for the live
+  // one behind it. Pumping the live lane's recv must park at most
+  // capacity frames for lane 2 and drop (not queue) the rest.
+  repl::ReplicationLink& stalled = channel.lane(2);
+  const std::uint8_t byte = 0x5;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(stalled.send(repl::FrameKind::kHeartbeat, 1, &byte, 1));
+  }
+  ASSERT_TRUE(live.send(repl::FrameKind::kRedoBatch, 1, &byte, 1));
+
+  std::optional<repl::Frame> f = live.recv(0);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->kind, repl::FrameKind::kRedoBatch);
+  EXPECT_EQ(channel.inbox_dropped(), 92u) << "100 parked minus capacity 8";
+  EXPECT_EQ(channel.inbox_highwater(), 8u);
+
+  // The stalled lane still drains the frames that fit, then sees the gap
+  // as an ordinary empty carrier (its protocol engine resyncs in-band).
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(stalled.recv(0).has_value()) << "parked frame " << i;
+  }
+  EXPECT_FALSE(stalled.recv(0).has_value());
+
+  // Draining freed space: new traffic parks again instead of dropping.
+  ASSERT_TRUE(stalled.send(repl::FrameKind::kHeartbeat, 1, &byte, 1));
+  ASSERT_TRUE(live.send(repl::FrameKind::kRedoBatch, 1, &byte, 1));
+  ASSERT_TRUE(live.recv(0).has_value());
+  EXPECT_TRUE(stalled.recv(0).has_value());
+  EXPECT_EQ(channel.inbox_dropped(), 92u) << "no new drops after the drain";
+}
+
 // ---- cross-shard conformance vs a fault-free oracle -------------------------
 
 using Cluster = shard::ShardedCluster;
