@@ -60,6 +60,7 @@ bool AsyncServer::start() {
   ev.events = EPOLLIN;
   ev.data.fd = listen_fd_;
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) return false;
+  listen_armed_ = true;
   ev.data.fd = wake_fd_;
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) return false;
   running_.store(true, std::memory_order_release);
@@ -75,10 +76,16 @@ void AsyncServer::stop() {
     thread_.join();
   }
   for (auto& [id, conn] : conns_) {
-    if (conn.fd >= 0) ::close(conn.fd);
+    if (conn.fd < 0) continue;  // closed mid-iteration, not yet reaped
+    ::close(conn.fd);
+    // Same accounting as close_conn: the gauge must come back to zero even
+    // for connections that were still open when the server shut down.
+    stats_.conns_open.fetch_sub(1, std::memory_order_relaxed);
+    metrics::gauge("net.async.conns_open").add(-1);
   }
   conns_.clear();
   by_fd_.clear();
+  dead_conns_.clear();
   pending_commits_.clear();
   parked_reads_.clear();
   if (wake_fd_ >= 0) ::close(wake_fd_), wake_fd_ = -1;
@@ -122,6 +129,7 @@ void AsyncServer::run() {
       if (events[i].events & EPOLLIN) conn_readable(conns_.at(by_fd_.at(fd)));
     }
     tick();
+    reap_dead();
   }
 }
 
@@ -130,6 +138,19 @@ void AsyncServer::accept_ready() {
     const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of fds. The listen socket is level-triggered, so returning
+        // with the backlog still pending would make epoll_wait re-fire
+        // immediately and busy-spin the loop at 100% CPU. Disarm accept
+        // interest; tick() re-arms it after accept_backoff_ms.
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        listen_armed_ = false;
+        listen_rearm_at_ = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(options_.accept_backoff_ms);
+        stats_.accept_overloads.fetch_add(1, std::memory_order_relaxed);
+        metrics::counter("net.async.accept_overloads").add(1);
+        return;
+      }
       return;  // EAGAIN: drained
     }
     const int one = 1;
@@ -314,6 +335,15 @@ bool AsyncServer::try_read(std::uint64_t conn_id, std::uint64_t op_id, std::uint
 }
 
 void AsyncServer::tick() {
+  // Re-arm accept interest once the EMFILE backoff has elapsed (some fds
+  // have likely been released by then; if not, accept_ready disarms again).
+  if (!listen_armed_ && std::chrono::steady_clock::now() >= listen_rearm_at_) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0) listen_armed_ = true;
+  }
+
   for (ShardEndpoint& shard : shards_) shard.poll();
 
   // Resolve parked commit tickets against the freshly pumped watermarks.
@@ -424,12 +454,21 @@ void AsyncServer::close_conn(Conn& conn) {
   conn.fd = -1;
   stats_.conns_open.fetch_sub(1, std::memory_order_relaxed);
   metrics::gauge("net.async.conns_open").add(-1);
-  conns_.erase(conn.id);  // invalidates `conn`
+  // Do NOT conns_.erase here: dispatch/handle_commit/handle_read close mid
+  // parse while parse_frames and conn_readable still hold the Conn& — the
+  // object must outlive the whole call stack. Reaped in reap_dead().
+  dead_conns_.push_back(conn.id);
+}
+
+void AsyncServer::reap_dead() {
+  for (const std::uint64_t id : dead_conns_) conns_.erase(id);
+  dead_conns_.clear();
 }
 
 AsyncServer::Conn* AsyncServer::find_conn(std::uint64_t conn_id) {
   auto it = conns_.find(conn_id);
-  return it == conns_.end() ? nullptr : &it->second;
+  if (it == conns_.end() || it->second.fd < 0) return nullptr;
+  return &it->second;
 }
 
 }  // namespace vrep::net

@@ -93,13 +93,15 @@ class AsyncServer {
   };
 
   struct Options {
-    int read_park_ms = 200;  // lagging-read patience before the bounce
-    int tick_ms = 1;         // parked-work retry cadence
+    int read_park_ms = 200;       // lagging-read patience before the bounce
+    int tick_ms = 1;              // parked-work retry cadence
+    int accept_backoff_ms = 100;  // listen re-arm delay after fd exhaustion
   };
 
   struct Stats {
     std::atomic<std::uint64_t> accepted{0};
     std::atomic<std::uint64_t> conns_open{0};
+    std::atomic<std::uint64_t> accept_overloads{0};  // EMFILE/ENFILE backoffs
     std::atomic<std::uint64_t> commits_submitted{0};
     std::atomic<std::uint64_t> commits_rejected{0};
     std::atomic<std::uint64_t> reads_served{0};
@@ -187,7 +189,13 @@ class AsyncServer {
                        std::size_t len);
   void enqueue(Conn& conn, std::vector<std::uint8_t> frame);
   void flush_out(Conn& conn);
+  // Tears the connection down (fd, epoll, by_fd_, gauges) but does NOT
+  // destroy the Conn: callers up the stack (parse_frames, conn_readable)
+  // may still hold a reference. The id parks on dead_conns_ and the object
+  // is reaped by reap_dead() once the event-loop iteration unwinds.
   void close_conn(Conn& conn);
+  void reap_dead();
+  // nullptr for unknown ids AND for closed conns awaiting reap_dead().
   Conn* find_conn(std::uint64_t conn_id);
 
   Options options_;
@@ -204,6 +212,9 @@ class AsyncServer {
   std::uint64_t next_conn_id_ = 1;
   std::map<std::uint64_t, Conn> conns_;   // id -> connection (stable refs)
   std::map<int, std::uint64_t> by_fd_;    // fd -> id (epoll event lookup)
+  std::vector<std::uint64_t> dead_conns_;  // closed, awaiting reap_dead()
+  bool listen_armed_ = true;  // EPOLLIN interest on listen_fd_ (EMFILE backoff)
+  std::chrono::steady_clock::time_point listen_rearm_at_{};
   std::vector<PendingCommit> pending_commits_;
   std::vector<ParkedRead> parked_reads_;
   std::vector<std::uint8_t> read_buf_;  // scratch for replica reads

@@ -1,6 +1,7 @@
 #include "net/transport.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -98,17 +99,58 @@ bool TcpTransport::connect_to(const std::string& host, std::uint16_t port, int t
   // Budget by wall clock, not attempt count: the old timeout_ms / 50 + 1
   // attempt loop assumed every failure was an instant ECONNREFUSED, so one
   // slow SYN (a blackholed peer sitting in the kernel's retry backoff) could
-  // overshoot the caller's budget by orders of magnitude.
+  // overshoot the caller's budget by orders of magnitude. Each attempt is a
+  // NON-BLOCKING connect polled against the remaining budget — a blocking
+  // ::connect() would sit in the kernel's SYN retransmit schedule for
+  // minutes regardless of any deadline around the loop.
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(std::max(timeout_ms, 0));
   for (;;) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
     if (fd_ < 0) return false;
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
     ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+    bool connected = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+    if (!connected && (errno == EINPROGRESS || errno == EINTR)) {
+      // Handshake in flight: wait for writability within the budget, then
+      // read the outcome from SO_ERROR.
+      for (;;) {
+        const auto left = std::chrono::ceil<std::chrono::milliseconds>(
+                              deadline - std::chrono::steady_clock::now())
+                              .count();
+        if (left <= 0) {
+          close_peer();
+          error_ = Error::kTimeout;
+          return false;
+        }
+        pollfd pfd{fd_, POLLOUT, 0};
+        const int ready = ::poll(&pfd, 1, static_cast<int>(std::clamp<long long>(
+                                              left, 0, std::numeric_limits<int>::max())));
+        if (ready < 0) {
+          if (errno == EINTR) continue;
+          close_peer();
+          error_ = Error::kClosed;
+          return false;
+        }
+        if (ready == 0) {  // budget spent mid-handshake (blackholed peer)
+          close_peer();
+          error_ = Error::kTimeout;
+          return false;
+        }
+        int so_error = 0;
+        socklen_t optlen = sizeof so_error;
+        ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &optlen);
+        connected = so_error == 0;
+        break;
+      }
+    }
+    if (connected) {
+      // Back to blocking mode: send()/recv() bound themselves with poll()
+      // and treat EAGAIN from the socket as a broken peer.
+      const int flags = ::fcntl(fd_, F_GETFL, 0);
+      if (flags >= 0) ::fcntl(fd_, F_SETFL, flags & ~O_NONBLOCK);
       const int one = 1;
       ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
       error_ = Error::kNone;

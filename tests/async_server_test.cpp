@@ -4,8 +4,12 @@
 // immediately reads with min_seq = S must observe its own write — plus the
 // laggard bounce, stale-replica skipping, shard routing, and a
 // many-connection sweep through one server.
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/resource.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <memory>
@@ -14,6 +18,7 @@
 #include <vector>
 
 #include "net/async_server.hpp"
+#include "net/frame.hpp"
 #include "net/inproc_transport.hpp"
 #include "net/transport.hpp"
 #include "net/wire_repl.hpp"
@@ -372,6 +377,145 @@ TEST(AsyncServer, ManyConnectionsMultiplexOntoOneShard) {
   server.stop();
   EXPECT_EQ(server.stats().accepted.load(), static_cast<std::uint64_t>(kClients));
   EXPECT_EQ(server.stats().reads_served.load(), static_cast<std::uint64_t>(kClients));
+}
+
+TEST(AsyncServer, MidBatchProtocolViolationClosesTheConnNotTheServer) {
+  // Regression (heap use-after-free): close_conn used to conns_.erase the
+  // Conn while parse_frames still held the reference, so any mid-dispatch
+  // close — protocol violation, bad shard route — read a destroyed object
+  // on the next loop iteration (ASan tripped). The close is now deferred to
+  // a dead-list reaped after the event-loop iteration unwinds.
+  Shard shard;
+  net::AsyncServer server;
+  server.add_shard(shard.endpoint());
+  server.set_router([](std::uint64_t) { return 0u; });
+  ASSERT_TRUE(server.listen(0));
+  ASSERT_TRUE(server.start());
+
+  net::TcpTransport client;
+  connect_client(client, server.bound_port());
+  // Three frames in ONE send so they land in the same parse batch: a valid
+  // commit, a protocol violation (unknown frame type closes the connection
+  // mid-parse), and a trailing commit that must never be processed.
+  auto commit_payload = [](std::uint64_t op_id, std::uint64_t off, std::uint64_t value) {
+    std::vector<std::uint8_t> p(32);
+    std::memcpy(p.data(), &op_id, 8);
+    const std::uint64_t key = 1;
+    std::memcpy(p.data() + 8, &key, 8);
+    std::memcpy(p.data() + 16, &off, 8);
+    std::memcpy(p.data() + 24, &value, 8);
+    return p;
+  };
+  std::vector<std::uint8_t> wire;
+  auto append = [&wire](const std::vector<std::uint8_t>& frame) {
+    wire.insert(wire.end(), frame.begin(), frame.end());
+  };
+  const std::vector<std::uint8_t> first = commit_payload(1, 512, 0x1111);
+  const std::vector<std::uint8_t> trailing = commit_payload(2, 520, 0x2222);
+  append(net::encode_frame(net::MsgType::kClientCommit, 1, first.data(), first.size()));
+  append(net::encode_frame(static_cast<net::MsgType>(0x6e), 1, nullptr, 0));
+  append(net::encode_frame(net::MsgType::kClientCommit, 1, trailing.data(), trailing.size()));
+  ASSERT_TRUE(client.send_bytes(wire.data(), wire.size()));
+
+  // The violation closes the connection before the first (2-safe, pending)
+  // ticket can resolve, so no reply ever arrives — only the close. The
+  // ticket still resolves inside the server and is dropped on the floor
+  // (reply-to-a-dead-conn path).
+  EXPECT_FALSE(recv_commit_reply(client, 2000).has_value());
+  EXPECT_EQ(client.last_error(), net::TcpTransport::Error::kClosed);
+  EXPECT_EQ(server.stats().commits_submitted.load(), 1u)
+      << "the frame behind the violation must never dispatch";
+
+  // The server itself shrugs it off: a fresh client round-trips.
+  net::TcpTransport client2;
+  connect_client(client2, server.bound_port());
+  ASSERT_TRUE(send_commit(client2, 9, 1, 256, 0xbeef));
+  std::optional<CommitReply> reply = recv_commit_reply(client2);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_NE(reply->outcome, net::AsyncServer::kRejectedOutcome);
+  server.stop();
+  EXPECT_EQ(server.stats().conns_open.load(), 0u);
+}
+
+TEST(AsyncServer, StopAccountsForConnectionsItCloses) {
+  // Regression: stop() closed still-open connections without decrementing
+  // conns_open, leaving the gauge permanently inflated across a restart.
+  Shard shard;
+  net::AsyncServer server;
+  server.add_shard(shard.endpoint());
+  server.set_router([](std::uint64_t) { return 0u; });
+  ASSERT_TRUE(server.listen(0));
+  ASSERT_TRUE(server.start());
+
+  net::TcpTransport a, b;
+  connect_client(a, server.bound_port());
+  connect_client(b, server.bound_port());
+  // Round-trip on both so each accept has definitely been registered.
+  ASSERT_TRUE(send_commit(a, 1, 1, 64, 0x0a));
+  ASSERT_TRUE(send_commit(b, 2, 1, 72, 0x0b));
+  ASSERT_TRUE(recv_commit_reply(a).has_value());
+  ASSERT_TRUE(recv_commit_reply(b).has_value());
+  EXPECT_EQ(server.stats().conns_open.load(), 2u);
+  server.stop();
+  EXPECT_EQ(server.stats().conns_open.load(), 0u);
+}
+
+TEST(AsyncServer, FdExhaustionBacksOffAndRecovers) {
+  // EMFILE on accept4 with a level-triggered listen socket used to make
+  // epoll_wait re-fire immediately forever (100% CPU busy-spin). The server
+  // now disarms accept interest and re-arms after accept_backoff_ms; a
+  // connection pending through the exhaustion window is accepted once fds
+  // free up.
+  net::AsyncServer::Options options;
+  options.accept_backoff_ms = 50;
+  Shard shard;
+  net::AsyncServer server(options);
+  server.add_shard(shard.endpoint());
+  server.set_router([](std::uint64_t) { return 0u; });
+  ASSERT_TRUE(server.listen(0));
+  ASSERT_TRUE(server.start());
+
+  // Cap the fd table just above what is currently in use (the next free fd
+  // number plus headroom), then hoard the headroom so accept4 has nothing
+  // left. Probing keeps the hoard small on boxes with huge default limits.
+  rlimit saved{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+  const int probe = ::open("/dev/null", O_RDONLY);
+  ASSERT_GE(probe, 0);
+  ::close(probe);
+  rlimit capped = saved;
+  capped.rlim_cur = std::min<rlim_t>(static_cast<rlim_t>(probe) + 32, saved.rlim_max);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &capped), 0);
+  std::vector<int> hoard;
+  for (;;) {
+    const int fd = ::open("/dev/null", O_RDONLY);
+    if (fd < 0) break;
+    hoard.push_back(fd);
+  }
+  ASSERT_FALSE(hoard.empty());
+  // Free exactly one fd for the client's socket: the TCP handshake
+  // completes via the listen backlog, but the server's accept4 hits EMFILE.
+  ::close(hoard.back());
+  hoard.pop_back();
+  net::TcpTransport client;
+  ASSERT_TRUE(client.connect_to("127.0.0.1", server.bound_port(), 5000));
+  const auto overload_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.stats().accept_overloads.load() == 0 &&
+         std::chrono::steady_clock::now() < overload_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(server.stats().accept_overloads.load(), 1u);
+
+  // Relieve the pressure; after the backoff the listener re-arms and the
+  // parked connection is finally accepted and served.
+  for (const int fd : hoard) ::close(fd);
+  hoard.clear();
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &saved), 0);
+  ASSERT_TRUE(send_commit(client, 1, 1, 96, 0x77));
+  std::optional<CommitReply> reply = recv_commit_reply(client, 10'000);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_NE(reply->outcome, net::AsyncServer::kRejectedOutcome);
+  server.stop();
 }
 
 TEST(AsyncServer, OutOfBoundsReadAnswersInsteadOfParking) {

@@ -6,7 +6,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <thread>
+#include <vector>
 
 #include "net/frame.hpp"
 #include "net/transport.hpp"
@@ -302,6 +304,36 @@ TEST(Transport, ConnectToNeverListeningPeerTimesOutOnSchedule) {
   EXPECT_EQ(client.last_error(), TcpTransport::Error::kTimeout);
   EXPECT_GE(elapsed, 250) << "gave up before the budget was spent";
   EXPECT_LT(elapsed, 2'000) << "overshot a 300ms budget";
+}
+
+TEST(Transport, ConnectToUnresponsivePeerHonorsDeadline) {
+  // Regression: connect_to used a blocking ::connect(), so a peer that
+  // swallows the SYN (blackholed address, full accept queue) parked the
+  // call in the kernel's SYN-retransmit schedule for minutes regardless of
+  // timeout_ms. Simulate the blackhole locally: a listener that never calls
+  // accept() with its backlog already full drops further SYNs on the floor,
+  // leaving the client hanging mid-handshake.
+  TcpTransport server;
+  ASSERT_TRUE(server.listen(0));  // backlog 1, nobody ever accepts
+  std::vector<std::unique_ptr<TcpTransport>> fillers;
+  for (int i = 0; i < 4; ++i) {
+    auto filler = std::make_unique<TcpTransport>();
+    // Ignore the result: the early ones land in the accept queue, the rest
+    // are the queue overflowing — both leave it saturated. Keep them alive
+    // so their queue slots stay occupied.
+    filler->connect_to("127.0.0.1", server.bound_port(), 250);
+    fillers.push_back(std::move(filler));
+  }
+  TcpTransport client;
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool connected = client.connect_to("127.0.0.1", server.bound_port(), 300);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_FALSE(connected);
+  EXPECT_EQ(client.last_error(), TcpTransport::Error::kTimeout);
+  EXPECT_GE(elapsed, 250) << "gave up before the budget was spent";
+  EXPECT_LT(elapsed, 5'000) << "a swallowed SYN must not hold connect_to past its budget";
 }
 
 TEST(TransportDeathTest, SendRefusesPayloadAboveFrameBound) {
