@@ -43,6 +43,9 @@ WALLCLOCK_EXACT_FIELDS = (
     # read_scaling cells (BENCH_read_scaling.json): the sweep identity and
     # the read-your-writes verdict (every read served kOk at >= its ticket).
     "connections", "ops_per_conn", "write_ops", "read_ops", "watermark_consistent",
+    # rebalance_cost cells (BENCH_rebalance.json): the split geometry and the
+    # moving-set size are pure functions of the maps + record population.
+    "split_denom", "moving_records",
 )
 # Machine-dependent fields: sanity-checked only. True = must be > 0.
 WALLCLOCK_TIMING_FIELDS = {
@@ -56,6 +59,14 @@ WALLCLOCK_TIMING_FIELDS = {
     "read_p99_ns": True,
     "read_p999_ns": True,
     "read_bounces": False,
+    # rebalance_cost migration-path counters: how much shipped and how long
+    # traffic stalled depends on where the cutover lands on this machine.
+    "bytes_moved": True,
+    "chunks": True,
+    "cutover_stall_ns": True,
+    "retried_2pc": False,
+    "stall_p99_before_ns": True,
+    "stall_p99_during_ns": True,
 }
 
 

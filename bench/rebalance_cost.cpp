@@ -1,0 +1,167 @@
+// Wall-clock rebalance cost: what an online range migration does to live
+// traffic, swept over the size of the moving range. A driver thread pushes
+// pre-drawn Debit-Credit plans (stamped with the pre-split map version)
+// through ShardedCluster::execute() while the main thread runs the
+// Rebalancer begin-split -> step -> cutover loop; the bench reports the
+// per-transaction latency p99 before and during the migration, the bytes
+// and chunks the migration shipped, and the fenced-cutover stall.
+//
+// Wall-clock numbers are machine-dependent: the JSON root is marked
+// "wallclock": true and check_drift.py compares only the deterministic
+// fields exactly — config identity, committed/cross counts (plans come from
+// fixed seeds, and a stale-stamped plan re-routes rather than aborts, so
+// counts never depend on where the cutover lands), the moving-set size
+// (a pure function of the two maps and the record population), and the
+// consistency verdict — while sanity-checking the timing fields.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "shard/rebalancer.hpp"
+#include "shard/shard_map.hpp"
+#include "shard/sharded_cluster.hpp"
+#include "util/check.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace vrep::bench {
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int run_main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  JsonReport report(args, "rebalance_cost");
+  report.set_root("wallclock", Json(true));
+  report.set_root("hw_threads", Json(std::thread::hardware_concurrency()));
+
+  std::uint64_t txns = 24'000;
+  std::uint64_t warmup = 4'000;
+  if (args.has("quick")) {
+    txns = 4'000;
+    warmup = 1'000;
+  }
+  txns = static_cast<std::uint64_t>(args.get_int("txns", static_cast<std::int64_t>(txns)));
+
+  Table table("Rebalance cost (wall clock, 2 shards + 1 backup each, 2-safe)");
+  table.set_header({"moved", "moving recs", "bytes", "chunks", "cutover us",
+                    "p99 before us", "p99 during us", "retried 2PC", "seconds", "tps"});
+
+  // Moved slice of shard 0's range: 1/8, 1/4, 1/2.
+  for (const unsigned denom : {8u, 4u, 2u}) {
+    shard::ShardedConfig config;
+    config.shards = 2;
+    config.backups_per_shard = 1;
+    config.two_safe = true;
+    shard::ShardedCluster cluster(config);
+
+    // Populate balances off the measured path so the migration has real
+    // bytes to move, then pre-draw every measured plan against the v1 map.
+    VREP_CHECK(cluster.run(/*seed=*/7, warmup, /*remote_fraction=*/0.2).committed == warmup);
+    const shard::Router router(cluster.map());
+    Rng rng(0xbeefcafe + denom);
+    std::vector<shard::TxnDecision> plans;
+    plans.reserve(txns);
+    std::uint64_t cross_planned = 0;
+    for (std::uint64_t n = 0; n < txns; ++n) {
+      plans.push_back(shard::plan_txn(router, cluster.workload(), cluster.num_shards(),
+                                      rng, 0.2));
+      cross_planned += plans.back().cross ? 1 : 0;
+    }
+
+    // The upper `1/denom` slice of shard 0's range migrates to a new shard.
+    const std::uint64_t upper0 = cluster.map().upper_bound(0);
+    const std::uint64_t at_hash = upper0 - upper0 / denom;
+    const std::size_t moving = shard::Rebalancer::moving_records(
+        cluster.map(), shard::ShardMap(cluster.map()).split(at_hash), cluster.workload());
+
+    Histogram before_ns, during_ns;
+    const std::uint64_t half = txns / 2;
+    const auto start = std::chrono::steady_clock::now();
+    // Phase A: plain traffic, no migration anywhere.
+    for (std::uint64_t n = 0; n < half; ++n) {
+      const std::uint64_t t0 = now_ns();
+      VREP_CHECK(cluster.execute(plans[n]));
+      before_ns.add(now_ns() - t0);
+    }
+    // Phase B: same traffic racing the migration; the driver keeps going
+    // after the cutover (stale-stamped plans re-route, counted below).
+    std::thread driver([&] {
+      for (std::uint64_t n = half; n < txns; ++n) {
+        const std::uint64_t t0 = now_ns();
+        VREP_CHECK(cluster.execute(plans[n]));
+        during_ns.add(now_ns() - t0);
+      }
+    });
+    shard::Rebalancer rebalancer(cluster, shard::Rebalancer::Config{64});
+    rebalancer.begin_split(0, at_hash);
+    while (true) {
+      if (!rebalancer.step() && rebalancer.cutover()) break;
+    }
+    driver.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+    // The bench doubles as the acceptance gate: zero committed loss (every
+    // execute above CHECKed), zero resolution conflicts, replicas converged,
+    // global invariant intact.
+    bool consistent = cluster.check_global_consistency().empty() &&
+                      cluster.resolution_conflicts() == 0;
+    for (shard::ShardId id = 0; id < cluster.num_shards(); ++id) {
+      consistent = consistent && cluster.check_replicas(id).empty() &&
+                   cluster.in_doubt(id) == 0;
+    }
+    VREP_CHECK(consistent);
+    const shard::ShardedCluster::RebalanceCounters c = cluster.rebalance_counters();
+    VREP_CHECK(c.cutovers == 1);
+    const double tps = seconds > 0 ? static_cast<double>(txns) / seconds : 0.0;
+
+    Json cell = Json::object();
+    cell.set("name", "moved_1_" + std::to_string(denom));
+    cell.set("workload", "debit_credit");
+    cell.set("shards", Json(config.shards));
+    cell.set("split_denom", Json(denom));
+    cell.set("txns", Json(txns));
+    cell.set("committed", Json(txns));
+    cell.set("cross_committed", Json(cross_planned));
+    cell.set("moving_records", Json(static_cast<std::uint64_t>(moving)));
+    cell.set("consistent", Json(consistent));
+    cell.set("seconds", Json(seconds));
+    cell.set("tps", Json(tps));
+    cell.set("bytes_moved", Json(c.bytes_moved));
+    cell.set("chunks", Json(c.chunks));
+    cell.set("cutover_stall_ns", Json(c.cutover_stall_ns));
+    cell.set("retried_2pc", Json(c.retried_2pc));
+    cell.set("stall_p99_before_ns", Json(before_ns.percentile(0.99)));
+    cell.set("stall_p99_during_ns", Json(during_ns.percentile(0.99)));
+    report.add_cell(std::move(cell));
+
+    const auto us = [](std::uint64_t ns) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.1f", static_cast<double>(ns) / 1e3);
+      return std::string(buf);
+    };
+    char secs[32];
+    std::snprintf(secs, sizeof secs, "%.3f", seconds);
+    table.add_row({"1/" + std::to_string(denom), Table::num(moving),
+                   Table::num(c.bytes_moved), Table::num(c.chunks),
+                   us(c.cutover_stall_ns), us(before_ns.percentile(0.99)),
+                   us(during_ns.percentile(0.99)), Table::num(c.retried_2pc), secs,
+                   tps_cell(tps)});
+  }
+  table.print();
+  return report.write() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace vrep::bench
+
+int main(int argc, char** argv) { return vrep::bench::run_main(argc, argv); }

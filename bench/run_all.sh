@@ -28,6 +28,7 @@ for pair in \
     "smp_debitcredit BENCH_smp_debitcredit.json" \
     "smp_orderentry BENCH_smp_orderentry.json" \
     "shard_scaling BENCH_shards.json" \
+    "rebalance_cost BENCH_rebalance.json" \
     "read_scaling BENCH_read_scaling.json"; do
   bin="${pair% *}"
   out="${pair#* }"

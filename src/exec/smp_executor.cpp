@@ -204,7 +204,9 @@ void SmpExecutor::worker_main(unsigned index) {
   Rng rng(config_.seed * 0x9e3779b97f4a7c15ull + index + 1);
   const std::size_t nparts = partitions_.size();
   for (std::uint64_t i = 0; i < config_.txns_per_worker; ++i) {
-    const std::size_t pi = rng.next_u32() % nparts;  // same stream as 1-group
+    const std::uint32_t draw = rng.next_u32();  // same stream with or without route
+    const std::size_t pi = config_.route ? config_.route(draw, nparts) % nparts
+                                         : draw % nparts;
     Partition& part = *partitions_[pi];
     ShardGroup& group = *groups_[pi / partitions_per_group_];
     TxnRecord* rec = acquire_record();

@@ -56,6 +56,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -96,6 +97,13 @@ struct SmpConfig {
   // each. Must divide the partition count. >1 requires a null link (per-
   // group replication attaches per-group links via group_pipeline()).
   unsigned sequencer_shards = 1;
+  // Partition routing hook: maps the worker's per-txn draw to a partition
+  // index (result is taken mod `partitions`). Null keeps the historical
+  // `draw % partitions` placement byte-for-byte — the draw itself is the
+  // same single RNG pull either way, so plugging in a router (e.g. one that
+  // follows a shard::ShardMap the way a rebalance would re-home clients)
+  // perturbs placement only, never the workload streams.
+  std::function<std::size_t(std::uint32_t draw, std::size_t partitions)> route;
 };
 
 class SmpExecutor final {

@@ -52,9 +52,17 @@ ExperimentResult run_sharded(const ExperimentConfig& config) {
   cluster_config.two_safe = config.two_safe;
   shard::ShardedCluster cluster(cluster_config);
 
+  shard::RebalanceScript script;
+  if (config.rebalance_at_txn != 0) {
+    script.ops.push_back({shard::RebalanceOp::Kind::kSplit, config.rebalance_at_txn,
+                          /*shard=*/0, /*at_hash=*/0});
+    script.ops.push_back(
+        {shard::RebalanceOp::Kind::kHandoff, config.rebalance_at_txn + 1, /*shard=*/0, 0});
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
-  const shard::ShardedCluster::RunResult run =
-      cluster.run(config.seed, config.txns_per_stream, config.remote_fraction);
+  const shard::ShardedCluster::RunResult run = cluster.run(
+      config.seed, config.txns_per_stream, config.remote_fraction, {}, script);
   const auto t1 = std::chrono::steady_clock::now();
 
   for (unsigned s = 0; s < cluster.num_shards(); ++s) {

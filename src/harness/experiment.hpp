@@ -54,6 +54,11 @@ struct ExperimentConfig {
   unsigned shards = 1;
   double remote_fraction = 0.0;
   unsigned backups_per_shard = 1;
+  // Extension: online rebalance mid-run (sharded path only). Nonzero
+  // schedules a split of shard 0's range at its midpoint just before this
+  // 1-based transaction index, followed by a planned primary handoff of
+  // shard 0 — the scripted "split + hand off under live traffic" recipe.
+  std::uint64_t rebalance_at_txn = 0;
   sim::AlphaCostModel cost{};
 };
 

@@ -703,6 +703,74 @@ RedoPipeline::CommitOutcome RedoPipeline::commit(std::uint64_t seq) {
   return wait(commit_async(seq));
 }
 
+bool RedoPipeline::drain_peers() {
+  // Everything committed must reach the carriers before the wait: the drain
+  // target is the full shipped watermark, and every live peer — not just a
+  // quorum — must acknowledge it. This is the quiesce step of a planned
+  // primary handoff: once it returns true, any backup promotes with nothing
+  // to replay and nothing in flight to resolve through the takeover path.
+  ship_group();
+  if (fenced_) return false;
+  const std::uint64_t target = shipped_watermark();
+  for (PeerSlot& p : peers_) {
+    if (p.link != nullptr) p.link->flush();
+  }
+  const auto lagging = [&]() {
+    for (const PeerSlot& p : peers_) {
+      if (p.alive && p.acked_seq < target) return true;
+    }
+    return false;
+  };
+  const auto probe = [&](PeerSlot& p) {
+    if (p.alive && !fenced_ && !link_send(p, FrameKind::kHeartbeat, &target, 8)) {
+      p.alive = false;
+    }
+  };
+  for (PeerSlot& p : peers_) {
+    if (p.alive && p.acked_seq < target) probe(p);
+    p.silent = 0;
+  }
+  while (!fenced_ && lagging()) {
+    bool any_waiting = false;
+    for (PeerSlot& p : peers_) {
+      if (fenced_) break;
+      if (!p.alive || p.acked_seq >= target) continue;
+      any_waiting = true;
+      auto frame = p.link->recv(kTwoSafeRecvTimeoutMs);
+      if (!frame.has_value()) {
+        switch (p.link->last_error()) {
+          case LinkError::kTimeout:
+            if (++p.silent > kTwoSafeMaxProbes) {
+              p.alive = false;
+              break;
+            }
+            probe(p);
+            continue;
+          case LinkError::kCorrupt:
+            if (p.link->connected()) continue;
+            p.alive = false;
+            break;
+          default:
+            p.alive = false;
+            break;
+        }
+        continue;
+      }
+      p.silent = 0;
+      on_control_frame(p, *frame);
+    }
+    if (!any_waiting) break;
+  }
+  if (fenced_) return false;
+  bool any_live = false;
+  for (const PeerSlot& p : peers_) {
+    if (!p.alive) continue;
+    any_live = true;
+    if (p.acked_seq < target) return false;  // gave up on a silent laggard
+  }
+  return any_live;
+}
+
 void RedoPipeline::insert_history(std::uint64_t seq, std::vector<std::uint8_t> batch) {
   history_bytes_ += batch.size();
   // Later sequences may already be in the history when a decision lands;

@@ -248,6 +248,14 @@ class RedoPipeline {
   // pending and nothing is unacked.
   CommitOutcome sync();
 
+  // Planned-handoff drain: ship everything and wait until EVERY live peer
+  // has acknowledged the full shipped watermark — stronger than sync(),
+  // which stops at quorum coverage. Peers that stay silent through the
+  // probe budget are marked down, exactly as in a 2-safe wait. Returns true
+  // when at least one peer is alive and fully caught up and we were not
+  // fenced; a handoff may then promote any backup without replaying a tail.
+  bool drain_peers();
+
   CommitOutcome last_commit_outcome() const { return last_commit_outcome_; }
 
   // ---- cross-shard 2PC hooks ---------------------------------------------

@@ -9,7 +9,41 @@ namespace vrep::shard {
 
 namespace {
 constexpr std::uint64_t kHashMax = std::numeric_limits<std::uint64_t>::max();
+
+std::string default_name(std::size_t i) { return "shard-" + std::to_string(i); }
+
+// Merge adjacent ranges with the same owner into one (keeps the map minimal
+// after merged_out hands a victim's ranges to an already-adjacent owner).
+std::vector<ShardMap::Range> coalesce(std::vector<ShardMap::Range> ranges) {
+  std::vector<ShardMap::Range> out;
+  out.reserve(ranges.size());
+  for (const auto& r : ranges) {
+    if (!out.empty() && out.back().owner == r.owner) {
+      out.back().upper = r.upper;
+    } else {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
 }  // namespace
+
+const char* ShardMap::validate(const std::vector<Range>& ranges, std::uint64_t version,
+                               std::size_t num_shards) {
+  if (version < 1) return "map version must be >= 1";
+  if (num_shards == 0) return "map must name at least one shard";
+  if (ranges.empty()) return "map must have at least one range";
+  if (ranges.back().upper != kHashMax) {
+    return "ranges do not cover the hash space (last upper != 2^64-1)";
+  }
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    if (i > 0 && ranges[i].upper <= ranges[i - 1].upper) {
+      return "ranges overlap or are unsorted (uppers must be strictly ascending)";
+    }
+    if (ranges[i].owner >= num_shards) return "range owner is not a known shard";
+  }
+  return nullptr;
+}
 
 ShardMap ShardMap::uniform(unsigned num_shards) {
   VREP_CHECK(num_shards >= 1);
@@ -25,67 +59,172 @@ ShardMap ShardMap::uniform(unsigned num_shards) {
 
 ShardMap::ShardMap(std::vector<std::uint64_t> upper_bounds, std::uint64_t version,
                    std::vector<std::string> names)
-    : upper_(std::move(upper_bounds)), names_(std::move(names)), version_(version) {
-  VREP_CHECK(!upper_.empty());
-  VREP_CHECK(upper_.back() == kHashMax);  // total coverage of the hash space
-  for (std::size_t i = 1; i < upper_.size(); ++i) {
-    VREP_CHECK(upper_[i - 1] < upper_[i]);  // strictly ascending, no empty range
+    : names_(std::move(names)), version_(version) {
+  ranges_.reserve(upper_bounds.size());
+  for (std::size_t i = 0; i < upper_bounds.size(); ++i) {
+    ranges_.push_back(Range{upper_bounds[i], static_cast<ShardId>(i)});
   }
-  VREP_CHECK(version_ >= 1);
   if (names_.empty()) {
-    names_.reserve(upper_.size());
-    for (std::size_t i = 0; i < upper_.size(); ++i) {
-      names_.push_back("shard-" + std::to_string(i));
-    }
+    names_.reserve(ranges_.size());
+    for (std::size_t i = 0; i < ranges_.size(); ++i) names_.push_back(default_name(i));
   }
-  VREP_CHECK(names_.size() == upper_.size());
+  VREP_CHECK(names_.size() == ranges_.size());
+  const char* err = validate(ranges_, version_, names_.size());
+  if (err != nullptr) {
+    check_failed(err, __FILE__, __LINE__);
+  }
+}
+
+ShardMap::ShardMap(std::vector<Range> ranges, std::uint64_t version,
+                   std::vector<std::string> names)
+    : ranges_(std::move(ranges)), names_(std::move(names)), version_(version) {
+  const char* err = validate(ranges_, version_, names_.size());
+  if (err != nullptr) {
+    check_failed(err, __FILE__, __LINE__);
+  }
 }
 
 ShardId ShardMap::shard_of(std::uint64_t hash) const {
-  const auto it = std::lower_bound(upper_.begin(), upper_.end(), hash);
-  return static_cast<ShardId>(it - upper_.begin());
+  const auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), hash,
+      [](const Range& r, std::uint64_t h) { return r.upper < h; });
+  return it->owner;  // last upper is 2^64-1, so `it` is always valid
+}
+
+std::size_t ShardMap::ranges_owned(ShardId shard) const {
+  std::size_t n = 0;
+  for (const auto& r : ranges_) n += (r.owner == shard) ? 1 : 0;
+  return n;
+}
+
+ShardMap ShardMap::split(std::uint64_t at_hash, std::string name) const {
+  const ShardId fresh = static_cast<ShardId>(num_shards());
+  std::vector<Range> next;
+  next.reserve(ranges_.size() + 1);
+  bool placed = false;
+  std::uint64_t lower = 0;  // range i covers (lower, upper]; lower of range 0 is -1 conceptually
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    const Range& r = ranges_[i];
+    const bool contains = (i == 0) ? (at_hash <= r.upper) : (at_hash > lower && at_hash <= r.upper);
+    if (!placed && contains) {
+      // Both halves must be non-empty: (lower, at] and (at, upper].
+      VREP_CHECK(at_hash < r.upper);
+      next.push_back(Range{at_hash, r.owner});
+      next.push_back(Range{r.upper, fresh});
+      placed = true;
+    } else {
+      next.push_back(r);
+    }
+    lower = r.upper;
+  }
+  VREP_CHECK(placed);
+  std::vector<std::string> names = names_;
+  names.push_back(name.empty() ? default_name(fresh) : std::move(name));
+  return ShardMap(std::move(next), version_ + 1, std::move(names));
+}
+
+ShardMap ShardMap::merged_out(ShardId victim) const {
+  VREP_CHECK(victim < num_shards());
+  const std::size_t owned = ranges_owned(victim);
+  VREP_CHECK(owned > 0);            // victim must have something to hand off
+  VREP_CHECK(owned < ranges_.size());  // and may not own the whole map
+  std::vector<Range> next = ranges_;
+  for (std::size_t i = 0; i < next.size(); ++i) {
+    if (next[i].owner != victim) continue;
+    // Prefer the nearest preceding survivor (extends its range rightward);
+    // a leading victim range falls to the nearest following survivor.
+    ShardId heir = victim;
+    for (std::size_t j = i; j-- > 0;) {
+      if (next[j].owner != victim) {
+        heir = next[j].owner;
+        break;
+      }
+    }
+    if (heir == victim) {
+      for (std::size_t j = i + 1; j < next.size(); ++j) {
+        if (next[j].owner != victim) {
+          heir = next[j].owner;
+          break;
+        }
+      }
+    }
+    next[i].owner = heir;  // owned < total guarantees a survivor exists
+  }
+  return ShardMap(coalesce(std::move(next)), version_ + 1, names_);
 }
 
 Json ShardMap::to_json() const {
   Json root = Json::object();
   root.set("version", Json(version_));
   Json shards = Json::array();
-  for (std::size_t i = 0; i < upper_.size(); ++i) {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
     Json entry = Json::object();
     entry.set("id", Json(static_cast<std::uint64_t>(i)));
     entry.set("name", Json(names_[i]));
-    entry.set("upper", Json(upper_[i]));
     shards.push(std::move(entry));
   }
   root.set("shards", std::move(shards));
+  Json ranges = Json::array();
+  for (const auto& r : ranges_) {
+    Json entry = Json::object();
+    entry.set("upper", Json(r.upper));
+    entry.set("owner", Json(static_cast<std::uint64_t>(r.owner)));
+    ranges.push(std::move(entry));
+  }
+  root.set("ranges", std::move(ranges));
   return root;
 }
 
 std::optional<ShardMap> ShardMap::from_json(const Json& json) {
+  // Strict decode: every field must exist with the right type BEFORE any
+  // u64() coercion (Json::u64 silently truncates doubles and clamps
+  // negatives, which previously let malformed maps slip through), and the
+  // decoded triple must pass the same validate() the constructors enforce —
+  // overlapping or non-covering range sets never load into a router.
+  if (!json.is_object()) return std::nullopt;
   const Json* version = json.find("version");
   const Json* shards = json.find("shards");
-  if (version == nullptr || shards == nullptr || !shards->is_array() ||
-      shards->size() == 0) {
+  const Json* ranges = json.find("ranges");
+  if (version == nullptr || !version->is_number() || version->number() < 1) {
     return std::nullopt;
   }
-  std::vector<std::uint64_t> upper;
+  if (shards == nullptr || !shards->is_array() || shards->size() == 0) {
+    return std::nullopt;
+  }
+  if (ranges == nullptr || !ranges->is_array() || ranges->size() == 0) {
+    return std::nullopt;
+  }
+
   std::vector<std::string> names;
   for (std::size_t i = 0; i < shards->size(); ++i) {
     const Json& entry = shards->at(i);
+    if (!entry.is_object()) return std::nullopt;
     const Json* id = entry.find("id");
     const Json* name = entry.find("name");
-    const Json* bound = entry.find("upper");
-    if (id == nullptr || name == nullptr || bound == nullptr || id->u64() != i) {
+    if (id == nullptr || !id->is_number() || id->number() < 0 || id->u64() != i) {
       return std::nullopt;
     }
-    upper.push_back(bound->u64());
+    if (name == nullptr || name->type() != Json::Type::kString) return std::nullopt;
     names.push_back(name->str());
   }
-  if (upper.back() != kHashMax) return std::nullopt;
-  for (std::size_t i = 1; i < upper.size(); ++i) {
-    if (upper[i - 1] >= upper[i]) return std::nullopt;
+
+  std::vector<Range> decoded;
+  for (std::size_t i = 0; i < ranges->size(); ++i) {
+    const Json& entry = ranges->at(i);
+    if (!entry.is_object()) return std::nullopt;
+    const Json* upper = entry.find("upper");
+    const Json* owner = entry.find("owner");
+    if (upper == nullptr || !upper->is_number() || upper->number() < 0) {
+      return std::nullopt;
+    }
+    if (owner == nullptr || !owner->is_number() || owner->number() < 0) {
+      return std::nullopt;
+    }
+    decoded.push_back(Range{upper->u64(), static_cast<ShardId>(owner->u64())});
   }
-  return ShardMap(std::move(upper), version->u64(), std::move(names));
+
+  if (validate(decoded, version->u64(), names.size()) != nullptr) return std::nullopt;
+  return ShardMap(std::move(decoded), version->u64(), std::move(names));
 }
 
 }  // namespace vrep::shard

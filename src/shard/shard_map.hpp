@@ -2,15 +2,26 @@
 //
 // The map is a sorted list of inclusive upper bounds over the 64-bit *hash*
 // space (keys are hashed first, so contiguous key ranges spread evenly):
-// shard i owns (upper[i-1], upper[i]]. The last bound is always 2^64-1, so
-// every hash has exactly one owner. The map carries a version so a later
-// reconfiguration (split / merge / rebalance — ROADMAP follow-ups) can fence
-// routers still holding the old map, exactly the way membership epochs
-// fence stale replicas.
+// range i covers (upper[i-1], upper[i]] and carries an explicit OWNER shard
+// id. The last bound is always 2^64-1, so every hash has exactly one owner.
+// Decoupling ranges from shard ids is what makes online reconfiguration
+// expressible: split() carves a range in two and hands the upper half to a
+// brand-new shard, merged_out() hands a drained shard's ranges to its
+// neighbors — in both cases every untouched shard id stays stable, so xids,
+// traces and replica sets survive the change.
+//
+// The map carries a version; every reconfiguration returns a NEW map at
+// version+1. Routers and the cross-shard coordinator stamp decisions with
+// the version they routed under, so a cutover can fence stale routing the
+// way membership epochs fence stale replicas (shard::ShardedCluster
+// re-routes or aborts-and-retries a stale-stamped transaction).
 //
 // The map round-trips through util::Json so deployments can ship it as a
-// config artifact; shard names may carry arbitrary BMP strings (the JSON
-// parser decodes full \uXXXX escapes).
+// config artifact. from_json is strict: overlapping or non-covering range
+// sets, out-of-range owners, a version below 1, or mistyped fields are
+// rejected with nullopt — a malformed artifact must never load into a
+// router (the constructor CHECK-fails on the same violations, for callers
+// that build maps programmatically).
 #pragma once
 
 #include <cstdint>
@@ -34,35 +45,75 @@ inline std::uint64_t hash_key(std::uint64_t key) {
 
 class ShardMap {
  public:
-  // N equal hash ranges, version 1, shards named "shard-<i>".
+  struct Range {
+    std::uint64_t upper = 0;  // inclusive upper bound of the hash range
+    ShardId owner = 0;
+    bool operator==(const Range& other) const {
+      return upper == other.upper && owner == other.owner;
+    }
+  };
+
+  // N equal hash ranges, version 1, range i owned by shard i ("shard-<i>").
   static ShardMap uniform(unsigned num_shards);
 
-  // Explicit bounds (strictly ascending, last == 2^64-1); one name per
-  // shard (empty vector = default names).
+  // Explicit bounds (strictly ascending, last == 2^64-1); range i owned by
+  // shard i; one name per shard (empty vector = default names).
   ShardMap(std::vector<std::uint64_t> upper_bounds, std::uint64_t version,
            std::vector<std::string> names = {});
 
+  // Fully explicit form: ranges with owners, one name per shard. A shard
+  // may own zero ranges (drained by merged_out) but every owner must name
+  // an existing shard.
+  ShardMap(std::vector<Range> ranges, std::uint64_t version,
+           std::vector<std::string> names);
+
   ShardId shard_of(std::uint64_t hash) const;
-  unsigned num_shards() const { return static_cast<unsigned>(upper_.size()); }
+  unsigned num_shards() const { return static_cast<unsigned>(names_.size()); }
+  std::size_t num_ranges() const { return ranges_.size(); }
   std::uint64_t version() const { return version_; }
-  std::uint64_t upper_bound(ShardId shard) const { return upper_.at(shard); }
+  // Range-indexed accessors (for a uniform map, range index == shard id).
+  std::uint64_t upper_bound(std::size_t range) const { return ranges_.at(range).upper; }
+  ShardId owner(std::size_t range) const { return ranges_.at(range).owner; }
   const std::string& name(ShardId shard) const { return names_.at(shard); }
+  // Number of ranges `shard` owns; 0 = drained (no new traffic routes to it).
+  std::size_t ranges_owned(ShardId shard) const;
 
   bool operator==(const ShardMap& other) const {
-    return version_ == other.version_ && upper_ == other.upper_ && names_ == other.names_;
+    return version_ == other.version_ && ranges_ == other.ranges_ && names_ == other.names_;
   }
+
+  // ---- reconfiguration (pure: the receiver is never modified) -------------
+  // Split the range containing `at_hash` at it: the lower half (lo, at_hash]
+  // keeps its owner, the upper half (at_hash, hi] goes to a NEW shard
+  // (id == num_shards()) named `name` (empty = "shard-<id>"). Version + 1.
+  // CHECKs that at_hash is strictly inside its range (both halves non-empty).
+  ShardMap split(std::uint64_t at_hash, std::string name = {}) const;
+  // Hand every range `victim` owns to its neighbor (the preceding surviving
+  // range's owner; the following one for a leading range), coalescing
+  // adjacent same-owner ranges. The victim shard keeps its id and name but
+  // owns nothing — drained, ready for decommission. Version + 1. CHECKs that
+  // the victim owns at least one range but not all of them.
+  ShardMap merged_out(ShardId victim) const;
+
+  // nullptr when the triple forms a valid map, else a human-readable reason
+  // (non-covering, overlap, bad owner, bad version...). The constructors
+  // CHECK this; from_json turns a violation into nullopt.
+  static const char* validate(const std::vector<Range>& ranges, std::uint64_t version,
+                              std::size_t num_shards);
 
   Json to_json() const;
   static std::optional<ShardMap> from_json(const Json& json);
 
  private:
-  std::vector<std::uint64_t> upper_;  // inclusive upper bound per shard
-  std::vector<std::string> names_;
+  std::vector<Range> ranges_;  // sorted by upper bound, covering the space
+  std::vector<std::string> names_;  // one per shard (owner ids index this)
   std::uint64_t version_ = 1;
 };
 
 // Key -> owning shard, through the map's hash ranges. Carries the map
 // version so a routing decision can be checked against a reconfigured map.
+// Holds a pointer: a Router over a cluster's live map observes an in-place
+// cutover on its next route() call (the per-txn re-read).
 class Router {
  public:
   explicit Router(const ShardMap& map) : map_(&map) {}

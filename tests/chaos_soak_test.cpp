@@ -19,6 +19,7 @@
 
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -693,6 +694,174 @@ TEST(ChaosCascade, ShardedClusterSurvivesCascadingShardPrimaryKills) {
     EXPECT_EQ(cluster.check_replicas(s), "") << "shard " << s;
     EXPECT_EQ(cluster.shard_crc(s), Crc32::of(oracle[s].data(), oracle[s].size()))
         << "shard " << s << " surviving image != fault-free oracle";
+  }
+  EXPECT_EQ(cluster.check_global_consistency(), "");
+  EXPECT_EQ(cluster.resolution_conflicts(), 0u);
+}
+
+// ---- cascade with a live rebalance threaded through -------------------------
+//
+// Same cascading-kill schedule, but shard 0 SPLITS mid-load (its upper half
+// migrates to a brand-new shard while shard 1's primary dies) and then hands
+// its primary off once the migration lands. The oracle replays plan stream
+// AND reconfiguration events; the watermark audit checks that every shard's
+// committed sequence and every backup's applied watermark only move forward
+// across the cutover and the handoff.
+
+// Multi-run, reconfiguration-aware oracle: `map`/`staged` persist across
+// runs, each run's events fire at its own 1-based txn indices. Mirrors
+// rebalance_test's single-run oracle.
+std::vector<std::vector<std::uint8_t>> sharded_rebalance_oracle(
+    const shard::ShardedCluster& cluster, unsigned initial_shards,
+    const std::vector<std::tuple<std::uint64_t, double,
+                                 const shard::ShardedCluster::RunResult*>>& runs) {
+  const wl::DebitCredit& workload = cluster.workload();
+  shard::ShardMap map = shard::ShardMap::uniform(initial_shards);
+  std::optional<shard::ShardMap> staged;
+  unsigned n = initial_shards;
+  const shard::Router router(map);  // observes the in-place flips below
+  std::vector<std::vector<std::uint8_t>> dbs(
+      cluster.num_shards(), std::vector<std::uint8_t>(cluster.workload_bytes(), 0));
+  auto bump = [](std::vector<std::uint8_t>& db, std::size_t off, std::int32_t amount) {
+    std::int32_t balance;
+    std::memcpy(&balance, db.data() + off, sizeof balance);
+    balance += amount;
+    std::memcpy(db.data() + off, &balance, sizeof balance);
+  };
+  const auto each_moving = [&](const shard::ShardMap& from, const shard::ShardMap& to,
+                               auto&& fn) {
+    const auto scan = [&](unsigned kind, std::size_t count, auto offset_of) {
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::uint64_t h =
+            shard::hash_key(shard::ShardedCluster::record_key(kind, i));
+        if (from.shard_of(h) != to.shard_of(h)) {
+          fn(from.shard_of(h), to.shard_of(h),
+             static_cast<std::uint64_t>(offset_of(i)));
+        }
+      }
+    };
+    scan(0, workload.num_accounts(),
+         [&](std::size_t i) { return workload.account_offset(i); });
+    scan(1, workload.num_tellers(),
+         [&](std::size_t i) { return workload.teller_offset(i); });
+    scan(2, workload.num_branches(),
+         [&](std::size_t i) { return workload.branch_offset(i); });
+  };
+
+  for (const auto& [seed, remote_fraction, run] : runs) {
+    Rng rng(seed);
+    std::size_t ei = 0;
+    const auto apply_events_at = [&](std::uint64_t txn) {
+      while (ei < run->events.size() && run->events[ei].at_txn == txn) {
+        const shard::RebalanceEvent& ev = run->events[ei++];
+        switch (ev.kind) {
+          case shard::RebalanceEvent::Kind::kBegin:
+            staged = ev.op.kind == shard::RebalanceOp::Kind::kSplit
+                         ? map.split(ev.op.at_hash)
+                         : map.merged_out(ev.op.shard);
+            n = ev.num_shards;
+            break;
+          case shard::RebalanceEvent::Kind::kCutover:
+            each_moving(map, *staged,
+                        [&](shard::ShardId src, shard::ShardId dst, std::uint64_t off) {
+                          std::int32_t v;
+                          std::memcpy(&v, dbs[src].data() + off, sizeof v);
+                          bump(dbs[dst], off, v);
+                          std::memset(dbs[src].data() + off, 0, sizeof v);
+                        });
+            map = *staged;
+            staged.reset();
+            n = ev.num_shards;
+            break;
+          case shard::RebalanceEvent::Kind::kHandoff:
+          case shard::RebalanceEvent::Kind::kAddBackup:
+            break;  // membership only — no data effect
+        }
+      }
+    };
+    std::uint64_t i = 1;
+    for (const auto& out : run->trace) {
+      apply_events_at(i);
+      const shard::TxnDecision d =
+          shard::plan_txn(router, workload, n, rng, remote_fraction);
+      EXPECT_EQ(d.home, out.home) << "oracle diverged from the plan stream at txn " << i;
+      ++i;
+      if (!out.committed) continue;
+      auto& home = dbs[d.home];
+      bump(dbs[d.cross ? d.remote : d.home], workload.account_offset(d.plan.account),
+           d.plan.amount);
+      bump(home, workload.teller_offset(d.plan.teller), d.plan.amount);
+      bump(home, workload.branch_offset(d.plan.branch), d.plan.amount);
+      const wl::DebitCredit::HistoryRecord rec{d.plan.account, d.plan.teller,
+                                               d.plan.branch, d.plan.amount};
+      std::memcpy(home.data() + workload.history_offset(out.home_seq - 1), &rec,
+                  sizeof rec);
+    }
+    apply_events_at(i);  // ops that completed after the stream drained
+  }
+  return dbs;
+}
+
+TEST(ChaosCascade, LiveRebalanceThreadedThroughTheCascadeStaysConsistent) {
+  shard::ShardedConfig config;
+  config.shards = 3;
+  config.backups_per_shard = 2;
+  shard::ShardedCluster cluster(config);
+
+  // Load 1: shard 0 splits at txn 300 and hands off its primary once the
+  // migration lands; shard 1's primary dies at txn 500, mid-migration.
+  shard::ChaosSchedule chaos;
+  chaos.kill_after_txn = 500;
+  chaos.point = shard::ChaosSchedule::Point::kBetweenTxns;
+  chaos.shard = 1;
+  shard::RebalanceScript script;
+  script.chunk_records = 16;
+  script.ops.push_back({shard::RebalanceOp::Kind::kSplit, /*at_txn=*/300, /*shard=*/0, 0});
+  script.ops.push_back(
+      {shard::RebalanceOp::Kind::kHandoff, /*at_txn=*/1100, /*shard=*/0, 0});
+  const auto run1 = cluster.run(/*seed=*/31, 1500, /*remote_fraction=*/0.25, chaos, script);
+  EXPECT_EQ(run1.committed, 1500u) << "neither the kill nor the migration may lose commits";
+  EXPECT_EQ(run1.takeovers, 1u);
+  ASSERT_EQ(cluster.num_shards(), 4u);
+  EXPECT_EQ(cluster.rebalance_counters().cutovers, 1u);
+  EXPECT_EQ(cluster.rebalance_counters().handoffs, 1u);
+  EXPECT_EQ(cluster.full_syncs_served(0), 0u)
+      << "a planned handoff must rejoin by delta, never by full image";
+
+  // Watermark audit, phase boundary 1: every backup sits exactly at its
+  // shard's committed sequence — across the cutover AND the handoff.
+  std::vector<std::uint64_t> floor(cluster.num_shards());
+  for (unsigned s = 0; s < cluster.num_shards(); ++s) {
+    floor[s] = cluster.shard_committed(s);
+    for (std::size_t b = 0; b < cluster.backup_count(s); ++b) {
+      EXPECT_EQ(cluster.backup_applied(s, b), floor[s])
+          << "shard " << s << " backup " << b << " watermark lagged the cutover";
+    }
+  }
+
+  // Load 2 on the rebalanced, once-degraded cluster.
+  const auto run2 = cluster.run(/*seed=*/77, 1000, 0.25);
+  EXPECT_EQ(run2.committed, 1000u);
+  EXPECT_EQ(cluster.takeovers(), 1u) << "load 2 saw no kill";
+
+  // Watermark audit, phase boundary 2: monotone — no shard's committed
+  // sequence regressed, and every backup caught back up.
+  for (unsigned s = 0; s < cluster.num_shards(); ++s) {
+    EXPECT_GE(cluster.shard_committed(s), floor[s])
+        << "shard " << s << " watermark went backwards";
+    for (std::size_t b = 0; b < cluster.backup_count(s); ++b) {
+      EXPECT_EQ(cluster.backup_applied(s, b), cluster.shard_committed(s))
+          << "shard " << s << " backup " << b;
+    }
+  }
+
+  const auto oracle =
+      sharded_rebalance_oracle(cluster, config.shards, {{31, 0.25, &run1}, {77, 0.25, &run2}});
+  for (unsigned s = 0; s < cluster.num_shards(); ++s) {
+    EXPECT_EQ(cluster.in_doubt(s), 0u);
+    EXPECT_EQ(cluster.check_replicas(s), "") << "shard " << s;
+    EXPECT_EQ(cluster.shard_crc(s), Crc32::of(oracle[s].data(), oracle[s].size()))
+        << "shard " << s << " surviving image != reconfiguration-aware oracle";
   }
   EXPECT_EQ(cluster.check_global_consistency(), "");
   EXPECT_EQ(cluster.resolution_conflicts(), 0u);

@@ -22,6 +22,9 @@
 #include "repl/link.hpp"
 #include "repl/pipeline.hpp"
 #include "rio/arena.hpp"
+#include "shard/rebalancer.hpp"
+#include "shard/shard_map.hpp"
+#include "shard/sharded_cluster.hpp"
 #include "sim/node.hpp"
 #include "util/crc32.hpp"
 #include "util/metrics.hpp"
@@ -1284,6 +1287,134 @@ TEST(CrossShard2pc, TakeoverResolutionAppliesOrDiscardsTheBufferedBatch) {
   EXPECT_EQ(abort_target.mem[256], 0);
   EXPECT_EQ(commit_side.applied_seq(), 1u);
   EXPECT_EQ(abort_side.applied_seq(), 1u);
+}
+
+// ---- cross-version 2PC (reconfigurable commit) ------------------------------
+// Every transaction is stamped with the ShardMap version it was planned
+// against. A prepare that straddles a reconfiguration must resolve exactly
+// once against exactly one layout: decided after a cutover it re-routes to
+// the new owner (abort-and-retry, counted in retried_2pc); decided against a
+// range mid-migration it applies once at the source and the dual-write
+// window re-ships the residual — never a dual apply.
+
+// Visits every Debit-Credit record whose owner differs between two maps
+// (same key rule as the Rebalancer: record_key -> hash -> owner).
+template <typename Fn>
+void for_each_moved_record(const shard::ShardMap& from, const shard::ShardMap& to,
+                           const wl::DebitCredit& workload, Fn&& fn) {
+  const auto scan = [&](unsigned kind, std::size_t count, auto offset_of) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t h =
+          shard::hash_key(shard::ShardedCluster::record_key(kind, i));
+      const shard::ShardId src = from.shard_of(h);
+      const shard::ShardId dst = to.shard_of(h);
+      if (src != dst) fn(src, dst, static_cast<std::uint64_t>(offset_of(i)));
+    }
+  };
+  scan(0, workload.num_accounts(), [&](std::size_t i) { return workload.account_offset(i); });
+  scan(1, workload.num_tellers(), [&](std::size_t i) { return workload.teller_offset(i); });
+  scan(2, workload.num_branches(), [&](std::size_t i) { return workload.branch_offset(i); });
+}
+
+TEST(CrossVersionTwoPC, StalePrepareDecidedAfterCutoverReroutesToTheNewOwner) {
+  shard::ShardedConfig config;
+  config.shards = 2;
+  shard::ShardedCluster cluster(config);
+  ASSERT_EQ(cluster.run(9, 300, 0.25).committed, 300u);  // seed some balances
+
+  // Plan a batch against the v1 map...
+  const shard::ShardMap v1 = cluster.map();
+  const shard::Router router(cluster.map());
+  Rng rng(10);
+  std::vector<shard::TxnDecision> stale;
+  for (int i = 0; i < 200; ++i) {
+    stale.push_back(
+        shard::plan_txn(router, cluster.workload(), cluster.num_shards(), rng, 0.25));
+  }
+
+  // ...then run a split to completion BEFORE any of them decide.
+  shard::Rebalancer rebalancer(cluster, shard::Rebalancer::Config{16});
+  rebalancer.begin_split(0);
+  rebalancer.run_to_completion();
+  ASSERT_EQ(cluster.map().version(), 2u);
+
+  // One local stale plan whose home range moved: its whole effect must land
+  // on the new owner — the old owner's image stays byte-identical (single
+  // placement, no dual apply).
+  const shard::Router live(cluster.map());
+  std::size_t moved = stale.size();
+  for (std::size_t i = 0; i < stale.size(); ++i) {
+    if (!stale[i].cross && live.route(stale[i].key) != stale[i].home) {
+      moved = i;
+      break;
+    }
+  }
+  ASSERT_LT(moved, stale.size()) << "no local plan landed in the moved range";
+  const shard::ShardId old_home = stale[moved].home;
+  const shard::ShardId new_home = live.route(stale[moved].key);
+  const std::uint32_t old_crc = cluster.shard_crc(old_home);
+  const std::uint32_t new_crc = cluster.shard_crc(new_home);
+  ASSERT_TRUE(cluster.execute(stale[moved]));
+  EXPECT_EQ(cluster.shard_crc(old_home), old_crc)
+      << "the old owner must not see a stale-stamped transaction post-cutover";
+  EXPECT_NE(cluster.shard_crc(new_home), new_crc)
+      << "the re-routed transaction never reached the new owner";
+
+  // The rest of the batch resolves exactly once each, against the new map.
+  for (std::size_t i = 0; i < stale.size(); ++i) {
+    if (i != moved) ASSERT_TRUE(cluster.execute(stale[i]));
+  }
+  EXPECT_GT(cluster.rebalance_counters().retried_2pc, 0u);
+  EXPECT_EQ(cluster.resolution_conflicts(), 0u);
+  for (unsigned s = 0; s < cluster.num_shards(); ++s) {
+    EXPECT_EQ(cluster.check_replicas(s), "");
+  }
+  EXPECT_EQ(cluster.check_global_consistency(), "");
+  (void)v1;
+}
+
+TEST(CrossVersionTwoPC, PrepareAgainstAMidMigrationRangeAppliesOnceAtTheSource) {
+  shard::ShardedConfig config;
+  config.shards = 2;
+  shard::ShardedCluster cluster(config);
+  ASSERT_EQ(cluster.run(12, 300, 0.25).committed, 300u);
+
+  const shard::ShardMap v1 = cluster.map();
+  const shard::Router router(cluster.map());
+  Rng rng(13);
+  std::vector<shard::TxnDecision> plans;
+  for (int i = 0; i < 120; ++i) {
+    plans.push_back(
+        shard::plan_txn(router, cluster.workload(), cluster.num_shards(), rng, 0.25));
+  }
+
+  // Start the migration but do NOT cut over: the live map is still v1, so
+  // the v1-stamped prepares decide against the old layout at the source.
+  // Post-transfer commits dirty their records and the dual-write window
+  // re-ships the residuals until the cutover finds the moving set clean.
+  shard::Rebalancer rebalancer(cluster, shard::Rebalancer::Config{8});
+  rebalancer.begin_split(0);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    ASSERT_TRUE(cluster.execute(plans[i]));
+    rebalancer.step();  // interleave chunks; commits keep dirtying records
+  }
+  bool done = false;
+  for (int guard = 0; !done && guard < 10'000; ++guard) {
+    if (!rebalancer.step()) done = rebalancer.cutover();
+  }
+  ASSERT_TRUE(done) << "the migration never converged to a clean cutover";
+
+  // Post-cutover: every moved record's balance lives on the destination
+  // only — the source copy is exactly zero. A dual apply would leave the
+  // source nonzero (and break the global balance invariant below).
+  for_each_moved_record(v1, cluster.map(), cluster.workload(),
+                        [&](shard::ShardId src, shard::ShardId, std::uint64_t off) {
+                          std::int32_t v;
+                          std::memcpy(&v, cluster.primary_db(src) + off, sizeof v);
+                          EXPECT_EQ(v, 0) << "residual on the source at offset " << off;
+                        });
+  EXPECT_EQ(cluster.resolution_conflicts(), 0u);
+  EXPECT_EQ(cluster.check_global_consistency(), "");
 }
 
 }  // namespace

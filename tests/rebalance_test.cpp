@@ -1,0 +1,597 @@
+// Online shard rebalancing: range split/merge semantics, map validation
+// deaths, migration + fenced cutover conformance against a reconfiguration-
+// aware oracle, planned primary handoff (zero loss, zero takeover-path
+// resolutions, zero full syncs), stale-map 2PC re-routing, a randomized
+// 32-seed reconfiguration matrix (splits, merges, handoffs and backup adds
+// threaded through live cross-shard load — some seeds also kill a primary
+// mid-migration), and a threaded execute-vs-rebalance hammer (TSan preset
+// subject).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "shard/rebalancer.hpp"
+#include "shard/shard_map.hpp"
+#include "shard/sharded_cluster.hpp"
+#include "util/crc32.hpp"
+#include "util/rng.hpp"
+
+namespace vrep {
+namespace {
+
+using Cluster = shard::ShardedCluster;
+constexpr std::uint64_t kHashMax = ~std::uint64_t{0};
+
+// ---- ShardMap split / merge -------------------------------------------------
+
+TEST(ShardMapSplit, SplitsOneRangeAndHandsTheUpperHalfToANewShard) {
+  const shard::ShardMap map = shard::ShardMap::uniform(2);
+  const std::uint64_t boundary = map.upper_bound(0);
+  const std::uint64_t at = boundary / 2;
+  const shard::ShardMap split = map.split(at, "fresh");
+
+  EXPECT_EQ(split.version(), map.version() + 1);
+  EXPECT_EQ(split.num_shards(), 3u);
+  EXPECT_EQ(split.num_ranges(), 3u);
+  EXPECT_EQ(split.name(2), "fresh");
+  // Lower half keeps the old owner; (at, old_upper] belongs to the new shard.
+  EXPECT_EQ(split.shard_of(0), 0u);
+  EXPECT_EQ(split.shard_of(at), 0u);
+  EXPECT_EQ(split.shard_of(at + 1), 2u);
+  EXPECT_EQ(split.shard_of(boundary), 2u);
+  EXPECT_EQ(split.shard_of(boundary + 1), 1u);
+  EXPECT_EQ(split.shard_of(kHashMax), 1u);
+  // The old map is untouched (split is pure).
+  EXPECT_EQ(map.num_shards(), 2u);
+  EXPECT_EQ(map.version(), 1u);
+}
+
+TEST(ShardMapSplit, SecondSplitOfTheSameOwnerKeepsCoverage) {
+  const shard::ShardMap map = shard::ShardMap::uniform(1);
+  const shard::ShardMap once = map.split(1ull << 62);
+  const shard::ShardMap twice = once.split(1ull << 60);
+  EXPECT_EQ(twice.num_shards(), 3u);
+  EXPECT_EQ(twice.shard_of(0), 0u);
+  EXPECT_EQ(twice.shard_of((1ull << 60) + 1), 2u);
+  EXPECT_EQ(twice.shard_of((1ull << 62) + 1), 1u);
+  EXPECT_EQ(twice.shard_of(kHashMax), 1u);
+}
+
+TEST(ShardMapMerge, DrainsTheVictimIntoItsNeighbors) {
+  const shard::ShardMap map = shard::ShardMap::uniform(3);
+  const shard::ShardMap merged = shard::ShardMap(map).merged_out(1);
+  EXPECT_EQ(merged.version(), map.version() + 1);
+  // The victim keeps its id and name but owns nothing; every hash still has
+  // an owner and none of it is the victim.
+  EXPECT_EQ(merged.num_shards(), 3u);
+  EXPECT_TRUE(merged.ranges_owned(1) == 0u);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_NE(merged.shard_of(rng.next_u64()), 1u);
+  }
+  // Shard 1's old range went to the preceding survivor.
+  EXPECT_EQ(merged.shard_of(map.upper_bound(0) + 1), 0u);
+  EXPECT_EQ(merged.shard_of(kHashMax), 2u);
+}
+
+TEST(ShardMapMerge, MergingTheFirstShardFallsForwardToTheNextSurvivor) {
+  const shard::ShardMap map = shard::ShardMap::uniform(3);
+  const shard::ShardMap merged = shard::ShardMap(map).merged_out(0);
+  EXPECT_TRUE(merged.ranges_owned(0) == 0u);
+  EXPECT_EQ(merged.shard_of(0), 1u);
+  EXPECT_EQ(merged.shard_of(map.upper_bound(0)), 1u);
+  EXPECT_EQ(merged.shard_of(kHashMax), 2u);
+}
+
+TEST(ShardMapMerge, SplitThenMergeRestoresTheOriginalRouting) {
+  const shard::ShardMap map = shard::ShardMap::uniform(3);
+  const shard::ShardMap split = map.split(map.upper_bound(0) / 2);
+  const shard::ShardMap merged = split.merged_out(3);
+  Rng rng(17);
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t h = rng.next_u64();
+    EXPECT_EQ(merged.shard_of(h), map.shard_of(h));
+  }
+}
+
+// ---- map validation (the JSON-load bugfix's enforcement layer) --------------
+
+using ShardMapDeath = ::testing::Test;
+
+TEST(ShardMapDeath, OverlappingRangesDieOnConstruction) {
+  const std::vector<shard::ShardMap::Range> overlapping = {
+      {100, 0}, {100, 1}, {kHashMax, 1}};
+  EXPECT_DEATH(shard::ShardMap(overlapping, 1, {"a", "b"}), "CHECK");
+}
+
+TEST(ShardMapDeath, NonCoveringRangesDieOnConstruction) {
+  const std::vector<shard::ShardMap::Range> truncated = {{100, 0}, {200, 1}};
+  EXPECT_DEATH(shard::ShardMap(truncated, 1, {"a", "b"}), "CHECK");
+}
+
+TEST(ShardMapDeath, OwnerOutOfRangeDiesOnConstruction) {
+  const std::vector<shard::ShardMap::Range> stray = {{100, 0}, {kHashMax, 7}};
+  EXPECT_DEATH(shard::ShardMap(stray, 1, {"a", "b"}), "CHECK");
+}
+
+TEST(ShardMapDeath, SplittingAtARangeUpperBoundDies) {
+  const shard::ShardMap map = shard::ShardMap::uniform(2);
+  EXPECT_DEATH(map.split(map.upper_bound(0)), "CHECK");
+}
+
+TEST(ShardMapDeath, MergingAShardThatOwnsNothingDies) {
+  const shard::ShardMap merged = shard::ShardMap::uniform(3).merged_out(1);
+  EXPECT_DEATH(merged.merged_out(1), "CHECK");
+}
+
+TEST(ShardMapDeath, MergingTheLastOwnerDies) {
+  const shard::ShardMap map = shard::ShardMap::uniform(1);
+  EXPECT_DEATH(map.merged_out(0), "CHECK");
+}
+
+// ---- reconfiguration-aware oracle -------------------------------------------
+
+// Enumerate the moving set between two maps with the cluster's ownership
+// rule (record_key -> hash -> owner), kinds: 0 account, 1 teller, 2 branch.
+template <typename Fn>
+void for_each_moving_record(const shard::ShardMap& live, const shard::ShardMap& target,
+                            const wl::DebitCredit& workload, Fn&& fn) {
+  const auto scan = [&](unsigned kind, std::size_t count, auto offset_of) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t h = shard::hash_key(Cluster::record_key(kind, i));
+      const shard::ShardId src = live.shard_of(h);
+      const shard::ShardId dst = target.shard_of(h);
+      if (src != dst) fn(src, dst, static_cast<std::uint64_t>(offset_of(i)));
+    }
+  };
+  scan(0, workload.num_accounts(), [&](std::size_t i) { return workload.account_offset(i); });
+  scan(1, workload.num_tellers(), [&](std::size_t i) { return workload.teller_offset(i); });
+  scan(2, workload.num_branches(), [&](std::size_t i) { return workload.branch_offset(i); });
+}
+
+// Replay the cluster's history — plan stream AND reconfiguration events —
+// into flat per-shard images. Balances are purely additive and migration is
+// move-and-zero, so the final image is interleave-independent: the oracle
+// applies each migration's whole moving set in one shot at its cutover
+// boundary and must still match the cluster byte for byte.
+std::vector<std::vector<std::uint8_t>> replay_rebalance_oracle(
+    const Cluster& cluster, unsigned initial_shards, std::uint64_t seed,
+    double remote_fraction, const Cluster::RunResult& run) {
+  const wl::DebitCredit& workload = cluster.workload();
+  shard::ShardMap map = shard::ShardMap::uniform(initial_shards);
+  std::optional<shard::ShardMap> staged;
+  unsigned n = initial_shards;
+  const shard::Router router(map);  // observes the in-place map flips below
+  Rng rng(seed);
+  std::vector<std::vector<std::uint8_t>> dbs(
+      cluster.num_shards(), std::vector<std::uint8_t>(cluster.workload_bytes(), 0));
+  auto bump = [](std::vector<std::uint8_t>& db, std::size_t off, std::int32_t amount) {
+    std::int32_t balance;
+    std::memcpy(&balance, db.data() + off, sizeof balance);
+    balance += amount;
+    std::memcpy(db.data() + off, &balance, sizeof balance);
+  };
+
+  std::size_t ei = 0;
+  const auto apply_events_at = [&](std::uint64_t txn) {
+    while (ei < run.events.size() && run.events[ei].at_txn == txn) {
+      const shard::RebalanceEvent& ev = run.events[ei++];
+      switch (ev.kind) {
+        case shard::RebalanceEvent::Kind::kBegin:
+          ASSERT_FALSE(staged.has_value()) << "two migrations staged at once";
+          staged = ev.op.kind == shard::RebalanceOp::Kind::kSplit
+                       ? map.split(ev.op.at_hash)
+                       : map.merged_out(ev.op.shard);
+          EXPECT_EQ(ev.map_version, map.version()) << "begin does not flip the map";
+          n = ev.num_shards;
+          break;
+        case shard::RebalanceEvent::Kind::kCutover: {
+          ASSERT_TRUE(staged.has_value());
+          for_each_moving_record(map, *staged, workload,
+                                 [&](shard::ShardId src, shard::ShardId dst,
+                                     std::uint64_t off) {
+                                   std::int32_t v;
+                                   std::memcpy(&v, dbs[src].data() + off, sizeof v);
+                                   bump(dbs[dst], off, v);
+                                   std::memset(dbs[src].data() + off, 0, sizeof v);
+                                 });
+          map = *staged;
+          staged.reset();
+          EXPECT_EQ(ev.map_version, map.version());
+          n = ev.num_shards;
+          break;
+        }
+        case shard::RebalanceEvent::Kind::kHandoff:
+        case shard::RebalanceEvent::Kind::kAddBackup:
+          break;  // membership only — no data effect
+      }
+    }
+  };
+
+  std::uint64_t i = 1;
+  for (const Cluster::TxnOutcome& out : run.trace) {
+    apply_events_at(i);
+    const shard::TxnDecision d =
+        shard::plan_txn(router, workload, n, rng, remote_fraction);
+    EXPECT_EQ(d.cross, out.cross) << "oracle diverged from the plan stream at txn " << i;
+    EXPECT_EQ(d.home, out.home) << "txn " << i;
+    EXPECT_EQ(d.remote, out.remote) << "txn " << i;
+    ++i;
+    if (!out.committed) continue;  // chaos-aborted 2PC: no effects anywhere
+    auto& home = dbs[d.home];
+    bump(dbs[d.cross ? d.remote : d.home], workload.account_offset(d.plan.account),
+         d.plan.amount);
+    bump(home, workload.teller_offset(d.plan.teller), d.plan.amount);
+    bump(home, workload.branch_offset(d.plan.branch), d.plan.amount);
+    const wl::DebitCredit::HistoryRecord rec{d.plan.account, d.plan.teller,
+                                             d.plan.branch, d.plan.amount};
+    std::memcpy(home.data() + workload.history_offset(out.home_seq - 1), &rec,
+                sizeof rec);
+  }
+  apply_events_at(i);  // ops/cutovers that completed after the stream
+  return dbs;
+}
+
+void expect_converged(const Cluster& cluster,
+                      const std::vector<std::vector<std::uint8_t>>& oracle) {
+  ASSERT_EQ(oracle.size(), std::size_t{cluster.num_shards()});
+  for (unsigned s = 0; s < cluster.num_shards(); ++s) {
+    EXPECT_EQ(cluster.in_doubt(s), 0u) << "shard " << s << " still holds in-doubt state";
+    EXPECT_EQ(cluster.check_replicas(s), "") << "shard " << s;
+    EXPECT_EQ(cluster.shard_crc(s), Crc32::of(oracle[s].data(), oracle[s].size()))
+        << "shard " << s << " surviving image != reconfiguration-aware oracle";
+  }
+  EXPECT_EQ(cluster.check_global_consistency(), "");
+  EXPECT_EQ(cluster.resolution_conflicts(), 0u)
+      << "a transaction was resolved both ways";
+}
+
+// ---- scripted split / merge under live traffic ------------------------------
+
+TEST(Rebalance, SplitMigratesUnderLoadWithZeroLossAndOracleMatch) {
+  shard::ShardedConfig config;
+  config.shards = 3;
+  config.backups_per_shard = 2;
+  Cluster cluster(config);
+
+  shard::RebalanceScript script;
+  script.chunk_records = 4;  // small on purpose: force a multi-chunk migration
+  script.ops.push_back({shard::RebalanceOp::Kind::kSplit, /*at_txn=*/200, /*shard=*/0, 0});
+  const Cluster::RunResult run = cluster.run(/*seed=*/11, 1200, /*remote_fraction=*/0.3,
+                                             {}, script);
+
+  EXPECT_EQ(run.committed, 1200u) << "a migration must not abort live traffic";
+  EXPECT_EQ(cluster.num_shards(), 4u);
+  EXPECT_EQ(cluster.map().version(), 2u);
+  ASSERT_GE(run.events.size(), 2u);
+  EXPECT_EQ(run.events[0].kind, shard::RebalanceEvent::Kind::kBegin);
+  EXPECT_EQ(run.events[0].at_txn, 200u);
+  EXPECT_EQ(run.events[1].kind, shard::RebalanceEvent::Kind::kCutover);
+  EXPECT_GT(run.events[1].at_txn, 200u) << "the cutover cannot precede the begin";
+
+  const Cluster::RebalanceCounters c = cluster.rebalance_counters();
+  EXPECT_GT(c.records_moved, 0u);
+  EXPECT_GT(c.bytes_moved, 0u);
+  EXPECT_GT(c.chunks, 0u);
+  EXPECT_EQ(c.cutovers, 1u);
+  // Bounded chunks: the moving set needed more than one 2PC transaction.
+  EXPECT_GT(c.chunks, 1u);
+
+  expect_converged(cluster,
+                   replay_rebalance_oracle(cluster, config.shards, 11, 0.3, run));
+}
+
+TEST(Rebalance, SplitThenMergeDrainsTheNewShardBackOut) {
+  shard::ShardedConfig config;
+  config.shards = 2;
+  Cluster cluster(config);
+
+  shard::RebalanceScript script;
+  script.chunk_records = 32;
+  script.steps_per_txn = 2;
+  script.ops.push_back({shard::RebalanceOp::Kind::kSplit, 100, /*shard=*/1, 0});
+  script.ops.push_back({shard::RebalanceOp::Kind::kMerge, 600, /*shard=*/2, 0});
+  const Cluster::RunResult run = cluster.run(23, 1500, 0.25, {}, script);
+
+  EXPECT_EQ(run.committed, 1500u);
+  EXPECT_EQ(cluster.map().version(), 3u) << "two cutovers";
+  EXPECT_TRUE(cluster.map().ranges_owned(2) == 0u) << "the merged shard owns nothing";
+  EXPECT_EQ(cluster.rebalance_counters().cutovers, 2u);
+  expect_converged(cluster, replay_rebalance_oracle(cluster, config.shards, 23, 0.25, run));
+}
+
+// The acceptance recipe: a scripted split plus a primary handoff under live
+// Debit-Credit load — zero committed-transaction loss, zero resolution
+// conflicts, and the handoff ships no full image.
+TEST(Rebalance, SplitPlusHandoffUnderLiveLoad) {
+  shard::ShardedConfig config;
+  config.shards = 3;
+  config.backups_per_shard = 2;
+  Cluster cluster(config);
+
+  shard::RebalanceScript script;
+  script.chunk_records = 16;
+  script.ops.push_back({shard::RebalanceOp::Kind::kSplit, 150, /*shard=*/0, 0});
+  script.ops.push_back({shard::RebalanceOp::Kind::kHandoff, 151, /*shard=*/0, 0});
+  const Cluster::RunResult run = cluster.run(42, 1500, 0.3, {}, script);
+
+  EXPECT_EQ(run.committed, 1500u) << "zero committed-transaction loss";
+  EXPECT_EQ(run.chaos_aborted, 0u);
+  EXPECT_EQ(cluster.resolution_conflicts(), 0u);
+  EXPECT_EQ(run.takeovers, 0u) << "a planned handoff is not a takeover";
+  EXPECT_EQ(cluster.rebalance_counters().handoffs, 1u);
+  EXPECT_EQ(cluster.full_syncs_served(0), 0u)
+      << "the demoted primary must rejoin by empty delta";
+  // The handoff bumped shard 0's epoch (fencing the old primary's lineage);
+  // the other shards were never fenced.
+  const std::uint64_t base_epoch = 1 + config.backups_per_shard;
+  EXPECT_GT(cluster.shard_epoch(0), base_epoch);
+  EXPECT_EQ(cluster.shard_epoch(1), base_epoch);
+  // The handoff was deferred past the split's cutover; both events logged.
+  bool saw_handoff = false;
+  for (const auto& ev : run.events) {
+    saw_handoff |= ev.kind == shard::RebalanceEvent::Kind::kHandoff;
+  }
+  EXPECT_TRUE(saw_handoff);
+  expect_converged(cluster, replay_rebalance_oracle(cluster, config.shards, 42, 0.3, run));
+}
+
+// ---- planned handoff / backup growth, driven directly -----------------------
+
+TEST(Rebalance, HandoffPrimaryLosesNothingAndServesOn) {
+  shard::ShardedConfig config;
+  config.shards = 2;
+  config.backups_per_shard = 2;
+  Cluster cluster(config);
+  const Cluster::RunResult before = cluster.run(7, 500, 0.4);
+  EXPECT_EQ(before.committed, 500u);
+  const std::uint64_t committed_before = cluster.shard_committed(0);
+
+  cluster.handoff_primary(0);
+
+  EXPECT_EQ(cluster.shard_committed(0), committed_before)
+      << "a planned handoff replays nothing and loses nothing";
+  EXPECT_EQ(cluster.takeovers(), 0u);
+  EXPECT_EQ(cluster.backup_count(0), 2u)
+      << "the demoted primary joined the backup set";
+  EXPECT_EQ(cluster.full_syncs_served(0), 0u);
+  EXPECT_EQ(cluster.check_replicas(0), "");
+
+  // The shard keeps serving across a second handoff-heavy run.
+  const Cluster::RunResult after = cluster.run(8, 500, 0.4);
+  EXPECT_EQ(after.committed, 500u);
+  for (unsigned s = 0; s < cluster.num_shards(); ++s) {
+    EXPECT_EQ(cluster.check_replicas(s), "") << "shard " << s;
+  }
+  EXPECT_EQ(cluster.check_global_consistency(), "");
+}
+
+TEST(Rebalance, AddBackupFullSyncsAndRidesTheStream) {
+  shard::ShardedConfig config;
+  config.shards = 2;
+  config.backups_per_shard = 1;
+  Cluster cluster(config);
+  EXPECT_EQ(cluster.run(3, 300, 0.2).committed, 300u);
+
+  cluster.add_backup(1);
+  EXPECT_EQ(cluster.backup_count(1), 2u);
+  EXPECT_EQ(cluster.rebalance_counters().backup_adds, 1u);
+  EXPECT_EQ(cluster.check_replicas(1), "") << "the new backup must be caught up";
+
+  EXPECT_EQ(cluster.run(4, 300, 0.2).committed, 300u);
+  EXPECT_EQ(cluster.check_replicas(1), "");
+  EXPECT_EQ(cluster.check_global_consistency(), "");
+}
+
+// ---- reconfigurable 2PC: stale-map decisions --------------------------------
+
+TEST(Rebalance, StaleMapDecisionsRerouteInsteadOfDualApplying) {
+  shard::ShardedConfig config;
+  config.shards = 2;
+  Cluster cluster(config);
+
+  // Plan a batch against map v1, including cross-shard transactions.
+  const shard::Router router(cluster.map());
+  std::vector<shard::TxnDecision> stale;
+  Rng rng(0xabcd);
+  for (int i = 0; i < 400; ++i) {
+    stale.push_back(shard::plan_txn(router, cluster.workload(), cluster.num_shards(),
+                                    rng, 0.5));
+    EXPECT_EQ(stale.back().map_version, 1u);
+  }
+
+  // Split shard 0 and run the migration to completion: the map is now v2
+  // and roughly half of shard 0's keys re-home to shard 2.
+  shard::Rebalancer rebalancer(cluster);
+  rebalancer.begin_split(0);
+  rebalancer.run_to_completion();
+  ASSERT_EQ(cluster.map().version(), 2u);
+  ASSERT_EQ(cluster.num_shards(), 3u);
+
+  // Every stale decision still commits — aborted against the old layout and
+  // retried against the new one in a single execute() — and the moved homes
+  // are counted.
+  for (const shard::TxnDecision& d : stale) {
+    EXPECT_TRUE(cluster.execute(d));
+  }
+  const Cluster::RebalanceCounters c = cluster.rebalance_counters();
+  EXPECT_GT(c.retried_2pc, 0u) << "no stale decision was re-routed";
+  EXPECT_LT(c.retried_2pc, 400u) << "unmoved homes must execute as planned";
+  EXPECT_EQ(cluster.check_global_consistency(), "");
+  EXPECT_EQ(cluster.resolution_conflicts(), 0u);
+  for (unsigned s = 0; s < cluster.num_shards(); ++s) {
+    EXPECT_EQ(cluster.check_replicas(s), "") << "shard " << s;
+  }
+}
+
+TEST(Rebalance, MidMigrationWritesLandOnceViaTheDualWriteWindow) {
+  shard::ShardedConfig config;
+  config.shards = 2;
+  Cluster cluster(config);
+  // Seed some balances so the migration has bytes to move.
+  EXPECT_EQ(cluster.run(5, 400, 0.3).committed, 400u);
+
+  shard::Rebalancer rebalancer(cluster, shard::Rebalancer::Config{8});
+  rebalancer.begin_split(0);
+  // Interleave live commits with migration chunks: post-transfer commits on
+  // moving records dirty them, and the migration re-ships the residuals
+  // until a cutover finds the moving set clean.
+  const shard::Router router(cluster.map());
+  Rng rng(6);
+  bool done = false;
+  for (int i = 0; i < 10'000 && !done; ++i) {
+    cluster.execute(shard::plan_txn(router, cluster.workload(), cluster.num_shards(),
+                                    rng, 0.3));
+    if (!rebalancer.step()) done = rebalancer.cutover();
+  }
+  ASSERT_TRUE(done) << "the migration never converged to a clean cutover";
+
+  // Post-cutover: every moving record's balance lives on the destination
+  // only — the source copy is exactly zero (never a dual apply).
+  for_each_moving_record(
+      shard::ShardMap::uniform(2), cluster.map(), cluster.workload(),
+      [&](shard::ShardId src, shard::ShardId, std::uint64_t off) {
+        std::int32_t v;
+        std::memcpy(&v, cluster.primary_db(src) + off, sizeof v);
+        EXPECT_EQ(v, 0) << "residual left on the source at offset " << off;
+      });
+  EXPECT_EQ(cluster.check_global_consistency(), "");
+}
+
+// ---- randomized reconfiguration conformance (the seed matrix) ---------------
+
+TEST(RebalanceRandomConformance, ThirtyTwoSeedReconfigurationMatrix) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng srng(seed * 7919 + 13);
+    shard::ShardedConfig config;
+    config.shards = 3;
+    config.backups_per_shard = 2;
+    Cluster cluster(config);
+
+    // A random script: always one split, then one or two more ops drawn
+    // from {merge the new shard back out, planned handoff, backup add,
+    // second split}, at increasing transaction indexes.
+    shard::RebalanceScript script;
+    script.chunk_records = std::size_t{8} << srng.below(3);  // 8 / 16 / 32
+    script.steps_per_txn = 1 + static_cast<unsigned>(srng.below(2));
+    std::uint64_t at = 50 + srng.below(200);
+    const shard::ShardId first_split = static_cast<shard::ShardId>(srng.below(3));
+    script.ops.push_back({shard::RebalanceOp::Kind::kSplit, at, first_split, 0});
+    const std::size_t extra_ops = 1 + srng.below(2);
+    for (std::size_t o = 0; o < extra_ops; ++o) {
+      at += 150 + srng.below(250);
+      switch (srng.below(4)) {
+        case 0:
+          // Drain the shard the first split created (deferred until after
+          // that split's cutover, so shard 3 owns its range by then).
+          script.ops.push_back({shard::RebalanceOp::Kind::kMerge, at, 3, 0});
+          break;
+        case 1:
+          script.ops.push_back({shard::RebalanceOp::Kind::kHandoff, at,
+                                static_cast<shard::ShardId>(srng.below(3)), 0});
+          break;
+        case 2:
+          script.ops.push_back({shard::RebalanceOp::Kind::kAddBackup, at,
+                                static_cast<shard::ShardId>(srng.below(3)), 0});
+          break;
+        default:
+          script.ops.push_back({shard::RebalanceOp::Kind::kSplit, at,
+                                static_cast<shard::ShardId>(srng.below(3)), 0});
+          break;
+      }
+      // A merge can only target shard 3 once.
+      if (script.ops.back().kind == shard::RebalanceOp::Kind::kMerge) break;
+    }
+
+    // A third of the seeds also kill a primary mid-stream — some land inside
+    // the migration window, exercising takeover with live transfer state.
+    shard::ChaosSchedule chaos;
+    if (seed % 3 == 0) {
+      chaos.kill_after_txn = 100 + srng.below(500);
+      const std::uint64_t point = srng.below(3);
+      chaos.point = point == 0   ? shard::ChaosSchedule::Point::kBetweenTxns
+                    : point == 1 ? shard::ChaosSchedule::Point::kAfterPrepare
+                                 : shard::ChaosSchedule::Point::kAfterHomeCommit;
+      chaos.target = chaos.point == shard::ChaosSchedule::Point::kBetweenTxns
+                         ? shard::ChaosSchedule::Target::kFixedShard
+                         : shard::ChaosSchedule::Target::kHomeShard;
+      chaos.shard = static_cast<shard::ShardId>(srng.below(3));
+    }
+
+    const double remote_fraction = 0.2 + 0.05 * static_cast<double>(srng.below(5));
+    const Cluster::RunResult run = cluster.run(seed, 1000, remote_fraction, chaos, script);
+
+    // Zero committed-transaction loss: every transaction either committed or
+    // was the (at most one) chaos-aborted in-flight 2PC.
+    EXPECT_EQ(run.committed + run.chaos_aborted, 1000u);
+    EXPECT_LE(run.chaos_aborted, 1u);
+    EXPECT_EQ(cluster.resolution_conflicts(), 0u);
+    EXPECT_GE(cluster.map().version(), 2u) << "no cutover ever happened";
+    expect_converged(cluster, replay_rebalance_oracle(cluster, config.shards, seed,
+                                                      remote_fraction, run));
+  }
+}
+
+// ---- threaded hammer: execute() racing a live rebalance (TSan subject) ------
+
+TEST(RebalanceHammer, ConcurrentCommitsRaceTheMigrationAndStayConsistent) {
+  shard::ShardedConfig config;
+  config.shards = 3;
+  config.backups_per_shard = 1;
+  Cluster cluster(config);
+
+  // Pre-draw every plan against map v1 (the Rng is not shared); execution
+  // interleaves with the migration, so some plans run mid-window and some
+  // run post-cutover through the stale-map re-route.
+  const shard::Router router(cluster.map());
+  constexpr int kThreads = 4;
+  constexpr int kTxnsPerThread = 300;
+  std::vector<std::vector<shard::TxnDecision>> plans(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(0xfeed + t);
+    for (int i = 0; i < kTxnsPerThread; ++i) {
+      plans[t].push_back(shard::plan_txn(router, cluster.workload(),
+                                         cluster.num_shards(), rng, 0.4));
+    }
+  }
+
+  std::atomic<std::uint64_t> committed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (const shard::TxnDecision& d : plans[t]) {
+        if (cluster.execute(d)) committed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Main thread drives the rebalance while the committers hammer.
+  shard::Rebalancer rebalancer(cluster, shard::Rebalancer::Config{8});
+  rebalancer.begin_split(0);
+  while (rebalancer.active()) {
+    if (!rebalancer.step()) rebalancer.cutover();
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(committed.load(), static_cast<std::uint64_t>(kThreads * kTxnsPerThread));
+  EXPECT_EQ(cluster.map().version(), 2u);
+  EXPECT_EQ(cluster.num_shards(), 4u);
+  for (unsigned s = 0; s < cluster.num_shards(); ++s) {
+    EXPECT_EQ(cluster.in_doubt(s), 0u);
+    EXPECT_EQ(cluster.check_replicas(s), "") << "shard " << s;
+  }
+  // Placement under the race is best-effort (a plan can slip through the
+  // cutover window against the old layout), but value is conserved exactly
+  // and nothing resolves both ways.
+  EXPECT_EQ(cluster.check_global_consistency(), "");
+  EXPECT_EQ(cluster.resolution_conflicts(), 0u);
+}
+
+}  // namespace
+}  // namespace vrep

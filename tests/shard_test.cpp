@@ -90,6 +90,74 @@ TEST(ShardMap, FromJsonRejectsMalformedMaps) {
       "{\"version\": 1, \"shards\": ["
       "{\"id\": 0, \"name\": \"a\", \"upper\": 100}]}").value();
   EXPECT_FALSE(shard::ShardMap::from_json(truncated).has_value());
+
+  // A structurally well-formed document whose RANGE SET is inconsistent must
+  // also be rejected — these used to slip straight into a router.
+  const auto doc = [](const char* ranges) {
+    std::string text =
+        "{\"version\": 1, \"shards\": ["
+        "{\"id\": 0, \"name\": \"a\"}, {\"id\": 1, \"name\": \"b\"}],"
+        "\"ranges\": [";
+    text += ranges;
+    text += "]}";
+    return Json::parse(text).value();
+  };
+
+  // Overlapping / unsorted uppers: two ranges claim the same hashes.
+  EXPECT_FALSE(shard::ShardMap::from_json(doc(
+                   "{\"upper\": 100, \"owner\": 0},"
+                   "{\"upper\": 100, \"owner\": 1},"
+                   "{\"upper\": 18446744073709551615, \"owner\": 0}"))
+                   .has_value())
+      << "duplicate uppers overlap";
+  EXPECT_FALSE(shard::ShardMap::from_json(doc(
+                   "{\"upper\": 200, \"owner\": 0},"
+                   "{\"upper\": 100, \"owner\": 1},"
+                   "{\"upper\": 18446744073709551615, \"owner\": 0}"))
+                   .has_value())
+      << "descending uppers overlap";
+
+  // Non-covering: the last upper stops short of 2^64-1.
+  EXPECT_FALSE(shard::ShardMap::from_json(doc(
+                   "{\"upper\": 100, \"owner\": 0},"
+                   "{\"upper\": 18446744073709551614, \"owner\": 1}"))
+                   .has_value())
+      << "a hole at the top of the hash space has no owner";
+
+  // Owner referencing a shard the document never declared.
+  EXPECT_FALSE(shard::ShardMap::from_json(doc(
+                   "{\"upper\": 100, \"owner\": 0},"
+                   "{\"upper\": 18446744073709551615, \"owner\": 7}"))
+                   .has_value())
+      << "owner out of range";
+
+  // Version 0 is reserved (0 stamps mean \"legacy, unstamped\" in 2PC).
+  Json v0 = Json::parse(
+                "{\"version\": 0, \"shards\": [{\"id\": 0, \"name\": \"a\"}],"
+                "\"ranges\": [{\"upper\": 18446744073709551615, \"owner\": 0}]}")
+                .value();
+  EXPECT_FALSE(shard::ShardMap::from_json(v0).has_value());
+
+  // Wrong field types never coerce.
+  Json typed = Json::parse(
+                   "{\"version\": 1, \"shards\": [{\"id\": 0, \"name\": \"a\"}],"
+                   "\"ranges\": [{\"upper\": \"max\", \"owner\": 0}]}")
+                   .value();
+  EXPECT_FALSE(shard::ShardMap::from_json(typed).has_value());
+
+  // And a consistent new-format document with an explicit owner permutation
+  // round-trips (owners are decoupled from range order after a merge).
+  Json perm = Json::parse(
+                  "{\"version\": 3, \"shards\": ["
+                  "{\"id\": 0, \"name\": \"a\"}, {\"id\": 1, \"name\": \"b\"}],"
+                  "\"ranges\": [{\"upper\": 100, \"owner\": 1},"
+                  "{\"upper\": 18446744073709551615, \"owner\": 0}]}")
+                  .value();
+  const std::optional<shard::ShardMap> ok = shard::ShardMap::from_json(perm);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->shard_of(50), 1u);
+  EXPECT_EQ(ok->shard_of(101), 0u);
+  EXPECT_TRUE(shard::ShardMap::from_json(ok->to_json()).has_value());
 }
 
 // ---- DecisionLog ------------------------------------------------------------
